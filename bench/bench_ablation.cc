@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Ablation studies over the design choices DESIGN.md calls out:
+ *
+ *  1. write-buffer depth (the paper argues a single buffer suffices
+ *     under write-back + swapped write-back);
+ *  2. relaxed inclusion replacement versus what strict inclusion would
+ *     cost (forced invalidations as associativity shrinks);
+ *  3. replacement policy at both levels;
+ *  4. level-2/level-1 block-size ratio (subentries per line).
+ */
+
+#include "bench_util.hh"
+
+using namespace vrc;
+
+namespace
+{
+
+void
+writeBufferDepthAblation(const TraceBundle &bundle)
+{
+    std::cout << "--- write-buffer depth (pops, V-R 16K/256K) ---\n";
+    TextTable t;
+    t.row()
+        .cell("depth")
+        .cell("stalls")
+        .cell("writebacks")
+        .cell("cancels")
+        .cell("h1");
+    t.separator();
+    for (std::uint32_t depth : {1u, 2u, 4u, 8u}) {
+        MachineConfig mc = makeMachineConfig(
+            HierarchyKind::VirtualReal, 16 * 1024, 256 * 1024,
+            bundle.profile.pageSize);
+        mc.hierarchy.writeBufferDepth = depth;
+        MpSimulator sim(mc, bundle.profile);
+        sim.run(bundle.records);
+        t.row()
+            .cell(std::uint64_t{depth})
+            .cell(sim.totalCounter("wb_stalls"))
+            .cell(sim.totalCounter("writebacks"))
+            .cell(sim.totalCounter("writeback_cancels"))
+            .cell(sim.h1(), 4);
+    }
+    std::cout << t << "\n";
+}
+
+void
+associativityAblation(const TraceBundle &bundle)
+{
+    std::cout << "--- R-cache associativity vs forced inclusion "
+                 "invalidations (pops, 16K/64K) ---\n";
+    TextTable t;
+    t.row()
+        .cell("L2 assoc")
+        .cell("inclusion invalidations")
+        .cell("forced replacements")
+        .cell("h2");
+    t.separator();
+    for (std::uint32_t assoc : {1u, 2u, 4u, 8u}) {
+        MachineConfig mc = makeMachineConfig(
+            HierarchyKind::VirtualReal, 16 * 1024, 64 * 1024,
+            bundle.profile.pageSize);
+        mc.hierarchy.l2.assoc = assoc;
+        MpSimulator sim(mc, bundle.profile);
+        sim.run(bundle.records);
+        t.row()
+            .cell(std::uint64_t{assoc})
+            .cell(sim.totalCounter("inclusion_invalidations"))
+            .cell(sim.totalCounter("forced_r_replacements"))
+            .cell(sim.h2(), 4);
+    }
+    std::cout << t << "\n";
+}
+
+void
+replacementPolicyAblation(const TraceBundle &bundle)
+{
+    std::cout << "--- replacement policy (pops, V-R 16K/256K, 2-way "
+                 "both levels) ---\n";
+    TextTable t;
+    t.row().cell("policy").cell("h1").cell("h2").cell("misses");
+    t.separator();
+    for (ReplPolicy policy :
+         {ReplPolicy::LRU, ReplPolicy::FIFO, ReplPolicy::Random}) {
+        MachineConfig mc = makeMachineConfig(
+            HierarchyKind::VirtualReal, 16 * 1024, 256 * 1024,
+            bundle.profile.pageSize);
+        mc.hierarchy.l1.assoc = 2;
+        mc.hierarchy.l2.assoc = 2;
+        mc.hierarchy.l1.policy = policy;
+        mc.hierarchy.l2.policy = policy;
+        MpSimulator sim(mc, bundle.profile);
+        sim.run(bundle.records);
+        t.row()
+            .cell(replPolicyName(policy))
+            .cell(sim.h1(), 4)
+            .cell(sim.h2(), 4)
+            .cell(sim.totalCounter("misses"));
+    }
+    std::cout << t << "\n";
+}
+
+void
+blockRatioAblation(const TraceBundle &bundle)
+{
+    std::cout << "--- L2/L1 block-size ratio (pops, V-R 16K/256K, "
+                 "B1=16) ---\n";
+    TextTable t;
+    t.row()
+        .cell("B2/B1")
+        .cell("h1")
+        .cell("h2")
+        .cell("bus transactions")
+        .cell("inclusion invalidations");
+    t.separator();
+    for (std::uint32_t factor : {1u, 2u, 4u}) {
+        MachineConfig mc = makeMachineConfig(
+            HierarchyKind::VirtualReal, 16 * 1024, 256 * 1024,
+            bundle.profile.pageSize);
+        mc.hierarchy.l2.blockBytes =
+            mc.hierarchy.l1.blockBytes * factor;
+        MpSimulator sim(mc, bundle.profile);
+        sim.run(bundle.records);
+        t.row()
+            .cell(std::uint64_t{factor})
+            .cell(sim.h1(), 4)
+            .cell(sim.h2(), 4)
+            .cell(sim.bus().transactions())
+            .cell(sim.totalCounter("inclusion_invalidations"));
+    }
+    std::cout << t << "\n";
+}
+
+void
+writePolicyAblation(const TraceBundle &bundle)
+{
+    std::cout << "--- level-1 write policy traffic (pops, 16K/256K) ---\n";
+    // Write-through sends *every* processor write to level 2; the
+    // write-back V-cache only sends dirty replacements. This is the
+    // paper's Section 2 argument for write-back at level 1.
+    MachineConfig mc = makeMachineConfig(HierarchyKind::VirtualReal,
+                                         16 * 1024, 256 * 1024,
+                                         bundle.profile.pageSize);
+    MpSimulator sim(mc, bundle.profile);
+    sim.run(bundle.records);
+
+    std::uint64_t writes = sim.totalCounter("refs_write");
+    std::uint64_t writebacks = sim.totalCounter("writebacks");
+    std::uint64_t cancels = sim.totalCounter("writeback_cancels");
+
+    TextTable t;
+    t.row().cell("policy").cell("L1->L2 write transfers");
+    t.separator();
+    t.row().cell("write-through (every write)").cell(writes);
+    t.row().cell("write-back (dirty replacements)").cell(writebacks);
+    t.row().cell("  of which canceled by synonyms").cell(cancels);
+    std::cout << t;
+    if (writebacks > 0) {
+        std::cout << "traffic ratio (WT/WB): "
+                  << static_cast<double>(writes) /
+                static_cast<double>(writebacks)
+                  << "x\n";
+    }
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double scale = benchScaleFromArgs(argc, argv, 0.05);
+    banner("Ablations over the paper's design choices", scale);
+    const TraceBundle &bundle = profileTrace("pops", scale);
+    writeBufferDepthAblation(bundle);
+    associativityAblation(bundle);
+    replacementPolicyAblation(bundle);
+    blockRatioAblation(bundle);
+    writePolicyAblation(bundle);
+    return 0;
+}

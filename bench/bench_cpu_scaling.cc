@@ -1,0 +1,81 @@
+/**
+ * @file
+ * CPU-count scaling study: the paper's closing conjecture.
+ *
+ * "We believe that the shielding effect on cache coherence will be more
+ *  prominent as the number of processors increases. ... We plan to
+ *  further confirm this observation when we are in possession of
+ *  larger-scale traces."
+ *
+ * The synthetic workloads scale to any CPU count, so this bench runs
+ * the pops profile at 2..16 CPUs and reports, per organization:
+ * per-CPU level-1 coherence messages (the shielding effect), the
+ * VR-vs-no-inclusion disturbance ratio, and bus utilization/queueing
+ * from the contention model.
+ */
+
+#include "bench_util.hh"
+
+#include "core/timing.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace vrc;
+    double scale = benchScaleFromArgs(argc, argv, 0.02);
+    if (scale == 1.0)
+        scale = 0.25;  // full pops x16 CPUs would be very long
+    banner("CPU scaling: shielding and bus contention vs processor "
+           "count (pops profile)",
+           scale);
+
+    TextTable t;
+    t.row()
+        .cell("cpus")
+        .cell("VR L1 msgs/cpu")
+        .cell("RR(no incl) L1 msgs/cpu")
+        .cell("shield ratio")
+        .cell("VR bus util")
+        .cell("VR bus wait/ref");
+    t.separator();
+
+    for (std::uint32_t cpus : {2u, 4u, 8u, 16u}) {
+        WorkloadProfile p = scaled(popsProfile(), scale);
+        p.numCpus = cpus;
+        TraceBundle bundle = generateTrace(p);
+
+        auto run = [&](HierarchyKind kind) {
+            MachineConfig mc = makeMachineConfig(
+                kind, 8 * 1024, 128 * 1024, p.pageSize);
+            mc.busTiming.enabled = true;
+            auto sim = std::make_unique<MpSimulator>(mc, p);
+            sim->run(bundle.records);
+            return sim;
+        };
+        auto vr = run(HierarchyKind::VirtualReal);
+        auto ni = run(HierarchyKind::RealRealNoIncl);
+
+        double vr_msgs =
+            static_cast<double>(vr->totalCounter("l1_coherence_msgs")) /
+            cpus;
+        double ni_msgs =
+            static_cast<double>(ni->totalCounter("l1_coherence_msgs")) /
+            cpus;
+        t.row()
+            .cell(std::uint64_t{cpus})
+            .cell(vr_msgs, 0)
+            .cell(ni_msgs, 0)
+            .cell(ni_msgs / std::max(vr_msgs, 1.0), 1)
+            .cell(vr->busUtilization(), 3)
+            .cell(vr->busWaitTime() /
+                      static_cast<double>(vr->refsProcessed()),
+                  4);
+    }
+    std::cout << t;
+    std::cout
+        << "\nexpected shape (the paper's conjecture): the no-inclusion"
+           " L1 is disturbed proportionally to total bus traffic, so "
+           "the shield ratio grows with the processor count; bus "
+           "utilization and queueing rise with CPUs.\n";
+    return 0;
+}

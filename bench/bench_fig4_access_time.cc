@@ -1,0 +1,9 @@
+/** @file Reproduces Figure 4 (thor). */
+
+#include "fig_access_time.hh"
+
+int
+main(int argc, char **argv)
+{
+    return vrc::runAccessTimeFigure("Figure 4", "thor", argc, argv);
+}

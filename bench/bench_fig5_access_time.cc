@@ -1,0 +1,9 @@
+/** @file Reproduces Figure 5 (pops). */
+
+#include "fig_access_time.hh"
+
+int
+main(int argc, char **argv)
+{
+    return vrc::runAccessTimeFigure("Figure 5", "pops", argc, argv);
+}

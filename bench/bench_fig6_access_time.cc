@@ -1,0 +1,10 @@
+/** @file Reproduces Figure 6 (abaqus, the frequent-context-switch case
+ * with the interesting crossover). */
+
+#include "fig_access_time.hh"
+
+int
+main(int argc, char **argv)
+{
+    return vrc::runAccessTimeFigure("Figure 6", "abaqus", argc, argv);
+}

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks: raw throughput of the building
+ * blocks (tag store, TLB, trace generation) and end-to-end simulation
+ * speed for each organization, in references per second.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/tag_store.hh"
+#include "sim/experiment.hh"
+#include "vm/tlb.hh"
+
+namespace
+{
+
+using namespace vrc;
+
+void
+BM_TagStoreLookupHit(benchmark::State &state)
+{
+    TagStore<int> store(CacheGeometry(16 * 1024, 16, 1),
+                        ReplPolicy::LRU);
+    store.fill(store.victim(0x1230), 0x1230);
+    for (auto _ : state) {
+        auto ref = store.find(0x1230);
+        benchmark::DoNotOptimize(ref);
+    }
+}
+BENCHMARK(BM_TagStoreLookupHit);
+
+void
+BM_TagStoreFillEvict(benchmark::State &state)
+{
+    TagStore<int> store(CacheGeometry(16 * 1024, 16, 4),
+                        ReplPolicy::LRU);
+    std::uint32_t addr = 0;
+    for (auto _ : state) {
+        LineRef slot = store.victim(addr);
+        store.fill(slot, addr);
+        addr += 16 * 1024 + 16; // new tag, rotating sets
+    }
+}
+BENCHMARK(BM_TagStoreFillEvict);
+
+void
+BM_TlbTranslate(benchmark::State &state)
+{
+    AddressSpaceManager spaces(4096);
+    Tlb tlb(256, 4);
+    std::uint32_t vpn = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tlb.translate(0, vpn % 512, spaces));
+        ++vpn;
+    }
+}
+BENCHMARK(BM_TlbTranslate);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    WorkloadProfile p = popsProfile();
+    p.totalRefs = static_cast<std::uint64_t>(state.range(0));
+    for (auto _ : state) {
+        TraceBundle b = generateTrace(p);
+        benchmark::DoNotOptimize(b.records.data());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TraceGeneration)->Arg(50'000);
+
+const TraceBundle &
+microBundle()
+{
+    static TraceBundle bundle = [] {
+        WorkloadProfile p = popsProfile();
+        p.totalRefs = 100'000;
+        return generateTrace(p);
+    }();
+    return bundle;
+}
+
+void
+simulateKind(benchmark::State &state, HierarchyKind kind)
+{
+    const TraceBundle &bundle = microBundle();
+    for (auto _ : state) {
+        SimSummary s =
+            runSimulation(bundle, kind, 16 * 1024, 256 * 1024);
+        benchmark::DoNotOptimize(s.h1);
+    }
+    state.SetItemsProcessed(
+        state.iterations() *
+        static_cast<std::int64_t>(bundle.records.size()));
+}
+
+void
+BM_SimulateVR(benchmark::State &state)
+{
+    simulateKind(state, HierarchyKind::VirtualReal);
+}
+BENCHMARK(BM_SimulateVR);
+
+void
+BM_SimulateRRIncl(benchmark::State &state)
+{
+    simulateKind(state, HierarchyKind::RealRealIncl);
+}
+BENCHMARK(BM_SimulateRRIncl);
+
+void
+BM_SimulateRRNoIncl(benchmark::State &state)
+{
+    simulateKind(state, HierarchyKind::RealRealNoIncl);
+}
+BENCHMARK(BM_SimulateRRNoIncl);
+
+void
+BM_SimulateVRSplit(benchmark::State &state)
+{
+    const TraceBundle &bundle = microBundle();
+    for (auto _ : state) {
+        SimSummary s = runSimulation(
+            bundle, HierarchyKind::VirtualReal, 16 * 1024, 256 * 1024,
+            true);
+        benchmark::DoNotOptimize(s.h1);
+    }
+    state.SetItemsProcessed(
+        state.iterations() *
+        static_cast<std::int64_t>(bundle.records.size()));
+}
+BENCHMARK(BM_SimulateVRSplit);
+
+} // namespace
+
+BENCHMARK_MAIN();

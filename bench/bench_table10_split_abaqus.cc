@@ -1,0 +1,9 @@
+/** @file Reproduces Table 10 (abaqus). */
+
+#include "split_table.hh"
+
+int
+main(int argc, char **argv)
+{
+    return vrc::runSplitTable("Table 10", "abaqus", argc, argv);
+}

@@ -1,0 +1,9 @@
+/** @file Reproduces Table 11 (pops, 4 CPUs). */
+
+#include "coherence_table.hh"
+
+int
+main(int argc, char **argv)
+{
+    return vrc::runCoherenceTable("Table 11", "pops", argc, argv);
+}

@@ -1,0 +1,9 @@
+/** @file Reproduces Table 13 (abaqus, 2 CPUs). */
+
+#include "coherence_table.hh"
+
+int
+main(int argc, char **argv)
+{
+    return vrc::runCoherenceTable("Table 13", "abaqus", argc, argv);
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Reproduces Table 5: characteristics of the three (synthetic) traces.
+ */
+
+#include "bench_util.hh"
+
+#include "trace/trace_stats.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace vrc;
+    double scale = benchScaleFromArgs(argc, argv);
+    banner("Table 5: characteristics of traces", scale);
+
+    TextTable t;
+    t.row()
+        .cell("trace")
+        .cell("num. of cpus")
+        .cell("total refs")
+        .cell("instr count")
+        .cell("data read")
+        .cell("data write")
+        .cell("context switch count");
+    t.separator();
+    for (const char *name : {"thor", "pops", "abaqus"}) {
+        const TraceBundle &bundle = profileTrace(name, scale);
+        auto c = characterize(bundle.records);
+        t.row()
+            .cell(name)
+            .cell(std::uint64_t{c.numCpus})
+            .cell(c.totalRefs)
+            .cell(c.instrCount)
+            .cell(c.dataReads)
+            .cell(c.dataWrites)
+            .cell(c.contextSwitches);
+    }
+    std::cout << t;
+    std::cout << "\npaper (full scale): thor 4/3283k/1517k/1390k/376k/"
+                 "21, pops 4/3286k/1718k/1285k/283k/7, abaqus "
+                 "2/1196k/514k/600k/82k/292\n";
+    return 0;
+}

@@ -1,0 +1,9 @@
+/** @file Reproduces Table 8 (thor). */
+
+#include "split_table.hh"
+
+int
+main(int argc, char **argv)
+{
+    return vrc::runSplitTable("Table 8", "thor", argc, argv);
+}

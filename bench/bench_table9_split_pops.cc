@@ -1,0 +1,9 @@
+/** @file Reproduces Table 9 (pops). */
+
+#include "split_table.hh"
+
+int
+main(int argc, char **argv)
+{
+    return vrc::runSplitTable("Table 9", "pops", argc, argv);
+}

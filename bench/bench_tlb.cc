@@ -1,0 +1,107 @@
+/**
+ * @file
+ * TLB study. Two of the paper's cost arguments, quantified:
+ *
+ *  1. In the V-R hierarchy the TLB sits at the *second* level and is
+ *     consulted only on level-1 misses, so it sees a small fraction of
+ *     the lookups an R-R first-level TLB must serve -- "its cost is
+ *     less since the TLB does not have to be implemented in fast
+ *     logic".
+ *  2. TLB reach: miss ratio versus TLB size/associativity for the
+ *     second-level TLB.
+ */
+
+#include "bench_util.hh"
+
+#include "core/vr_hierarchy.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace vrc;
+    double scale = benchScaleFromArgs(argc, argv, 0.05);
+    banner("TLB study: lookup pressure (V-R vs R-R) and reach", scale);
+
+    std::cout << "--- TLB lookups per 1k references (16K/256K) ---\n";
+    TextTable t;
+    t.row()
+        .cell("trace")
+        .cell("V-R lookups/1k refs")
+        .cell("R-R lookups/1k refs")
+        .cell("relief factor");
+    t.separator();
+    for (const char *name : {"thor", "pops", "abaqus"}) {
+        const TraceBundle &bundle = profileTrace(name, scale);
+        auto lookups = [&](HierarchyKind kind) {
+            MachineConfig mc = makeMachineConfig(
+                kind, 16 * 1024, 256 * 1024, bundle.profile.pageSize);
+            MpSimulator sim(mc, bundle.profile);
+            sim.run(bundle.records);
+            std::uint64_t n = 0;
+            for (CpuId c = 0; c < sim.cpuCount(); ++c) {
+                auto &h = dynamic_cast<VrHierarchy &>(sim.hierarchy(c));
+                n += h.tlb().hits() + h.tlb().misses();
+            }
+            return std::pair<std::uint64_t, std::uint64_t>(
+                n, sim.refsProcessed());
+        };
+        auto [vr_lookups, refs] = lookups(HierarchyKind::VirtualReal);
+        auto [rr_lookups, refs2] = lookups(HierarchyKind::RealRealIncl);
+        (void)refs2;
+        double vr_rate = 1000.0 * static_cast<double>(vr_lookups) /
+            static_cast<double>(refs);
+        double rr_rate = 1000.0 * static_cast<double>(rr_lookups) /
+            static_cast<double>(refs);
+        t.row()
+            .cell(name)
+            .cell(vr_rate, 1)
+            .cell(rr_rate, 1)
+            .cell(rr_rate / vr_rate, 1);
+    }
+    std::cout << t;
+    std::cout << "(V-R translates only on level-1 misses; R-R must "
+                 "translate every reference.)\n\n";
+
+    std::cout << "--- second-level TLB reach (pops, V-R 16K/256K) ---\n";
+    const TraceBundle &bundle = profileTrace("pops", scale);
+    TextTable r;
+    r.row()
+        .cell("entries")
+        .cell("assoc")
+        .cell("TLB miss ratio")
+        .cell("misses/1k refs");
+    r.separator();
+    struct TlbGeom
+    {
+        std::uint32_t entries, assoc;
+    };
+    for (TlbGeom g : {TlbGeom{32, 2}, {64, 2}, {128, 4}, {256, 4},
+                      {512, 8}}) {
+        MachineConfig mc = makeMachineConfig(HierarchyKind::VirtualReal,
+                                             16 * 1024, 256 * 1024,
+                                             bundle.profile.pageSize);
+        mc.hierarchy.tlbEntries = g.entries;
+        mc.hierarchy.tlbAssoc = g.assoc;
+        MpSimulator sim(mc, bundle.profile);
+        sim.run(bundle.records);
+        std::uint64_t hits = 0, misses = 0;
+        for (CpuId c = 0; c < sim.cpuCount(); ++c) {
+            auto &h = dynamic_cast<VrHierarchy &>(sim.hierarchy(c));
+            hits += h.tlb().hits();
+            misses += h.tlb().misses();
+        }
+        double ratio = misses
+            ? static_cast<double>(misses) /
+                static_cast<double>(hits + misses)
+            : 0.0;
+        r.row()
+            .cell(std::uint64_t{g.entries})
+            .cell(std::uint64_t{g.assoc})
+            .cell(ratio, 4)
+            .cell(1000.0 * static_cast<double>(misses) /
+                      static_cast<double>(sim.refsProcessed()),
+                  2);
+    }
+    std::cout << r;
+    return 0;
+}

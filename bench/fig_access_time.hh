@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Shared implementation of Figures 4, 5 and 6: average access time of
+ * the V-R and R-R hierarchies versus the percentage slowdown of the
+ * R-R level-1 access due to address translation (t2 = 4*t1, two-term
+ * model as in the paper).
+ */
+
+#ifndef VRC_BENCH_FIG_ACCESS_TIME_HH
+#define VRC_BENCH_FIG_ACCESS_TIME_HH
+
+#include "bench_util.hh"
+
+#include "core/timing.hh"
+
+namespace vrc
+{
+
+inline bool
+wantCsv(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--csv")
+            return true;
+    }
+    return false;
+}
+
+inline int
+runAccessTimeFigure(const std::string &figure, const std::string &trace,
+                    int argc, char **argv)
+{
+    double scale = benchScaleFromArgs(argc, argv);
+    bool csv = wantCsv(argc, argv);
+    if (csv) {
+        // Plot-friendly output: one row per (sizes, slowdown) point.
+        std::cout << "trace,l1,l2,slowdown_pct,t_vr,t_rr\n";
+        const TraceBundle &bundle = profileTrace(trace, scale);
+        TimingParams tp;
+        for (auto [l1, l2] : paperSizePairs()) {
+            SimSummary vr = runSimulation(
+                bundle, HierarchyKind::VirtualReal, l1, l2);
+            SimSummary rr = runSimulation(
+                bundle, HierarchyKind::RealRealIncl, l1, l2);
+            for (int pct = 0; pct <= 10; ++pct) {
+                TimingParams slowed = tp;
+                slowed.l1SlowdownPct = pct;
+                std::cout << trace << "," << l1 << "," << l2 << ","
+                          << pct << ","
+                          << avgAccessTimeTwoTerm(vr.h1, vr.h2, tp)
+                          << ","
+                          << avgAccessTimeTwoTerm(rr.h1, rr.h2, slowed)
+                          << "\n";
+            }
+        }
+        return 0;
+    }
+    banner(figure + ": average access time vs. slow-down of first-level"
+                    " R-cache (" +
+               trace + ", t2 = 4*t1)",
+           scale);
+
+    const TraceBundle &bundle = profileTrace(trace, scale);
+    TimingParams tp; // t1 = 1, t2 = 4
+
+    for (auto [l1, l2] : paperSizePairs()) {
+        SimSummary vr = runSimulation(bundle,
+                                      HierarchyKind::VirtualReal, l1,
+                                      l2);
+        SimSummary rr = runSimulation(bundle,
+                                      HierarchyKind::RealRealIncl, l1,
+                                      l2);
+
+        TextTable t;
+        t.row().cell("sizes " + sizeLabel(l1, l2) + "  slowdown%");
+        for (int pct = 0; pct <= 10; pct += 2)
+            t.cell(pct);
+        t.separator();
+
+        t.row().cell("T(V-R)");
+        for (int pct = 0; pct <= 10; pct += 2) {
+            (void)pct; // the V-R time does not depend on the penalty
+            t.cell(avgAccessTimeTwoTerm(vr.h1, vr.h2, tp), 4);
+        }
+        t.row().cell("T(R-R)");
+        for (int pct = 0; pct <= 10; pct += 2) {
+            TimingParams slowed = tp;
+            slowed.l1SlowdownPct = pct;
+            t.cell(avgAccessTimeTwoTerm(rr.h1, rr.h2, slowed), 4);
+        }
+        std::cout << t;
+
+        double x =
+            crossoverSlowdownPct(vr.h1, vr.h2, rr.h1, rr.h2, tp);
+        if (x <= 0.0) {
+            std::cout << "crossover: V-R is already at least as fast "
+                         "with no translation penalty\n\n";
+        } else {
+            std::cout << "crossover: V-R wins once translation slows "
+                         "the R-R level 1 by "
+                      << x << "%\n\n";
+        }
+    }
+    return 0;
+}
+
+} // namespace vrc
+
+#endif // VRC_BENCH_FIG_ACCESS_TIME_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * I/O coherence demo: a DMA device transfers data to and from memory
+ * while a CPU works on the same buffers. Because the second level is
+ * physically addressed, the device needs no translation hardware and
+ * the V-cache is disturbed only when it really holds affected data --
+ * the paper's motivation #4.
+ */
+
+#include <iostream>
+
+#include "coherence/dma.hh"
+#include "core/vr_hierarchy.hh"
+#include "vm/addr_space.hh"
+
+using namespace vrc;
+
+namespace
+{
+constexpr std::uint32_t kPage = 4096;
+}
+
+int
+main()
+{
+    AddressSpaceManager spaces(kPage);
+    SharedBus bus;
+    HierarchyParams params;
+    params.l1.sizeBytes = 8 * 1024;
+    params.l2.sizeBytes = 64 * 1024;
+    VrHierarchy cpu(params, spaces, bus, true);
+    DmaDevice disk(bus, params.l2.blockBytes);
+
+    // An I/O buffer: virtual page 0x40 -> frame 9.
+    spaces.pageTable(0).map(0x40, 9);
+    const std::uint32_t buf_va = 0x40000;
+    const PhysAddr buf_pa(9 * kPage);
+
+    auto cpu_write = [&](std::uint32_t off) {
+        cpu.access({RefType::Write, VirtAddr(buf_va + off), 0});
+    };
+    auto cpu_read = [&](std::uint32_t off) {
+        return cpu.access({RefType::Read, VirtAddr(buf_va + off), 0});
+    };
+
+    std::cout << "1. CPU fills the I/O buffer (dirty in the V-cache):\n";
+    for (std::uint32_t off = 0; off < 64; off += 16)
+        cpu_write(off);
+    std::cout << "   dirty blocks in V-cache, memory writes so far: "
+              << cpu.stats().value("memory_writes") << "\n\n";
+
+    std::cout << "2. Disk DMA-reads the buffer (device <- memory):\n";
+    std::uint32_t supplied = disk.read(buf_pa, 64);
+    std::cout << "   blocks supplied by the CPU's caches: " << supplied
+              << " of 4 (dirty data flushed through the R-cache)\n";
+    std::cout << "   V-cache flush messages: "
+              << cpu.stats().value("l1_flushes")
+              << ", CPU copy still hits: "
+              << (cpu_read(0) == AccessOutcome::L1Hit ? "yes" : "no")
+              << "\n\n";
+
+    std::cout << "3. Disk DMA-writes fresh data into the buffer:\n";
+    disk.write(buf_pa, 64);
+    std::cout << "   CPU copies invalidated; next CPU read refetches: "
+              << accessOutcomeName(cpu_read(0)) << "\n\n";
+
+    std::cout << "4. DMA traffic to unrelated memory never disturbs "
+                 "the V-cache:\n";
+    std::uint64_t msgs = cpu.stats().value("l1_coherence_msgs");
+    disk.read(PhysAddr(0x00300000), 4096);
+    disk.write(PhysAddr(0x00300000), 4096);
+    std::cout << "   L1 coherence messages before/after: " << msgs
+              << " / " << cpu.stats().value("l1_coherence_msgs")
+              << "\n";
+
+    cpu.checkInvariants();
+    std::cout << "\nNo reverse translation near the V-cache was needed "
+                 "anywhere: the\nphysically-addressed R-cache mediated "
+                 "everything.\n";
+    return 0;
+}

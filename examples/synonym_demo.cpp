@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Synonym walkthrough: two virtual addresses mapping to one physical
+ * block, driven through a single V-R hierarchy step by step, printing
+ * what the hardware does at each point (move, sameset/cancel, and the
+ * guarantee that at most one copy lives in the V-cache).
+ */
+
+#include <iostream>
+
+#include "coherence/bus.hh"
+#include "core/vr_hierarchy.hh"
+#include "vm/addr_space.hh"
+
+using namespace vrc;
+
+namespace
+{
+
+constexpr std::uint32_t kPage = 4096;
+
+const char *
+outcomeText(AccessOutcome o)
+{
+    return accessOutcomeName(o);
+}
+
+void
+show(VrHierarchy &h, const char *what, AccessOutcome o)
+{
+    std::cout << "  " << what << " -> " << outcomeText(o)
+              << "  [synonym moves=" << h.stats().value("synonym_moves")
+              << ", sameset=" << h.stats().value("synonym_sameset")
+              << ", write-back cancels="
+              << h.stats().value("writeback_cancels") << "]\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    AddressSpaceManager spaces(kPage);
+    SharedBus bus;
+
+    // 8K direct-mapped V-cache: the set index uses one bit of the
+    // virtual page number, so synonyms can land in different sets.
+    HierarchyParams params;
+    params.l1.sizeBytes = 8 * 1024;
+    params.l2.sizeBytes = 64 * 1024;
+    VrHierarchy h(params, spaces, bus, true);
+
+    // One physical frame (ppn 5), three virtual names in process 0:
+    //   vpn 0x10 (even), vpn 0x31 (odd)  -> different V-cache sets
+    //   vpn 0x11 (odd)                   -> same set as vpn 0x31
+    spaces.pageTable(0).map(0x10, 5);
+    spaces.pageTable(0).map(0x31, 5);
+    spaces.pageTable(0).map(0x11, 5);
+
+    auto read = [&](std::uint32_t va) {
+        return h.access({RefType::Read, VirtAddr(va), 0});
+    };
+    auto write = [&](std::uint32_t va) {
+        return h.access({RefType::Write, VirtAddr(va), 0});
+    };
+
+    std::cout << "Three virtual names for physical page 5: vpn 0x10, "
+                 "0x31 (different V set), 0x30 (same V set)\n\n";
+
+    std::cout << "1. Cold read via vpn 0x10 misses both levels:\n";
+    show(h, "read 0x10100", read(0x10100));
+
+    std::cout << "\n2. Read via vpn 0x31: the R-cache detects the "
+                 "synonym in another set\n   and *moves* the block to "
+                 "the new virtual name:\n";
+    show(h, "read 0x31100", read(0x31100));
+    std::cout << "  old name now misses in the V-cache: "
+              << (h.vcache().lookup(VirtAddr(0x10100)) ? "NO (bug!)"
+                                                       : "yes")
+              << "\n";
+
+    std::cout << "\n3. Dirty the block under vpn 0x31, then read via "
+                 "vpn 0x11 (same V set).\n   Direct-mapped same-set "
+                 "conflict: the replacement parks the dirty\n   block "
+                 "in the write buffer, and the R-cache cancels the "
+                 "write-back\n   (the paper's 'sameset' case):\n";
+    show(h, "write 0x31100", write(0x31100));
+    show(h, "read 0x11100 ", read(0x11100));
+
+    std::cout << "\n4. The data stayed dirty through all of that -- no "
+                 "memory traffic:\n";
+    auto hit = h.vcache().lookup(VirtAddr(0x11100));
+    std::cout << "  present under vpn 0x11: " << (hit ? "yes" : "no")
+              << ", dirty: "
+              << (hit && h.vcache().line(*hit).meta.dirty ? "yes" : "no")
+              << ", memory writes: " << h.stats().value("memory_writes")
+              << "\n";
+
+    h.checkInvariants();
+    std::cout << "\ninvariants hold: at most one V-cache copy per "
+                 "physical block, inclusion intact\n";
+    return 0;
+}

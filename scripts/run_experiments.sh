@@ -1,0 +1,15 @@
+#!/bin/sh
+# Regenerate every paper table/figure (and the extras) into out/.
+# Usage: scripts/run_experiments.sh [build-dir] [out-dir] [--quick]
+set -e
+BUILD=${1:-build}
+OUT=${2:-out}
+FLAG=${3:-}
+mkdir -p "$OUT"
+for b in "$BUILD"/bench/bench_*; do
+    name=$(basename "$b")
+    [ "$name" = bench_micro_sim ] && continue
+    echo "== $name"
+    "$b" $FLAG > "$OUT/$name.txt"
+done
+echo "wrote $(ls "$OUT" | wc -l) reports to $OUT/"

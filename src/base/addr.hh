@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Strongly-typed virtual and physical addresses.
+ *
+ * The entire point of a virtual-real hierarchy is that the two levels index
+ * with *different* address kinds; mixing them up silently is the classic bug
+ * in such simulators. VirtAddr and PhysAddr are distinct types so that the
+ * compiler rejects accidental mixing, while each still behaves like an
+ * ordinary 32-bit integer for arithmetic and bit slicing.
+ */
+
+#ifndef VRC_BASE_ADDR_HH
+#define VRC_BASE_ADDR_HH
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+#include "base/types.hh"
+
+namespace vrc
+{
+
+namespace detail
+{
+
+/**
+ * CRTP base providing integer-like behaviour to a strong address type.
+ *
+ * @tparam Derived the concrete address type (VirtAddr or PhysAddr).
+ */
+template <typename Derived>
+class AddrBase
+{
+  public:
+    using ValueType = std::uint32_t;
+
+    constexpr AddrBase() = default;
+    constexpr explicit AddrBase(ValueType v) : _value(v) {}
+
+    /** Raw numeric value. */
+    constexpr ValueType value() const { return _value; }
+
+    /** Extract the bit field [lo, lo+width). */
+    constexpr ValueType
+    bits(unsigned lo, unsigned width) const
+    {
+        return (_value >> lo) &
+            ((width >= 32) ? ~ValueType{0} : ((ValueType{1} << width) - 1));
+    }
+
+    /** Offset within a page of the given size (power of two). */
+    constexpr ValueType
+    pageOffset(ValueType page_size) const
+    {
+        return _value & (page_size - 1);
+    }
+
+    constexpr auto operator<=>(const AddrBase &) const = default;
+
+    constexpr Derived
+    operator+(ValueType delta) const
+    {
+        return Derived(_value + delta);
+    }
+
+    constexpr Derived
+    operator&(ValueType mask) const
+    {
+        return Derived(_value & mask);
+    }
+
+  private:
+    ValueType _value = 0;
+};
+
+} // namespace detail
+
+/** A virtual (process-relative) byte address. */
+class VirtAddr : public detail::AddrBase<VirtAddr>
+{
+  public:
+    using AddrBase::AddrBase;
+
+    /** Virtual page number for the given page size. */
+    constexpr Vpn
+    vpn(ValueType page_size) const
+    {
+        return value() / page_size;
+    }
+};
+
+/** A physical (real) byte address. */
+class PhysAddr : public detail::AddrBase<PhysAddr>
+{
+  public:
+    using AddrBase::AddrBase;
+
+    /** Physical page (frame) number for the given page size. */
+    constexpr Ppn
+    ppn(ValueType page_size) const
+    {
+        return value() / page_size;
+    }
+};
+
+inline std::ostream &
+operator<<(std::ostream &os, VirtAddr a)
+{
+    return os << "V:0x" << std::hex << a.value() << std::dec;
+}
+
+inline std::ostream &
+operator<<(std::ostream &os, PhysAddr a)
+{
+    return os << "P:0x" << std::hex << a.value() << std::dec;
+}
+
+/** Compose a virtual address from page number and offset. */
+constexpr VirtAddr
+makeVirtAddr(Vpn vpn, std::uint32_t offset, std::uint32_t page_size)
+{
+    return VirtAddr(vpn * page_size + offset);
+}
+
+/** Compose a physical address from frame number and offset. */
+constexpr PhysAddr
+makePhysAddr(Ppn ppn, std::uint32_t offset, std::uint32_t page_size)
+{
+    return PhysAddr(ppn * page_size + offset);
+}
+
+} // namespace vrc
+
+namespace std
+{
+
+template <>
+struct hash<vrc::VirtAddr>
+{
+    size_t
+    operator()(vrc::VirtAddr a) const noexcept
+    {
+        return std::hash<uint32_t>{}(a.value());
+    }
+};
+
+template <>
+struct hash<vrc::PhysAddr>
+{
+    size_t
+    operator()(vrc::PhysAddr a) const noexcept
+    {
+        return std::hash<uint32_t>{}(a.value());
+    }
+};
+
+} // namespace std
+
+#endif // VRC_BASE_ADDR_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used by cache geometry computations.
+ */
+
+#ifndef VRC_BASE_BITOPS_HH
+#define VRC_BASE_BITOPS_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace vrc
+{
+
+/** True iff @p v is a (nonzero) power of two. */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/**
+ * Floor of log base 2.
+ *
+ * @pre v > 0
+ */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    return 63 - std::countl_zero(v);
+}
+
+/**
+ * Exact log base 2.
+ *
+ * @pre v is a power of two
+ */
+constexpr unsigned
+log2Exact(std::uint64_t v)
+{
+    return floorLog2(v);
+}
+
+/** Round @p v up to the next power of two (identity on powers of two). */
+constexpr std::uint64_t
+ceilPowerOfTwo(std::uint64_t v)
+{
+    return std::bit_ceil(v);
+}
+
+/** Mask with the low @p n bits set. */
+constexpr std::uint64_t
+lowMask(unsigned n)
+{
+    return n >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+}
+
+} // namespace vrc
+
+#endif // VRC_BASE_BITOPS_HH

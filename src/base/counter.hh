@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Named statistics counters.
+ *
+ * A tiny stats package: modules register named counters in a StatGroup;
+ * experiments snapshot or print them. Far simpler than gem5's stats but
+ * the same shape: stats live with the module that increments them.
+ */
+
+#ifndef VRC_BASE_COUNTER_HH
+#define VRC_BASE_COUNTER_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace vrc
+{
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void operator++() { ++_value; }
+    void operator++(int) { ++_value; }
+    void operator+=(std::uint64_t n) { _value += n; }
+
+    std::uint64_t value() const { return _value; }
+    void reset() { _value = 0; }
+
+  private:
+    std::uint64_t _value = 0;
+};
+
+/**
+ * A map of named counters. Modules own one, register counters up front,
+ * and the simulator aggregates groups for reporting.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : _name(std::move(name)) {}
+
+    /** Fetch (creating on first use) the counter called @p key. */
+    Counter &
+    counter(const std::string &key)
+    {
+        return _counters[key];
+    }
+
+    /** Read-only lookup; returns 0 for unknown keys. */
+    std::uint64_t
+    value(const std::string &key) const
+    {
+        auto it = _counters.find(key);
+        return it == _counters.end() ? 0 : it->second.value();
+    }
+
+    const std::string &name() const { return _name; }
+
+    const std::map<std::string, Counter> &all() const { return _counters; }
+
+    /** Zero every counter in the group. */
+    void
+    reset()
+    {
+        for (auto &[key, ctr] : _counters)
+            ctr.reset();
+    }
+
+    void
+    print(std::ostream &os) const
+    {
+        for (const auto &[key, ctr] : _counters)
+            os << _name << "." << key << " = " << ctr.value() << '\n';
+    }
+
+  private:
+    std::string _name;
+    std::map<std::string, Counter> _counters;
+};
+
+} // namespace vrc
+
+#endif // VRC_BASE_COUNTER_HH

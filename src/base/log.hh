@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  - internal invariant violated: a simulator bug. Aborts.
+ * fatal()  - user error (bad configuration, bad trace file). Exits cleanly.
+ * warn()   - something suspicious but survivable.
+ */
+
+#ifndef VRC_BASE_LOG_HH
+#define VRC_BASE_LOG_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace vrc
+{
+
+namespace detail
+{
+
+inline void
+appendAll(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+appendAll(std::ostringstream &os, const T &first, const Rest &...rest)
+{
+    os << first;
+    appendAll(os, rest...);
+}
+
+} // namespace detail
+
+/** Abort with a message: use for violated internal invariants. */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    std::ostringstream os;
+    detail::appendAll(os, args...);
+    std::cerr << "panic: " << os.str() << std::endl;
+    std::abort();
+}
+
+/** Exit(1) with a message: use for user-caused errors. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    std::ostringstream os;
+    detail::appendAll(os, args...);
+    std::cerr << "fatal: " << os.str() << std::endl;
+    std::exit(1);
+}
+
+/** Print a warning and continue. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    std::ostringstream os;
+    detail::appendAll(os, args...);
+    std::cerr << "warn: " << os.str() << std::endl;
+}
+
+/** panic() unless @p cond holds. */
+template <typename... Args>
+void
+panicIfNot(bool cond, const Args &...args)
+{
+    if (!cond)
+        panic(args...);
+}
+
+} // namespace vrc
+
+#endif // VRC_BASE_LOG_HH

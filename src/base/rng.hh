@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * Every stochastic component in the simulator draws from an explicitly
+ * seeded Rng; the same seed always reproduces bit-identical traces and
+ * simulation results. Wall-clock seeding is deliberately not provided.
+ */
+
+#ifndef VRC_BASE_RNG_HH
+#define VRC_BASE_RNG_HH
+
+#include <cassert>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace vrc
+{
+
+/** Deterministic pseudo-random source (mt19937_64 behind a small API). */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) : _engine(seed) {}
+
+    /** Uniform integer in [0, bound). @pre bound > 0 */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        assert(bound > 0);
+        return std::uniform_int_distribution<std::uint64_t>(0, bound - 1)(
+            _engine);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        assert(lo <= hi);
+        return std::uniform_int_distribution<std::uint64_t>(lo, hi)(_engine);
+    }
+
+    /** Uniform real in [0, 1). */
+    double
+    uniform()
+    {
+        return std::uniform_real_distribution<double>(0.0, 1.0)(_engine);
+    }
+
+    /** Bernoulli trial with probability @p p of true. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /** Geometric-ish burst length in [1, cap]. */
+    std::uint64_t
+    geometric(double p, std::uint64_t cap)
+    {
+        std::uint64_t n = 1;
+        while (n < cap && !chance(p))
+            ++n;
+        return n;
+    }
+
+    /**
+     * Sample an index in [0, n) with probability proportional to
+     * weights[i].
+     */
+    std::size_t
+    weighted(const std::vector<double> &weights)
+    {
+        assert(!weights.empty());
+        double total = 0.0;
+        for (double w : weights)
+            total += w;
+        double x = uniform() * total;
+        for (std::size_t i = 0; i < weights.size(); ++i) {
+            if (x < weights[i])
+                return i;
+            x -= weights[i];
+        }
+        return weights.size() - 1;
+    }
+
+    /** Derive an independent child generator (for per-CPU streams). */
+    Rng
+    fork()
+    {
+        return Rng(_engine() ^ 0x9e3779b97f4a7c15ULL);
+    }
+
+    /** Underlying engine, for std distributions. */
+    std::mt19937_64 &engine() { return _engine; }
+
+  private:
+    std::mt19937_64 _engine;
+};
+
+} // namespace vrc
+
+#endif // VRC_BASE_RNG_HH

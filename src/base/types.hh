@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Fundamental scalar types used throughout the simulator.
+ */
+
+#ifndef VRC_BASE_TYPES_HH
+#define VRC_BASE_TYPES_HH
+
+#include <cstdint>
+
+namespace vrc
+{
+
+/** Simulated time, measured in level-1 cache access units. */
+using Tick = std::uint64_t;
+
+/** Processor identifier within a shared-bus multiprocessor. */
+using CpuId = std::uint32_t;
+
+/** Process (address space) identifier. */
+using ProcessId = std::uint32_t;
+
+/** Virtual page number. */
+using Vpn = std::uint32_t;
+
+/** Physical page (frame) number. */
+using Ppn = std::uint32_t;
+
+/** Sentinel for "no CPU". */
+inline constexpr CpuId invalidCpu = static_cast<CpuId>(-1);
+
+/** Sentinel for "no process". */
+inline constexpr ProcessId invalidProcess = static_cast<ProcessId>(-1);
+
+} // namespace vrc
+
+#endif // VRC_BASE_TYPES_HH

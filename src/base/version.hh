@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Library version constants.
+ */
+
+#ifndef VRC_BASE_VERSION_HH
+#define VRC_BASE_VERSION_HH
+
+namespace vrc
+{
+
+inline constexpr int versionMajor = 1;
+inline constexpr int versionMinor = 0;
+inline constexpr int versionPatch = 0;
+
+/** Human-readable version string. */
+inline constexpr const char *versionString = "1.0.0";
+
+} // namespace vrc
+
+#endif // VRC_BASE_VERSION_HH

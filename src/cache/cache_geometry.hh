@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Cache geometry: size / block size / associativity arithmetic.
+ *
+ * Geometry works on raw 32-bit address values so the same code serves the
+ * virtually-indexed V-cache and the physically-indexed R-cache; the
+ * strong address types are unwrapped at the cache boundary.
+ */
+
+#ifndef VRC_CACHE_CACHE_GEOMETRY_HH
+#define VRC_CACHE_CACHE_GEOMETRY_HH
+
+#include <cstdint>
+
+#include "base/bitops.hh"
+#include "base/log.hh"
+
+namespace vrc
+{
+
+/** Derived index/tag arithmetic for a set-associative cache. */
+class CacheGeometry
+{
+  public:
+    /**
+     * @param size_bytes  total capacity (power of two)
+     * @param block_bytes block (line) size (power of two)
+     * @param assoc       set associativity; must divide size/block
+     */
+    CacheGeometry(std::uint32_t size_bytes, std::uint32_t block_bytes,
+                  std::uint32_t assoc)
+        : _size(size_bytes), _blockBytes(block_bytes), _assoc(assoc)
+    {
+        panicIfNot(isPowerOfTwo(size_bytes), "cache size not a power of 2");
+        panicIfNot(isPowerOfTwo(block_bytes),
+                   "block size not a power of 2");
+        panicIfNot(assoc >= 1 && size_bytes / block_bytes >= assoc,
+                   "bad associativity");
+        _numBlocks = size_bytes / block_bytes;
+        _numSets = _numBlocks / assoc;
+        panicIfNot(isPowerOfTwo(_numSets), "set count not a power of 2");
+        _blockShift = log2Exact(block_bytes);
+        _setMask = _numSets - 1;
+    }
+
+    std::uint32_t size() const { return _size; }
+    std::uint32_t blockBytes() const { return _blockBytes; }
+    std::uint32_t assoc() const { return _assoc; }
+    std::uint32_t numSets() const { return _numSets; }
+    std::uint32_t numBlocks() const { return _numBlocks; }
+    unsigned blockShift() const { return _blockShift; }
+
+    /** Block-aligned address. */
+    std::uint32_t
+    blockAddr(std::uint32_t addr) const
+    {
+        return addr & ~(_blockBytes - 1);
+    }
+
+    /** Block number (address / block size). */
+    std::uint32_t
+    blockNumber(std::uint32_t addr) const
+    {
+        return addr >> _blockShift;
+    }
+
+    /** Set index for an address. */
+    std::uint32_t
+    setIndex(std::uint32_t addr) const
+    {
+        return blockNumber(addr) & _setMask;
+    }
+
+    /** Tag for an address (block number above the index bits). */
+    std::uint32_t
+    tag(std::uint32_t addr) const
+    {
+        return blockNumber(addr) >> log2Exact(_numSets);
+    }
+
+    /** Rebuild a block-aligned address from (tag, set). */
+    std::uint32_t
+    rebuildAddr(std::uint32_t tag_v, std::uint32_t set) const
+    {
+        return ((tag_v << log2Exact(_numSets)) | set) << _blockShift;
+    }
+
+    bool
+    operator==(const CacheGeometry &o) const
+    {
+        return _size == o._size && _blockBytes == o._blockBytes &&
+            _assoc == o._assoc;
+    }
+
+  private:
+    std::uint32_t _size;
+    std::uint32_t _blockBytes;
+    std::uint32_t _assoc;
+    std::uint32_t _numBlocks = 0;
+    std::uint32_t _numSets = 0;
+    unsigned _blockShift = 0;
+    std::uint32_t _setMask = 0;
+};
+
+} // namespace vrc
+
+#endif // VRC_CACHE_CACHE_GEOMETRY_HH

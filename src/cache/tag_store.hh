@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Generic set-associative tag store.
+ *
+ * TagStore<Meta> owns the valid/tag/recency bookkeeping of a cache and
+ * attaches an arbitrary metadata payload to each line; the V-cache and
+ * R-cache supply very different payloads (r-pointers versus inclusion
+ * subentries) but share all of the indexing, lookup and victim-selection
+ * machinery here.
+ *
+ * Lines are addressed as (set, way) pairs; the owner is free to iterate
+ * a set and apply its own victim predicate (the R-cache's relaxed
+ * inclusion replacement rule needs exactly that).
+ */
+
+#ifndef VRC_CACHE_TAG_STORE_HH
+#define VRC_CACHE_TAG_STORE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "base/rng.hh"
+#include "cache/cache_geometry.hh"
+#include "cache/replacement.hh"
+
+namespace vrc
+{
+
+/** Location of a line inside a tag store. */
+struct LineRef
+{
+    std::uint32_t set = 0;
+    std::uint32_t way = 0;
+
+    bool operator==(const LineRef &) const = default;
+};
+
+/** A set-associative array of tagged lines with Meta payloads. */
+template <typename Meta>
+class TagStore
+{
+  public:
+    /** One cache line: tag bits, recency stamp and the owner's payload. */
+    struct Line
+    {
+        bool valid = false;
+        std::uint32_t tag = 0;
+        std::uint64_t stamp = 0;
+        Meta meta{};
+    };
+
+    TagStore(const CacheGeometry &geom, ReplPolicy policy,
+             std::uint64_t seed = 0x5eed)
+        : _geom(geom), _policy(policy), _rng(seed),
+          _lines(geom.numBlocks())
+    {
+    }
+
+    const CacheGeometry &geometry() const { return _geom; }
+    ReplPolicy policy() const { return _policy; }
+
+    /** Access a line by location. */
+    Line &
+    line(LineRef ref)
+    {
+        return _lines[ref.set * _geom.assoc() + ref.way];
+    }
+
+    const Line &
+    line(LineRef ref) const
+    {
+        return _lines[ref.set * _geom.assoc() + ref.way];
+    }
+
+    /**
+     * Find the valid line matching @p addr's tag in its set.
+     *
+     * @return the location, or nullopt on miss. Does not update recency;
+     *         call touch() on a hit.
+     */
+    std::optional<LineRef>
+    find(std::uint32_t addr) const
+    {
+        std::uint32_t set = _geom.setIndex(addr);
+        std::uint32_t tag = _geom.tag(addr);
+        for (std::uint32_t w = 0; w < _geom.assoc(); ++w) {
+            const Line &l = _lines[set * _geom.assoc() + w];
+            if (l.valid && l.tag == tag)
+                return LineRef{set, w};
+        }
+        return std::nullopt;
+    }
+
+    /** Mark a line most-recently-used (no-op for FIFO/Random). */
+    void
+    touch(LineRef ref)
+    {
+        if (_policy == ReplPolicy::LRU)
+            line(ref).stamp = ++_clock;
+    }
+
+    /**
+     * Pick a victim way in the set for @p addr using the configured
+     * policy. Prefers an invalid way when one exists.
+     */
+    LineRef
+    victim(std::uint32_t addr)
+    {
+        std::uint32_t set = _geom.setIndex(addr);
+        return victimWhere(set, [](const Line &) { return true; });
+    }
+
+    /**
+     * Pick a victim among the ways of @p set satisfying @p eligible;
+     * falls back to any way when none qualifies. Invalid ways always
+     * win. Used by the R-cache's relaxed inclusion replacement.
+     *
+     * @return the chosen location.
+     */
+    template <typename Pred>
+    LineRef
+    victimWhere(std::uint32_t set, Pred eligible)
+    {
+        const std::uint32_t assoc = _geom.assoc();
+        // Invalid way first.
+        for (std::uint32_t w = 0; w < assoc; ++w) {
+            if (!_lines[set * assoc + w].valid)
+                return LineRef{set, w};
+        }
+        // Policy choice among eligible valid ways.
+        std::optional<LineRef> best = choose(set, eligible);
+        if (best)
+            return *best;
+        // Nothing eligible: fall back to an unconditional choice.
+        best = choose(set, [](const Line &) { return true; });
+        return *best;
+    }
+
+    /**
+     * Install @p addr's tag into @p ref, overwriting the line. The
+     * payload is value-initialized; the caller fills it in.
+     *
+     * @return reference to the fresh line.
+     */
+    Line &
+    fill(LineRef ref, std::uint32_t addr)
+    {
+        Line &l = line(ref);
+        l.valid = true;
+        l.tag = _geom.tag(addr);
+        l.stamp = ++_clock;
+        l.meta = Meta{};
+        return l;
+    }
+
+    /** Invalidate one line. */
+    void
+    invalidate(LineRef ref)
+    {
+        line(ref).valid = false;
+    }
+
+    /** Invalidate every line; payloads are reset. */
+    void
+    invalidateAll()
+    {
+        for (Line &l : _lines) {
+            l.valid = false;
+            l.meta = Meta{};
+        }
+    }
+
+    /** Block-aligned address a valid line maps to. */
+    std::uint32_t
+    lineAddr(LineRef ref) const
+    {
+        return _geom.rebuildAddr(line(ref).tag, ref.set);
+    }
+
+    /** Apply @p fn(LineRef, Line&) to every way of @p set. */
+    template <typename Fn>
+    void
+    forEachWay(std::uint32_t set, Fn fn)
+    {
+        for (std::uint32_t w = 0; w < _geom.assoc(); ++w) {
+            LineRef ref{set, w};
+            fn(ref, line(ref));
+        }
+    }
+
+    /** Apply @p fn(LineRef, const Line&) to every way of @p set. */
+    template <typename Fn>
+    void
+    forEachWay(std::uint32_t set, Fn fn) const
+    {
+        for (std::uint32_t w = 0; w < _geom.assoc(); ++w) {
+            LineRef ref{set, w};
+            fn(ref, line(ref));
+        }
+    }
+
+    /** Apply @p fn(LineRef, Line&) to every line in the store. */
+    template <typename Fn>
+    void
+    forEachLine(Fn fn)
+    {
+        for (std::uint32_t s = 0; s < _geom.numSets(); ++s)
+            forEachWay(s, fn);
+    }
+
+    /** Apply @p fn(LineRef, const Line&) to every line in the store. */
+    template <typename Fn>
+    void
+    forEachLine(Fn fn) const
+    {
+        for (std::uint32_t s = 0; s < _geom.numSets(); ++s)
+            forEachWay(s, fn);
+    }
+
+    /** Count of valid lines (linear scan; for tests and stats). */
+    std::uint32_t
+    validCount() const
+    {
+        std::uint32_t n = 0;
+        for (const Line &l : _lines)
+            n += l.valid ? 1 : 0;
+        return n;
+    }
+
+  private:
+    /** Policy choice among eligible valid ways; nullopt if none. */
+    template <typename Pred>
+    std::optional<LineRef>
+    choose(std::uint32_t set, Pred eligible)
+    {
+        const std::uint32_t assoc = _geom.assoc();
+        std::optional<LineRef> best;
+        std::uint32_t eligible_count = 0;
+        for (std::uint32_t w = 0; w < assoc; ++w) {
+            const Line &l = _lines[set * assoc + w];
+            if (!eligible(l))
+                continue;
+            ++eligible_count;
+            LineRef ref{set, w};
+            if (_policy == ReplPolicy::Random) {
+                // Reservoir-sample one eligible way uniformly.
+                if (_rng.below(eligible_count) == 0)
+                    best = ref;
+            } else if (!best || l.stamp < line(*best).stamp) {
+                best = ref;
+            }
+        }
+        return best;
+    }
+
+    CacheGeometry _geom;
+    ReplPolicy _policy;
+    Rng _rng;
+    std::uint64_t _clock = 0;
+    std::vector<Line> _lines;
+};
+
+} // namespace vrc
+
+#endif // VRC_CACHE_TAG_STORE_HH

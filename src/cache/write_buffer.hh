@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Write-back buffer between the level-1 and level-2 caches.
+ *
+ * Dirty level-1 victims are parked here so the processor does not wait
+ * for the level-2 update. Entries retire (drain) a fixed number of
+ * references after being pushed; pushing onto a full buffer forces the
+ * oldest entry out first and counts a stall. The buffer participates in
+ * coherence: a bus request may flush or invalidate a buffered block
+ * (the paper's flush(buffer) / invalidation(buffer) signals), and a
+ * synonym "sameset" may cancel a pending write-back entirely.
+ *
+ * Simulated time is the reference counter maintained by the hierarchy.
+ */
+
+#ifndef VRC_CACHE_WRITE_BUFFER_HH
+#define VRC_CACHE_WRITE_BUFFER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "base/counter.hh"
+
+namespace vrc
+{
+
+/** One parked write-back. */
+struct WriteBufferEntry
+{
+    std::uint32_t physBlockAddr = 0;  ///< block-aligned physical address
+    std::uint64_t pushTick = 0;       ///< when it entered the buffer
+};
+
+/** FIFO write-back buffer with per-entry drain latency. */
+class WriteBuffer
+{
+  public:
+    using DrainHandler = std::function<void(const WriteBufferEntry &)>;
+
+    /**
+     * @param capacity       maximum parked entries
+     * @param drain_latency  references after which an entry retires
+     */
+    WriteBuffer(std::uint32_t capacity, std::uint64_t drain_latency)
+        : _capacity(capacity), _drainLatency(drain_latency),
+          _stats("write_buffer")
+    {
+    }
+
+    /** Install the retirement callback (normally the hierarchy's). */
+    void setDrainHandler(DrainHandler h) { _onDrain = std::move(h); }
+
+    /** Advance time, retiring every entry whose latency has elapsed. */
+    void
+    tick(std::uint64_t now)
+    {
+        while (!_entries.empty() &&
+               now >= _entries.front().pushTick + _drainLatency) {
+            retireFront();
+        }
+    }
+
+    /**
+     * Park a write-back.
+     *
+     * @return true if the buffer was full and the processor stalled while
+     *         the oldest entry retired early.
+     */
+    bool
+    push(std::uint32_t phys_block_addr, std::uint64_t now)
+    {
+        bool stalled = false;
+        if (_entries.size() >= _capacity) {
+            retireFront();
+            stalled = true;
+            _stats.counter("stalls")++;
+        }
+        _entries.push_back(WriteBufferEntry{phys_block_addr, now});
+        _stats.counter("pushes")++;
+        return stalled;
+    }
+
+    /** True if a block is currently parked. */
+    bool
+    contains(std::uint32_t phys_block_addr) const
+    {
+        for (const auto &e : _entries) {
+            if (e.physBlockAddr == phys_block_addr)
+                return true;
+        }
+        return false;
+    }
+
+    /**
+     * Remove a parked block without draining it (synonym cancel or
+     * coherence invalidation).
+     *
+     * @return the entry if it was present.
+     */
+    std::optional<WriteBufferEntry>
+    remove(std::uint32_t phys_block_addr)
+    {
+        for (auto it = _entries.begin(); it != _entries.end(); ++it) {
+            if (it->physBlockAddr == phys_block_addr) {
+                WriteBufferEntry e = *it;
+                _entries.erase(it);
+                _stats.counter("removes")++;
+                return e;
+            }
+        }
+        return std::nullopt;
+    }
+
+    /**
+     * Force a parked block to retire now (coherence flush(buffer)).
+     *
+     * @return true if the block was present.
+     */
+    bool
+    flush(std::uint32_t phys_block_addr)
+    {
+        for (auto it = _entries.begin(); it != _entries.end(); ++it) {
+            if (it->physBlockAddr == phys_block_addr) {
+                WriteBufferEntry e = *it;
+                _entries.erase(it);
+                _stats.counter("coherence_flushes")++;
+                if (_onDrain)
+                    _onDrain(e);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Retire everything immediately. */
+    void
+    drainAll()
+    {
+        while (!_entries.empty())
+            retireFront();
+    }
+
+    std::size_t size() const { return _entries.size(); }
+    std::uint32_t capacity() const { return _capacity; }
+    bool empty() const { return _entries.empty(); }
+
+    std::uint64_t stalls() const { return _stats.value("stalls"); }
+    std::uint64_t pushes() const { return _stats.value("pushes"); }
+    std::uint64_t drains() const { return _stats.value("drains"); }
+
+    const StatGroup &stats() const { return _stats; }
+
+  private:
+    void
+    retireFront()
+    {
+        WriteBufferEntry e = _entries.front();
+        _entries.pop_front();
+        _stats.counter("drains")++;
+        if (_onDrain)
+            _onDrain(e);
+    }
+
+    std::uint32_t _capacity;
+    std::uint64_t _drainLatency;
+    std::deque<WriteBufferEntry> _entries;
+    DrainHandler _onDrain;
+    StatGroup _stats;
+};
+
+} // namespace vrc
+
+#endif // VRC_CACHE_WRITE_BUFFER_HH

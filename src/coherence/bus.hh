@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Shared snooping bus.
+ *
+ * The bus serializes coherence transactions among the per-processor
+ * hierarchies (Figure 1 of the paper). A broadcast reaches every snooper
+ * except the source; results are merged so the source learns whether the
+ * block is shared and whether another cache supplied the data (otherwise
+ * memory does). The bus also keeps the per-CPU and per-operation
+ * transaction counts the experiments report.
+ */
+
+#ifndef VRC_COHERENCE_BUS_HH
+#define VRC_COHERENCE_BUS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "base/counter.hh"
+#include "coherence/snoop.hh"
+#include "coherence/transaction.hh"
+
+namespace vrc
+{
+
+/** The shared bus connecting all second-level caches and memory. */
+class SharedBus
+{
+  public:
+    SharedBus() : _stats("bus") {}
+
+    /**
+     * Register a snooper.
+     *
+     * @return the agent's CPU id (registration order).
+     */
+    CpuId
+    attach(Snooper *snooper)
+    {
+        _snoopers.push_back(snooper);
+        _perCpuTx.push_back(0);
+        return static_cast<CpuId>(_snoopers.size() - 1);
+    }
+
+    /**
+     * Broadcast @p tx to every agent except the source and merge their
+     * responses. Memory supplies the block when no cache does.
+     */
+    BusResult
+    broadcast(const BusTransaction &tx)
+    {
+        _stats.counter("transactions")++;
+        _stats.counter(busOpName(tx.op))++;
+        if (tx.source < _perCpuTx.size())
+            _perCpuTx[tx.source] += 1;
+
+        SnoopResult merged;
+        for (std::size_t i = 0; i < _snoopers.size(); ++i) {
+            if (static_cast<CpuId>(i) == tx.source)
+                continue;
+            merged.merge(_snoopers[i]->snoop(tx));
+        }
+        BusResult res;
+        res.shared = merged.sharedAck;
+        res.suppliedByCache = merged.suppliedData;
+        if (!res.suppliedByCache && tx.op != BusOp::Invalidate)
+            _stats.counter("memory_supplies")++;
+        return res;
+    }
+
+    /** Number of attached agents. */
+    std::size_t agentCount() const { return _snoopers.size(); }
+
+    /** Total transactions issued. */
+    std::uint64_t
+    transactions() const
+    {
+        return _stats.value("transactions");
+    }
+
+    /** Transactions issued by one CPU. */
+    std::uint64_t
+    transactionsFrom(CpuId cpu) const
+    {
+        return cpu < _perCpuTx.size() ? _perCpuTx[cpu] : 0;
+    }
+
+    const StatGroup &stats() const { return _stats; }
+
+    /** Zero transaction counters (warm-up support). */
+    void
+    resetStats()
+    {
+        _stats.reset();
+        std::fill(_perCpuTx.begin(), _perCpuTx.end(), 0);
+    }
+
+  private:
+    std::vector<Snooper *> _snoopers;
+    std::vector<std::uint64_t> _perCpuTx;
+    StatGroup _stats;
+};
+
+} // namespace vrc
+
+#endif // VRC_COHERENCE_BUS_HH

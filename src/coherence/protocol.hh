@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Coherence line states for the write-invalidate protocol.
+ *
+ * The R-cache keeps two "state bits" per block (Figure 3). We model the
+ * sharing status as Invalid / Shared / Private; dirtiness is carried by
+ * the separate rdirty (modified in the R-cache) and vdirty (modified in
+ * the V-cache above) bits, exactly as the paper's tag layout does.
+ */
+
+#ifndef VRC_COHERENCE_PROTOCOL_HH
+#define VRC_COHERENCE_PROTOCOL_HH
+
+#include <cstdint>
+
+namespace vrc
+{
+
+/** Sharing status of a second-level cache block. */
+enum class CoherenceState : std::uint8_t
+{
+    Invalid = 0, ///< no valid copy in this hierarchy
+    Shared = 1,  ///< valid; other hierarchies may also hold it
+    Private = 2  ///< valid; this hierarchy holds the only copy
+};
+
+/** Printable state name. */
+inline const char *
+coherenceStateName(CoherenceState s)
+{
+    switch (s) {
+      case CoherenceState::Invalid:
+        return "Invalid";
+      case CoherenceState::Shared:
+        return "Shared";
+      case CoherenceState::Private:
+        return "Private";
+    }
+    return "?";
+}
+
+/** True if a block in state @p s may be written without a bus action. */
+inline bool
+writableWithoutBus(CoherenceState s)
+{
+    return s == CoherenceState::Private;
+}
+
+/**
+ * Family of snooping protocols a hierarchy can run at the second level.
+ *
+ * The paper assumes write-invalidate "for simplicity ... although our
+ * scheme will also work for other protocols as well"; WriteUpdate is
+ * that other family (Firefly-style: writes to shared blocks broadcast
+ * the new data and update memory, copies stay valid and shared).
+ */
+enum class CoherencePolicy : std::uint8_t
+{
+    WriteInvalidate,
+    WriteUpdate
+};
+
+/** Printable policy name. */
+inline const char *
+coherencePolicyName(CoherencePolicy p)
+{
+    return p == CoherencePolicy::WriteInvalidate ? "write-invalidate"
+                                                 : "write-update";
+}
+
+} // namespace vrc
+
+#endif // VRC_COHERENCE_PROTOCOL_HH

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Snooper interface implemented by every cache hierarchy on the bus.
+ */
+
+#ifndef VRC_COHERENCE_SNOOP_HH
+#define VRC_COHERENCE_SNOOP_HH
+
+#include "coherence/transaction.hh"
+
+namespace vrc
+{
+
+/** A bus agent that observes transactions issued by other agents. */
+class Snooper
+{
+  public:
+    virtual ~Snooper() = default;
+
+    /**
+     * React to a foreign bus transaction.
+     *
+     * Implementations update their own state (invalidate, flush, change
+     * sharing status) and report whether they hold or supplied the block.
+     */
+    virtual SnoopResult snoop(const BusTransaction &tx) = 0;
+};
+
+} // namespace vrc
+
+#endif // VRC_COHERENCE_SNOOP_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Bus transaction types for the write-invalidate protocol.
+ *
+ * The paper assumes an invalidation protocol at the R-cache level with
+ * three bus transaction kinds: read-miss, invalidation, and
+ * read-modified-write (treated by snoopers as a read-miss followed by an
+ * invalidation). Bus addresses are physical.
+ */
+
+#ifndef VRC_COHERENCE_TRANSACTION_HH
+#define VRC_COHERENCE_TRANSACTION_HH
+
+#include <cstdint>
+
+#include "base/addr.hh"
+#include "base/types.hh"
+
+namespace vrc
+{
+
+/** Kind of a bus transaction. */
+enum class BusOp : std::uint8_t
+{
+    ReadMiss,     ///< fetch a block for reading
+    Invalidate,   ///< invalidate all other copies before a local write
+    ReadModWrite, ///< fetch with intent to modify (read-miss + invalidate)
+    Update        ///< broadcast new data to all copies (write-update
+                  ///< protocols; memory is updated too, Firefly-style)
+};
+
+/** Printable name of a bus operation. */
+inline const char *
+busOpName(BusOp op)
+{
+    switch (op) {
+      case BusOp::ReadMiss:
+        return "read-miss";
+      case BusOp::Invalidate:
+        return "invalidate";
+      case BusOp::ReadModWrite:
+        return "read-modified-write";
+      case BusOp::Update:
+        return "update";
+    }
+    return "?";
+}
+
+/** One broadcast on the shared bus. */
+struct BusTransaction
+{
+    BusOp op = BusOp::ReadMiss;
+    PhysAddr blockAddr;     ///< block-aligned physical address
+    CpuId source = invalidCpu;
+};
+
+/** What one snooper reports back for a transaction. */
+struct SnoopResult
+{
+    bool sharedAck = false;    ///< snooper holds (and keeps) a copy
+    bool suppliedData = false; ///< snooper supplied the block (was dirty)
+
+    void
+    merge(const SnoopResult &o)
+    {
+        sharedAck = sharedAck || o.sharedAck;
+        suppliedData = suppliedData || o.suppliedData;
+    }
+};
+
+/** Outcome of a full bus broadcast. */
+struct BusResult
+{
+    bool shared = false;        ///< some other cache holds the block
+    bool suppliedByCache = false; ///< a cache (not memory) supplied data
+};
+
+} // namespace vrc
+
+#endif // VRC_COHERENCE_TRANSACTION_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Configuration structs for two-level cache hierarchies.
+ */
+
+#ifndef VRC_CORE_CONFIG_HH
+#define VRC_CORE_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "cache/replacement.hh"
+#include "coherence/protocol.hh"
+
+namespace vrc
+{
+
+/** Parameters of one cache level. */
+struct CacheParams
+{
+    std::uint32_t sizeBytes = 16 * 1024;
+    std::uint32_t blockBytes = 16;
+    std::uint32_t assoc = 1;  ///< direct-mapped, as the paper simulates
+    ReplPolicy policy = ReplPolicy::LRU;
+};
+
+/** Which organization a hierarchy implements. */
+enum class HierarchyKind : std::uint8_t
+{
+    VirtualReal,     ///< the paper's V-R design
+    RealRealIncl,    ///< R-R baseline, inclusion enforced
+    RealRealNoIncl   ///< R-R baseline, no inclusion (L1 snoops the bus)
+};
+
+/** Printable kind name. */
+inline const char *
+hierarchyKindName(HierarchyKind k)
+{
+    switch (k) {
+      case HierarchyKind::VirtualReal:
+        return "VR";
+      case HierarchyKind::RealRealIncl:
+        return "RR(incl)";
+      case HierarchyKind::RealRealNoIncl:
+        return "RR(no incl)";
+    }
+    return "?";
+}
+
+/** Parameters of a full per-processor hierarchy. */
+struct HierarchyParams
+{
+    CacheParams l1{16 * 1024, 16, 1, ReplPolicy::LRU};
+    CacheParams l2{256 * 1024, 16, 1, ReplPolicy::LRU};
+    std::uint32_t pageSize = 4096;
+
+    /** Split the level-1 cache into equal I and D halves. */
+    bool splitL1 = false;
+
+    std::uint32_t writeBufferDepth = 4;
+    std::uint64_t writeBufferDrainLatency = 30;  ///< in references
+
+    std::uint32_t tlbEntries = 256;
+    std::uint32_t tlbAssoc = 4;
+
+    /** Snooping protocol family at the second level. */
+    CoherencePolicy protocol = CoherencePolicy::WriteInvalidate;
+
+    /** Sub-blocks per level-2 line (ratio of the block sizes). */
+    std::uint32_t
+    subBlocks() const
+    {
+        return l2.blockBytes / l1.blockBytes;
+    }
+
+    /** Convenience: set both level sizes (e.g. "16K/256K" configs). */
+    HierarchyParams &
+    withSizes(std::uint32_t l1_bytes, std::uint32_t l2_bytes)
+    {
+        l1.sizeBytes = l1_bytes;
+        l2.sizeBytes = l2_bytes;
+        return *this;
+    }
+};
+
+/** Human-readable "16K/256K"-style label for a size pair. */
+inline std::string
+sizeLabel(std::uint32_t l1_bytes, std::uint32_t l2_bytes)
+{
+    auto fmt = [](std::uint32_t b) {
+        if (b >= 1024 && b % 1024 == 0)
+            return std::to_string(b / 1024) + "K";
+        return "." + std::to_string(b * 10 / 1024) + "K"; // .5K style
+    };
+    return fmt(l1_bytes) + "/" + fmt(l2_bytes);
+}
+
+} // namespace vrc
+
+#endif // VRC_CORE_CONFIG_HH

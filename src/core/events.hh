@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Event tracing for cache hierarchies.
+ *
+ * Hierarchies can emit a structured event for every architecturally
+ * interesting action (hits, misses, synonym repairs, write-back
+ * parking/cancel, coherence percolation, context switches). An
+ * EventObserver attached to a hierarchy receives them; with no observer
+ * attached the emit path is a single branch. Used by the debugging
+ * tools and by tests that verify exact operation sequences.
+ */
+
+#ifndef VRC_CORE_EVENTS_HH
+#define VRC_CORE_EVENTS_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace vrc
+{
+
+/** Kinds of hierarchy events. */
+enum class EventKind : std::uint8_t
+{
+    L1Hit,
+    L2Hit,
+    Miss,
+    SynonymMove,       ///< block moved to a new V-cache location
+    SynonymSameset,    ///< block re-tagged in place
+    WritebackParked,   ///< dirty victim entered the write buffer
+    WritebackCancel,   ///< parked write-back pulled back (synonym)
+    WritebackComplete, ///< buffer drained into level 2
+    SwappedWriteback,  ///< the parked victim was swapped-valid
+    InclusionInvalidation, ///< forced L2 replacement killed a child
+    L1Flush,           ///< bus-induced flush percolated to level 1
+    L1Invalidation,    ///< bus-induced invalidation percolated
+    L1Update,          ///< write-update percolated to level 1
+    BufferFlush,       ///< bus-induced flush hit the write buffer
+    BufferInvalidation,///< bus-induced invalidation hit the buffer
+    ContextSwitch
+};
+
+/** Printable event name. */
+inline const char *
+eventKindName(EventKind k)
+{
+    switch (k) {
+      case EventKind::L1Hit:
+        return "l1-hit";
+      case EventKind::L2Hit:
+        return "l2-hit";
+      case EventKind::Miss:
+        return "miss";
+      case EventKind::SynonymMove:
+        return "synonym-move";
+      case EventKind::SynonymSameset:
+        return "synonym-sameset";
+      case EventKind::WritebackParked:
+        return "writeback-parked";
+      case EventKind::WritebackCancel:
+        return "writeback-cancel";
+      case EventKind::WritebackComplete:
+        return "writeback-complete";
+      case EventKind::SwappedWriteback:
+        return "swapped-writeback";
+      case EventKind::InclusionInvalidation:
+        return "inclusion-invalidation";
+      case EventKind::L1Flush:
+        return "l1-flush";
+      case EventKind::L1Invalidation:
+        return "l1-invalidation";
+      case EventKind::L1Update:
+        return "l1-update";
+      case EventKind::BufferFlush:
+        return "buffer-flush";
+      case EventKind::BufferInvalidation:
+        return "buffer-invalidation";
+      case EventKind::ContextSwitch:
+        return "context-switch";
+    }
+    return "?";
+}
+
+/** One emitted event. */
+struct HierarchyEvent
+{
+    EventKind kind = EventKind::L1Hit;
+    CpuId cpu = invalidCpu;
+    std::uint64_t refIndex = 0; ///< the hierarchy's local clock
+    std::uint32_t vaddr = 0;    ///< virtual (or L1-key) address, if any
+    std::uint32_t paddr = 0;    ///< physical block address, if any
+};
+
+/** Receiver of hierarchy events. */
+class EventObserver
+{
+  public:
+    virtual ~EventObserver() = default;
+    virtual void onEvent(const HierarchyEvent &ev) = 0;
+};
+
+/** An observer that records everything (tests, small traces). */
+class RecordingObserver : public EventObserver
+{
+  public:
+    void
+    onEvent(const HierarchyEvent &ev) override
+    {
+        _events.push_back(ev);
+    }
+
+    const std::vector<HierarchyEvent> &events() const { return _events; }
+    void clear() { _events.clear(); }
+
+    /** Count events of one kind. */
+    std::size_t
+    count(EventKind k) const
+    {
+        std::size_t n = 0;
+        for (const auto &e : _events)
+            n += e.kind == k ? 1 : 0;
+        return n;
+    }
+
+  private:
+    std::vector<HierarchyEvent> _events;
+};
+
+/** An observer forwarding to a callable (CLI printers). */
+class CallbackObserver : public EventObserver
+{
+  public:
+    using Fn = std::function<void(const HierarchyEvent &)>;
+
+    explicit CallbackObserver(Fn fn) : _fn(std::move(fn)) {}
+
+    void
+    onEvent(const HierarchyEvent &ev) override
+    {
+        _fn(ev);
+    }
+
+  private:
+    Fn _fn;
+};
+
+} // namespace vrc
+
+#endif // VRC_CORE_EVENTS_HH

@@ -1,0 +1,24 @@
+#include "core/factory.hh"
+
+#include "core/rr_hierarchy.hh"
+#include "core/vr_hierarchy.hh"
+
+namespace vrc
+{
+
+std::unique_ptr<CacheHierarchy>
+makeHierarchy(HierarchyKind kind, const HierarchyParams &params,
+              AddressSpaceManager &spaces, SharedBus &bus)
+{
+    switch (kind) {
+      case HierarchyKind::VirtualReal:
+        return std::make_unique<VrHierarchy>(params, spaces, bus, true);
+      case HierarchyKind::RealRealIncl:
+        return std::make_unique<VrHierarchy>(params, spaces, bus, false);
+      case HierarchyKind::RealRealNoIncl:
+        return std::make_unique<RrNoInclHierarchy>(params, spaces, bus);
+    }
+    return nullptr;
+}
+
+} // namespace vrc

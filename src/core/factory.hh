@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Factory for the three hierarchy organizations the paper compares.
+ */
+
+#ifndef VRC_CORE_FACTORY_HH
+#define VRC_CORE_FACTORY_HH
+
+#include <memory>
+
+#include "core/config.hh"
+#include "core/hierarchy.hh"
+
+namespace vrc
+{
+
+class AddressSpaceManager;
+class SharedBus;
+
+/**
+ * Build one per-processor hierarchy of the requested kind, attached to
+ * @p bus.
+ *
+ *  - VirtualReal: the paper's V-R design (VrHierarchy, virtual L1)
+ *  - RealRealIncl: same engine with a physically-addressed level 1
+ *  - RealRealNoIncl: the non-inclusive baseline (RrNoInclHierarchy)
+ */
+std::unique_ptr<CacheHierarchy> makeHierarchy(
+    HierarchyKind kind, const HierarchyParams &params,
+    AddressSpaceManager &spaces, SharedBus &bus);
+
+} // namespace vrc
+
+#endif // VRC_CORE_FACTORY_HH

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Abstract interface of a per-processor two-level cache hierarchy.
+ *
+ * Both the paper's virtual-real hierarchy and the real-real baselines
+ * implement this interface, so the multiprocessor simulator and the
+ * experiments treat them uniformly. A hierarchy is also a bus Snooper.
+ */
+
+#ifndef VRC_CORE_HIERARCHY_HH
+#define VRC_CORE_HIERARCHY_HH
+
+#include <cstdint>
+
+#include "base/counter.hh"
+#include "base/histogram.hh"
+#include "base/types.hh"
+#include "coherence/snoop.hh"
+#include "core/events.hh"
+#include "trace/record.hh"
+
+namespace vrc
+{
+
+/** One processor-side memory access. */
+struct MemAccess
+{
+    RefType type = RefType::Read;
+    VirtAddr va;
+    ProcessId pid = 0;
+};
+
+/** Where an access was satisfied. */
+enum class AccessOutcome : std::uint8_t
+{
+    L1Hit,      ///< hit in the level-1 cache
+    L2Hit,      ///< missed level 1, hit level 2 (no synonym involved)
+    SynonymHit, ///< missed level 1, level 2 found the block elsewhere in
+                ///< level 1 (cost == L2Hit per the paper)
+    Miss        ///< missed both levels; went to the bus
+};
+
+/** Printable outcome name. */
+inline const char *
+accessOutcomeName(AccessOutcome o)
+{
+    switch (o) {
+      case AccessOutcome::L1Hit:
+        return "l1-hit";
+      case AccessOutcome::L2Hit:
+        return "l2-hit";
+      case AccessOutcome::SynonymHit:
+        return "synonym-hit";
+      case AccessOutcome::Miss:
+        return "miss";
+    }
+    return "?";
+}
+
+/**
+ * A private two-level cache hierarchy attached to one processor and to
+ * the shared bus.
+ *
+ * Statistics contract (counters in stats(), shared by implementations so
+ * experiments can aggregate uniformly):
+ *
+ *   refs, refs_instr, refs_read, refs_write
+ *   l1_hits, l1_hits_instr, l1_hits_read, l1_hits_write
+ *   l2_hits, synonym_hits, misses
+ *   l1_coherence_msgs        -- messages percolated to level 1
+ *   inclusion_invalidations  -- L2 replacements that killed L1 children
+ *   writebacks, swapped_writebacks, writeback_cancels
+ *   memory_writes
+ */
+class CacheHierarchy : public Snooper
+{
+  public:
+    CacheHierarchy()
+        : _stats("hierarchy"), _wbIntervals(10),
+          _refsCtr(&_stats.counter("refs")),
+          _l1HitsCtr(&_stats.counter("l1_hits")),
+          _refsByType{&_stats.counter("refs_instr"),
+                      &_stats.counter("refs_read"),
+                      &_stats.counter("refs_write")},
+          _hitsByType{&_stats.counter("l1_hits_instr"),
+                      &_stats.counter("l1_hits_read"),
+                      &_stats.counter("l1_hits_write")}
+    {
+    }
+    ~CacheHierarchy() override = default;
+
+    CacheHierarchy(const CacheHierarchy &) = delete;
+    CacheHierarchy &operator=(const CacheHierarchy &) = delete;
+
+    /** Process one memory reference from the local processor. */
+    virtual AccessOutcome access(const MemAccess &acc) = 0;
+
+    /** The local processor switched to process @p new_pid. */
+    virtual void contextSwitch(ProcessId new_pid) = 0;
+
+    /**
+     * Verify internal invariants (inclusion, pointer linkage, unique
+     * V-cache copies). panic()s on violation. Used by property tests.
+     */
+    virtual void checkInvariants() const = 0;
+
+    /**
+     * Drop the cached translation for (pid, vpn): the OS changed the
+     * mapping (TLB shootdown). Cache contents are reconciled separately
+     * through the coherent physical level (MpSimulator::remapPage).
+     */
+    virtual void tlbShootdown(ProcessId pid, Vpn vpn) = 0;
+
+    /** Identifier on the bus. */
+    CpuId cpuId() const { return _cpuId; }
+    void setCpuId(CpuId id) { _cpuId = id; }
+
+    /** Statistics (see the class comment for the counter contract). */
+    StatGroup &stats() { return _stats; }
+    const StatGroup &stats() const { return _stats; }
+
+    /** Level-1 hit ratio over all references. */
+    double
+    h1() const
+    {
+        auto refs = _stats.value("refs");
+        return refs ? static_cast<double>(_stats.value("l1_hits")) /
+                static_cast<double>(refs)
+                    : 0.0;
+    }
+
+    /**
+     * Level-2 local hit ratio: hits at level 2 (including synonym hits,
+     * which cost the same) over level-1 misses.
+     */
+    double
+    h2() const
+    {
+        auto refs = _stats.value("refs");
+        auto l1_hits = _stats.value("l1_hits");
+        auto l1_misses = refs - l1_hits;
+        if (l1_misses == 0)
+            return 0.0;
+        return static_cast<double>(_stats.value("l2_hits") +
+                                   _stats.value("synonym_hits")) /
+            static_cast<double>(l1_misses);
+    }
+
+    /** L1 hit ratio restricted to one reference type. */
+    double
+    h1ForType(RefType t) const
+    {
+        const char *suffix = t == RefType::Instr ? "instr"
+            : t == RefType::Read               ? "read"
+                                               : "write";
+        auto refs = _stats.value(std::string(refCounterPrefix) + suffix);
+        if (refs == 0)
+            return 0.0;
+        return static_cast<double>(
+                   _stats.value(std::string(hitCounterPrefix) + suffix)) /
+            static_cast<double>(refs);
+    }
+
+    /**
+     * Distribution of distances (in local references) between successive
+     * write-back events, the paper's Table 3 measurement.
+     */
+    const Histogram &writeBackIntervals() const { return _wbIntervals; }
+
+    /**
+     * Attach (or detach with nullptr) an event observer. With no
+     * observer attached, event emission costs one branch.
+     */
+    void setObserver(EventObserver *obs) { _observer = obs; }
+
+    /** Reset all statistics counters (e.g. after a warm-up window). */
+    void
+    resetStats()
+    {
+        _stats.reset();
+        _wbIntervals.clear();
+        _lastWriteBackRef = 0;
+        _sawWriteBack = false;
+    }
+
+  protected:
+    static constexpr const char *refCounterPrefix = "refs_";
+    static constexpr const char *hitCounterPrefix = "l1_hits_";
+
+    /** Count one reference of type @p t. */
+    void
+    noteRef(RefType t)
+    {
+        (*_refsCtr)++;
+        (*_refsByType[static_cast<int>(t)])++;
+    }
+
+    /** Count one L1 hit of type @p t. */
+    void
+    noteL1Hit(RefType t)
+    {
+        (*_l1HitsCtr)++;
+        (*_hitsByType[static_cast<int>(t)])++;
+    }
+
+    /** Record a write-back event for the interval histogram. */
+    void
+    noteWriteBack(std::uint64_t ref_index)
+    {
+        if (_lastWriteBackRef != 0 || _sawWriteBack)
+            _wbIntervals.record(ref_index - _lastWriteBackRef);
+        _lastWriteBackRef = ref_index;
+        _sawWriteBack = true;
+    }
+
+    /** Emit an event to the attached observer, if any. */
+    void
+    emitEvent(EventKind kind, std::uint64_t ref_index,
+              std::uint32_t vaddr = 0, std::uint32_t paddr = 0)
+    {
+        if (_observer) {
+            _observer->onEvent(
+                HierarchyEvent{kind, _cpuId, ref_index, vaddr, paddr});
+        }
+    }
+
+    static const char *
+    typeSuffix(RefType t)
+    {
+        switch (t) {
+          case RefType::Instr:
+            return "instr";
+          case RefType::Read:
+            return "read";
+          default:
+            return "write";
+        }
+    }
+
+  private:
+    CpuId _cpuId = invalidCpu;
+    EventObserver *_observer = nullptr;
+    StatGroup _stats;
+    Histogram _wbIntervals;
+    Counter *_refsCtr;
+    Counter *_l1HitsCtr;
+    Counter *_refsByType[3];
+    Counter *_hitsByType[3];
+    std::uint64_t _lastWriteBackRef = 0;
+    bool _sawWriteBack = false;
+};
+
+} // namespace vrc
+
+#endif // VRC_CORE_HIERARCHY_HH

@@ -1,0 +1,60 @@
+#include "core/rcache.hh"
+
+#include "base/bitops.hh"
+#include "base/log.hh"
+
+namespace vrc
+{
+
+RCache::RCache(const CacheParams &params, std::uint32_t l1_block,
+               std::uint32_t l1_size, std::uint32_t page_size,
+               std::uint64_t seed)
+    : _tags(CacheGeometry(params.sizeBytes, params.blockBytes,
+                          params.assoc),
+            params.policy, seed),
+      _l1Block(l1_block), _subCount(params.blockBytes / l1_block),
+      _pageSize(page_size),
+      _vPointerSpan(std::max<std::uint32_t>(1, l1_size / page_size))
+{
+    panicIfNot(params.blockBytes % l1_block == 0 && _subCount >= 1,
+               "level-2 block size must be a multiple of level-1's");
+    panicIfNot(isPowerOfTwo(_subCount), "sub-block count not a power of 2");
+}
+
+std::optional<LineRef>
+RCache::lookup(PhysAddr pa)
+{
+    auto ref = _tags.find(pa.value());
+    if (ref)
+        _tags.touch(*ref);
+    return ref;
+}
+
+std::optional<LineRef>
+RCache::probe(PhysAddr pa) const
+{
+    return _tags.find(pa.value());
+}
+
+std::pair<LineRef, bool>
+RCache::victimFor(PhysAddr pa)
+{
+    std::uint32_t set = _tags.geometry().setIndex(pa.value());
+    LineRef slot = _tags.victimWhere(
+        set, [](const Line &l) { return l.meta.noChildren(); });
+    bool forced = _tags.line(slot).valid &&
+        !_tags.line(slot).meta.noChildren();
+    return {slot, forced};
+}
+
+RCache::Line &
+RCache::install(LineRef slot, PhysAddr pa, CoherenceState state)
+{
+    Line &l = _tags.fill(slot, pa.value());
+    l.meta.state = state;
+    l.meta.rdirty = false;
+    l.meta.subs.assign(_subCount, RSubentry{});
+    return l;
+}
+
+} // namespace vrc

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * The physically-addressed second-level cache (R-cache).
+ *
+ * Tag entry contents follow Figure 3 of the paper: a physical tag, the
+ * coherence state bits and the r-dirty bit for the whole line, and one
+ * subentry per level-1-sized sub-block containing:
+ *
+ *   - the inclusion bit  (a copy lives in the level-1 cache),
+ *   - the buffer bit     (a copy sits in the level-1 write buffer),
+ *   - the v-dirty bit    (the level-1 copy is modified),
+ *   - the v-pointer      (low log2(V-cache-size / page-size) bits of the
+ *                         virtual page number: with the page offset it
+ *                         addresses the child in the V-cache),
+ *   - for split level-1 caches, which of the I/D halves holds the child.
+ *
+ * As in the V-cache, the simulator additionally keeps the child's full
+ * block address next to the architected v-pointer bits; hierarchies
+ * verify the architected bits agree with it.
+ */
+
+#ifndef VRC_CORE_RCACHE_HH
+#define VRC_CORE_RCACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "base/addr.hh"
+#include "cache/tag_store.hh"
+#include "coherence/protocol.hh"
+#include "core/config.hh"
+
+namespace vrc
+{
+
+/** Per-sub-block metadata of an R-cache line (Figure 3, bottom). */
+struct RSubentry
+{
+    bool inclusion = false;  ///< child present in the level-1 cache
+    bool buffer = false;     ///< child parked in the write buffer
+    bool vdirty = false;     ///< child (or buffered copy) is modified
+    std::uint8_t l1Index = 0; ///< which level-1 cache holds the child
+    std::uint32_t vPointer = 0;      ///< architected link bits
+    std::uint32_t childAddrBlock = 0; ///< simulator-held child address
+                                      ///< (virtual for V-R, physical for
+                                      ///< R-R level 1)
+
+    /** True if level 1 (cache or buffer) holds this sub-block. */
+    bool
+    childAbove() const
+    {
+        return inclusion || buffer;
+    }
+};
+
+/** Per-line metadata of the R-cache. */
+struct RLineMeta
+{
+    CoherenceState state = CoherenceState::Invalid;
+    bool rdirty = false;  ///< modified relative to memory (in this level)
+    std::vector<RSubentry> subs;
+
+    /** True if no sub-block has a copy above this level. */
+    bool
+    noChildren() const
+    {
+        for (const RSubentry &s : subs) {
+            if (s.childAbove())
+                return false;
+        }
+        return true;
+    }
+};
+
+/** The physically-indexed, physically-tagged level-2 cache. */
+class RCache
+{
+  public:
+    /**
+     * @param params     size/block/associativity of this cache
+     * @param l1_block   level-1 block size (defines sub-block count)
+     * @param l1_size    level-1 size in bytes (for v-pointer width)
+     * @param page_size  system page size (for v-pointer width)
+     */
+    RCache(const CacheParams &params, std::uint32_t l1_block,
+           std::uint32_t l1_size, std::uint32_t page_size,
+           std::uint64_t seed = 0x2ca1e);
+
+    using Store = TagStore<RLineMeta>;
+    using Line = Store::Line;
+
+    /** Look up a physical address. Updates recency on hit. */
+    std::optional<LineRef> lookup(PhysAddr pa);
+
+    /** Look up without touching recency (snoop path). */
+    std::optional<LineRef> probe(PhysAddr pa) const;
+
+    /**
+     * Choose a victim for @p pa's set under the paper's *relaxed
+     * inclusion replacement rule*: prefer a line with every inclusion
+     * and buffer bit clear; otherwise fall back to the base policy (the
+     * caller must then invalidate the level-1 children).
+     *
+     * @return the slot, and whether the fallback case was taken.
+     */
+    std::pair<LineRef, bool> victimFor(PhysAddr pa);
+
+    /** Install a line for @p pa into @p slot with empty subentries. */
+    Line &install(LineRef slot, PhysAddr pa, CoherenceState state);
+
+    /** Invalidate one line. */
+    void invalidate(LineRef slot) { _tags.invalidate(slot); }
+
+    /** Index of the sub-block of @p pa within its line. */
+    std::uint32_t
+    subIndex(PhysAddr pa) const
+    {
+        return (pa.value() / _l1Block) & (_subCount - 1);
+    }
+
+    /** Subentry of @p pa within a (valid) line. */
+    RSubentry &
+    sub(LineRef ref, PhysAddr pa)
+    {
+        return _tags.line(ref).meta.subs[subIndex(pa)];
+    }
+
+    const RSubentry &
+    sub(LineRef ref, PhysAddr pa) const
+    {
+        return _tags.line(ref).meta.subs[subIndex(pa)];
+    }
+
+    /** Block-aligned physical address of one sub-block of a line. */
+    std::uint32_t
+    subBlockAddr(LineRef ref, std::uint32_t sub_index) const
+    {
+        return _tags.lineAddr(ref) + sub_index * _l1Block;
+    }
+
+    /** Architected v-pointer bits for a level-1 (virtual) address. */
+    std::uint32_t
+    vPointerBits(std::uint32_t addr) const
+    {
+        return (addr / _pageSize) & (_vPointerSpan - 1);
+    }
+
+    /** Number of sub-blocks per line (B2 / B1). */
+    std::uint32_t subCount() const { return _subCount; }
+
+    Line &line(LineRef ref) { return _tags.line(ref); }
+    const Line &line(LineRef ref) const { return _tags.line(ref); }
+
+    /** Block-aligned physical address of a (valid) line. */
+    std::uint32_t lineAddr(LineRef ref) const { return _tags.lineAddr(ref); }
+
+    const CacheGeometry &geometry() const { return _tags.geometry(); }
+    Store &tags() { return _tags; }
+    const Store &tags() const { return _tags; }
+
+  private:
+    Store _tags;
+    std::uint32_t _l1Block;
+    std::uint32_t _subCount;
+    std::uint32_t _pageSize;
+    std::uint32_t _vPointerSpan;  ///< V-cache size / page size (>= 1)
+};
+
+} // namespace vrc
+
+#endif // VRC_CORE_RCACHE_HH

@@ -1,0 +1,343 @@
+#include "core/rr_hierarchy.hh"
+
+#include "base/log.hh"
+#include "vm/addr_space.hh"
+
+namespace vrc
+{
+
+RrNoInclHierarchy::RrNoInclHierarchy(const HierarchyParams &params,
+                                     AddressSpaceManager &spaces,
+                                     SharedBus &bus)
+    : _params(params), _spaces(spaces), _bus(bus),
+      _l2(CacheGeometry(params.l2.sizeBytes, params.l2.blockBytes,
+                        params.l2.assoc),
+          params.l2.policy, 0xbeef),
+      _wb(params.writeBufferDepth, params.writeBufferDrainLatency),
+      _tlb(params.tlbEntries, params.tlbAssoc)
+{
+    CacheParams l1 = params.l1;
+    if (params.splitL1) {
+        panicIfNot(l1.sizeBytes >= 2 * l1.blockBytes,
+                   "split level-1 cache too small");
+        l1.sizeBytes /= 2;
+    }
+    CacheGeometry g1(l1.sizeBytes, l1.blockBytes, l1.assoc);
+    _l1[0] = std::make_unique<L1Store>(g1, l1.policy, 0xaaaa);
+    if (params.splitL1)
+        _l1[1] = std::make_unique<L1Store>(g1, l1.policy, 0xbbbb);
+    _wb.setDrainHandler(
+        [this](const WriteBufferEntry &e) { onWriteBufferDrain(e); });
+    setCpuId(bus.attach(this));
+}
+
+PhysAddr
+RrNoInclHierarchy::translate(const MemAccess &acc)
+{
+    Ppn ppn = _tlb.translate(acc.pid, acc.va.vpn(_params.pageSize),
+                             _spaces);
+    return makePhysAddr(ppn, acc.va.pageOffset(_params.pageSize),
+                        _params.pageSize);
+}
+
+void
+RrNoInclHierarchy::onWriteBufferDrain(const WriteBufferEntry &entry)
+{
+    // Without inclusion the level-2 cache may or may not still hold the
+    // line; absorb the data there if it does, else write memory.
+    if (auto l2ref = _l2.find(entry.physBlockAddr)) {
+        _l2.line(*l2ref).meta.rdirty = true;
+        stats().counter("writeback_completions")++;
+    } else {
+        stats().counter("memory_writes")++;
+        stats().counter("writebacks_bypassing_l2")++;
+    }
+}
+
+void
+RrNoInclHierarchy::issueInvalidate(PhysAddr pa)
+{
+    _bus.broadcast(BusTransaction{BusOp::Invalidate,
+                                  PhysAddr(l2Block(pa.value())),
+                                  cpuId()});
+    stats().counter("invalidations_sent")++;
+}
+
+bool
+RrNoInclHierarchy::writeToShared(PhysAddr pa, CoherenceState &state)
+{
+    // Clear coherence for a write to a Shared block. Returns true when
+    // the local copy should become dirty (the write stayed local).
+    if (_params.protocol == CoherencePolicy::WriteInvalidate) {
+        issueInvalidate(pa);
+        state = CoherenceState::Private;
+        return true;
+    }
+    BusResult br = _bus.broadcast(BusTransaction{
+        BusOp::Update, PhysAddr(l2Block(pa.value())), cpuId()});
+    stats().counter("updates_sent")++;
+    stats().counter("memory_writes")++;
+    state = br.shared ? CoherenceState::Shared : CoherenceState::Private;
+    return false;
+}
+
+AccessOutcome
+RrNoInclHierarchy::access(const MemAccess &acc)
+{
+    ++_refIndex;
+    _wb.tick(_refIndex);
+    noteRef(acc.type);
+
+    PhysAddr pa = translate(acc);
+    std::uint32_t pa_block = l1Block(pa.value());
+    unsigned ci = l1IndexFor(acc.type);
+    L1Store &store = *_l1[ci];
+
+    // 1. Level-1 lookup (physical).
+    if (auto hit = store.find(pa_block)) {
+        store.touch(*hit);
+        L1Store::Line &l = store.line(*hit);
+        if (acc.type == RefType::Write && !l.meta.dirty) {
+            bool dirty = true;
+            if (l.meta.state == CoherenceState::Shared) {
+                CoherenceState st = l.meta.state;
+                dirty = writeToShared(pa, st);
+                l.meta.state = st;
+            } else {
+                l.meta.state = CoherenceState::Private;
+            }
+            l.meta.dirty = dirty;
+            // Keep the level-2 state consistent when it has the line.
+            if (auto l2ref = _l2.find(pa_block))
+                _l2.line(*l2ref).meta.state = l.meta.state;
+        }
+        noteL1Hit(acc.type);
+        return AccessOutcome::L1Hit;
+    }
+
+    // 2. Level-1 miss: replace, parking a dirty victim.
+    LineRef slot = store.victim(pa_block);
+    L1Store::Line &victim = store.line(slot);
+    if (victim.valid && victim.meta.dirty) {
+        if (_wb.push(store.lineAddr(slot), _refIndex))
+            stats().counter("wb_stalls")++;
+        stats().counter("writebacks")++;
+        noteWriteBack(_refIndex);
+    }
+    store.invalidate(slot);
+
+    // 2a. The block may be sitting in our own write buffer.
+    if (auto pulled = _wb.remove(pa_block)) {
+        L1Store::Line &l = store.fill(slot, pa_block);
+        l.meta.dirty = true;
+        l.meta.state = CoherenceState::Private;
+        stats().counter("writeback_cancels")++;
+        stats().counter("l2_hits")++;
+        stats().counter("buffer_pullbacks")++;
+        return AccessOutcome::L2Hit;
+    }
+
+    // 3. Level-2 lookup.
+    if (auto l2ref = _l2.find(pa_block)) {
+        _l2.touch(*l2ref);
+        L2Store::Line &l2l = _l2.line(*l2ref);
+        CoherenceState st = l2l.meta.state;
+        bool dirty = acc.type == RefType::Write;
+        if (acc.type == RefType::Write) {
+            if (st == CoherenceState::Shared)
+                dirty = writeToShared(pa, st);
+            else
+                st = CoherenceState::Private;
+            l2l.meta.state = st;
+        }
+        L1Store::Line &l = store.fill(slot, pa_block);
+        l.meta.dirty = dirty;
+        l.meta.state = st;
+        stats().counter("l2_hits")++;
+        return AccessOutcome::L2Hit;
+    }
+
+    // 4. Miss in both levels: bus transaction and fills.
+    std::uint32_t line_addr = l2Block(pa.value());
+    LineRef l2slot = _l2.victim(line_addr);
+    L2Store::Line &l2victim = _l2.line(l2slot);
+    if (l2victim.valid && l2victim.meta.rdirty)
+        stats().counter("memory_writes")++;
+    _l2.invalidate(l2slot);
+
+    bool is_write = acc.type == RefType::Write;
+    bool update_protocol =
+        _params.protocol == CoherencePolicy::WriteUpdate;
+    BusOp op = (is_write && !update_protocol) ? BusOp::ReadModWrite
+                                              : BusOp::ReadMiss;
+    BusResult br = _bus.broadcast(
+        BusTransaction{op, PhysAddr(line_addr), cpuId()});
+    stats().counter("misses")++;
+    if (br.suppliedByCache)
+        stats().counter("fills_from_cache")++;
+    else
+        stats().counter("fills_from_memory")++;
+
+    CoherenceState st;
+    bool dirty = is_write;
+    if (is_write && !update_protocol) {
+        st = CoherenceState::Private;
+    } else {
+        st = br.shared ? CoherenceState::Shared : CoherenceState::Private;
+        if (is_write && br.shared) {
+            _bus.broadcast(BusTransaction{
+                BusOp::Update, PhysAddr(line_addr), cpuId()});
+            stats().counter("updates_sent")++;
+            stats().counter("memory_writes")++;
+            dirty = false;
+        }
+    }
+
+    L2Store::Line &l2l = _l2.fill(l2slot, line_addr);
+    l2l.meta.state = st;
+    l2l.meta.rdirty = false;
+
+    L1Store::Line &l = store.fill(slot, pa_block);
+    l.meta.dirty = dirty;
+    l.meta.state = st;
+    return AccessOutcome::Miss;
+}
+
+void
+RrNoInclHierarchy::contextSwitch(ProcessId new_pid)
+{
+    (void)new_pid;  // physical tags survive context switches
+    stats().counter("context_switches")++;
+}
+
+SnoopResult
+RrNoInclHierarchy::snoop(const BusTransaction &tx)
+{
+    SnoopResult res;
+    std::uint32_t line_addr = l2Block(tx.blockAddr.value());
+    std::uint32_t sub_count = _params.subBlocks();
+
+    // Without inclusion every foreign transaction disturbs level 1:
+    // the level-2 directory cannot prove absence.
+    stats().counter("l1_coherence_msgs")++;
+    stats().counter("l1_probes")++;
+
+    if (tx.op == BusOp::Update) {
+        // Foreign write-update: refresh every copy in place; memory was
+        // updated on the bus so nothing stays dirty.
+        for (std::uint32_t i = 0; i < sub_count; ++i) {
+            std::uint32_t sub_addr =
+                line_addr + i * _params.l1.blockBytes;
+            for (unsigned ci = 0; ci < l1Count(); ++ci) {
+                if (auto hit = _l1[ci]->find(sub_addr)) {
+                    L1Store::Line &l = _l1[ci]->line(*hit);
+                    l.meta.dirty = false;
+                    l.meta.state = CoherenceState::Shared;
+                    res.sharedAck = true;
+                    stats().counter("l1_updates")++;
+                }
+            }
+        }
+        if (auto l2ref = _l2.find(line_addr)) {
+            L2Store::Line &l2l = _l2.line(*l2ref);
+            l2l.meta.rdirty = false;
+            l2l.meta.state = CoherenceState::Shared;
+            res.sharedAck = true;
+        }
+        return res;
+    }
+
+    bool read_part = tx.op != BusOp::Invalidate;
+    bool inval_part = tx.op != BusOp::ReadMiss;
+
+    for (std::uint32_t i = 0; i < sub_count; ++i) {
+        std::uint32_t sub_addr = line_addr + i * _params.l1.blockBytes;
+        for (unsigned ci = 0; ci < l1Count(); ++ci) {
+            auto hit = _l1[ci]->find(sub_addr);
+            if (!hit)
+                continue;
+            L1Store::Line &l = _l1[ci]->line(*hit);
+            if (read_part) {
+                res.sharedAck = true;
+                if (l.meta.dirty) {
+                    // Flush: supply the block and clean the copy.
+                    l.meta.dirty = false;
+                    res.suppliedData = true;
+                    stats().counter("l1_flushes")++;
+                    stats().counter("memory_writes")++;
+                }
+                l.meta.state = CoherenceState::Shared;
+            }
+            if (inval_part) {
+                _l1[ci]->invalidate(*hit);
+                stats().counter("l1_invalidations")++;
+            }
+        }
+        // The write buffer snoops too.
+        if (read_part && _wb.contains(sub_addr)) {
+            _wb.remove(sub_addr);
+            res.suppliedData = true;
+            stats().counter("buffer_flushes")++;
+            stats().counter("memory_writes")++;
+        } else if (inval_part && _wb.contains(sub_addr)) {
+            _wb.remove(sub_addr);
+            stats().counter("buffer_invalidations")++;
+        }
+    }
+
+    // Level 2 snoops independently.
+    if (auto l2ref = _l2.find(line_addr)) {
+        L2Store::Line &l2l = _l2.line(*l2ref);
+        if (read_part) {
+            res.sharedAck = true;
+            if (l2l.meta.rdirty) {
+                l2l.meta.rdirty = false;
+                res.suppliedData = true;
+                stats().counter("memory_writes")++;
+            }
+            l2l.meta.state = CoherenceState::Shared;
+        }
+        if (inval_part)
+            _l2.invalidate(*l2ref);
+    }
+    if (inval_part)
+        res.sharedAck = false;
+    return res;
+}
+
+void
+RrNoInclHierarchy::checkInvariants() const
+{
+    for (unsigned ci = 0; ci < l1Count(); ++ci) {
+        _l1[ci]->forEachLine([&](LineRef ref, const L1Store::Line &l) {
+            if (!l.valid)
+                return;
+            panicIfNot(l.meta.state != CoherenceState::Invalid,
+                       "valid L1 line with invalid coherence state");
+            if (l.meta.dirty) {
+                panicIfNot(l.meta.state == CoherenceState::Private,
+                           "dirty L1 line must be private");
+            }
+            // A block is never both live in this L1 and parked in the
+            // write buffer (pull-back removes the parked entry first).
+            // Exception: with split I/D halves and no inclusion
+            // tracking, code that is also written (self-modifying, or
+            // adversarial synthetic soup) can sit stale in the I-half
+            // while the D-half's dirty copy is parked -- real split
+            // non-inclusive machines have the same incoherence, which
+            // is why the paper assumes no self-modifying code.
+            if (!_params.splitL1) {
+                panicIfNot(!_wb.contains(_l1[ci]->lineAddr(ref)),
+                           "block both in L1 and in the write buffer");
+            }
+        });
+    }
+    _l2.forEachLine([&](LineRef, const L2Store::Line &l) {
+        if (!l.valid)
+            return;
+        panicIfNot(l.meta.state != CoherenceState::Invalid,
+                   "valid L2 line with invalid coherence state");
+    });
+}
+
+} // namespace vrc

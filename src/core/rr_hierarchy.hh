@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Real-real two-level hierarchy *without* inclusion.
+ *
+ * This is the paper's second baseline (the "RR(no incl)" columns of
+ * Tables 11-13). Both levels are physically addressed; the TLB sits in
+ * front of the level-1 cache. No inclusion bits are maintained: the
+ * level-2 cache replaces lines without regard to level 1, so it cannot
+ * filter bus traffic -- every foreign bus transaction must probe the
+ * level-1 cache (and the write buffer), which is exactly the coherence
+ * interference the paper's shielding argument quantifies.
+ *
+ * Because level 1 cannot rely on level 2 for coherence state, each
+ * level-1 line carries its own sharing state.
+ *
+ * The R-R *with inclusion* baseline is VrHierarchy constructed with
+ * l1_virtual = false; see vr_hierarchy.hh.
+ */
+
+#ifndef VRC_CORE_RR_HIERARCHY_HH
+#define VRC_CORE_RR_HIERARCHY_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "cache/tag_store.hh"
+#include "cache/write_buffer.hh"
+#include "coherence/bus.hh"
+#include "coherence/protocol.hh"
+#include "core/config.hh"
+#include "core/hierarchy.hh"
+#include "vm/tlb.hh"
+
+namespace vrc
+{
+
+class AddressSpaceManager;
+
+/** Level-1 line metadata for the non-inclusive hierarchy. */
+struct PLineMeta
+{
+    bool dirty = false;
+    CoherenceState state = CoherenceState::Invalid;
+};
+
+/** Level-2 line metadata for the non-inclusive hierarchy. */
+struct L2LineMeta
+{
+    CoherenceState state = CoherenceState::Invalid;
+    bool rdirty = false;
+};
+
+/** Real-real two-level hierarchy without the inclusion property. */
+class RrNoInclHierarchy : public CacheHierarchy
+{
+  public:
+    RrNoInclHierarchy(const HierarchyParams &params,
+                      AddressSpaceManager &spaces, SharedBus &bus);
+
+    AccessOutcome access(const MemAccess &acc) override;
+    void contextSwitch(ProcessId new_pid) override;
+    SnoopResult snoop(const BusTransaction &tx) override;
+    void checkInvariants() const override;
+
+    void
+    tlbShootdown(ProcessId pid, Vpn vpn) override
+    {
+        if (_tlb.invalidate(pid, vpn))
+            stats().counter("tlb_shootdowns")++;
+    }
+
+    using L1Store = TagStore<PLineMeta>;
+    using L2Store = TagStore<L2LineMeta>;
+
+    unsigned l1Count() const { return _params.splitL1 ? 2 : 1; }
+
+    L1Store &l1(unsigned idx = 0) { return *_l1[idx]; }
+    L2Store &l2() { return _l2; }
+    WriteBuffer &writeBuffer() { return _wb; }
+    Tlb &tlb() { return _tlb; }
+
+    const HierarchyParams &params() const { return _params; }
+
+  private:
+    unsigned
+    l1IndexFor(RefType t) const
+    {
+        return (_params.splitL1 && t == RefType::Instr) ? 1 : 0;
+    }
+
+    std::uint32_t
+    l1Block(std::uint32_t addr) const
+    {
+        return addr & ~(_params.l1.blockBytes - 1);
+    }
+
+    std::uint32_t
+    l2Block(std::uint32_t addr) const
+    {
+        return addr & ~(_params.l2.blockBytes - 1);
+    }
+
+    PhysAddr translate(const MemAccess &acc);
+
+    /** Complete a drained write-back: into L2 if present, else memory. */
+    void onWriteBufferDrain(const WriteBufferEntry &entry);
+
+    /** Invalidate other caches' copies before a local write. */
+    void issueInvalidate(PhysAddr pa);
+
+    /**
+     * Clear coherence for a write to a Shared block, following the
+     * configured protocol.
+     *
+     * @param state in/out: the new coherence state of the local copy.
+     * @return true if the local copy should be marked dirty.
+     */
+    bool writeToShared(PhysAddr pa, CoherenceState &state);
+
+    HierarchyParams _params;
+    AddressSpaceManager &_spaces;
+    SharedBus &_bus;
+    std::array<std::unique_ptr<L1Store>, 2> _l1;
+    L2Store _l2;
+    WriteBuffer _wb;
+    Tlb _tlb;
+    std::uint64_t _refIndex = 0;
+};
+
+} // namespace vrc
+
+#endif // VRC_CORE_RR_HIERARCHY_HH

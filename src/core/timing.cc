@@ -1,0 +1,34 @@
+#include "core/timing.hh"
+
+namespace vrc
+{
+
+double
+avgAccessTime(double h1, double h2, const TimingParams &p)
+{
+    double miss1 = 1.0 - h1;
+    return h1 * p.effectiveT1() + miss1 * h2 * p.t2 +
+        miss1 * (1.0 - h2) * p.tm;
+}
+
+double
+avgAccessTimeTwoTerm(double h1, double h2, const TimingParams &p)
+{
+    return h1 * p.effectiveT1() + (1.0 - h1) * h2 * p.t2;
+}
+
+double
+crossoverSlowdownPct(double h1_vr, double h2_vr, double h1_rr,
+                     double h2_rr, const TimingParams &p)
+{
+    // Solve h1_rr*t1*(1+x/100) + (1-h1_rr)*h2_rr*t2
+    //     = h1_vr*t1          + (1-h1_vr)*h2_vr*t2   for x.
+    double lhs_fixed = (1.0 - h1_rr) * h2_rr * p.t2;
+    double rhs = h1_vr * p.t1 + (1.0 - h1_vr) * h2_vr * p.t2;
+    if (h1_rr <= 0.0)
+        return 0.0;
+    double x = (rhs - lhs_fixed - h1_rr * p.t1) / (h1_rr * p.t1);
+    return x * 100.0;
+}
+
+} // namespace vrc

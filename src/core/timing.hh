@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The paper's generic two-level access-time model (Section 4).
+ *
+ *   T_acc = h1*t1 + (1-h1)*h2*t2 + (1-h1)*(1-h2)*tm
+ *
+ * where h1/h2 are the level-1 and local level-2 hit ratios, t1/t2 the
+ * level access times and tm the memory access time including bus
+ * overhead. The figures use t2 = 4*t1 and plot sensitivity to a
+ * percentage slowdown of the *R-R hierarchy's level-1* access caused by
+ * address translation; because inclusion makes the third term identical
+ * across organizations, the paper compares on the first two terms only.
+ */
+
+#ifndef VRC_CORE_TIMING_HH
+#define VRC_CORE_TIMING_HH
+
+namespace vrc
+{
+
+/** Access-time parameters (all in level-1 access-time units). */
+struct TimingParams
+{
+    double t1 = 1.0;   ///< level-1 access time
+    double t2 = 4.0;   ///< level-2 access time (paper: t2 = 4*t1)
+    double tm = 12.0;  ///< memory access time including bus overhead
+    double l1SlowdownPct = 0.0; ///< translation penalty on level 1 (%)
+
+    /** Effective level-1 access time including the slowdown. */
+    double
+    effectiveT1() const
+    {
+        return t1 * (1.0 + l1SlowdownPct / 100.0);
+    }
+};
+
+/** Full three-term average access time. */
+double avgAccessTime(double h1, double h2, const TimingParams &p);
+
+/**
+ * The paper's two-term comparison metric (hierarchy-hit portion only;
+ * the miss term is identical for both organizations under inclusion).
+ */
+double avgAccessTimeTwoTerm(double h1, double h2, const TimingParams &p);
+
+/**
+ * Slowdown percentage at which an R-R hierarchy (with the given hit
+ * ratios) becomes slower than a V-R hierarchy, under the two-term
+ * metric.
+ *
+ * @return the crossover percentage; <= 0 means V-R already wins with no
+ *         translation penalty at all.
+ */
+double crossoverSlowdownPct(double h1_vr, double h2_vr, double h1_rr,
+                            double h2_rr, const TimingParams &p);
+
+/**
+ * Bus service times (in t1 units) for the contention model. The paper
+ * folds bus overhead into tm; modeling the single shared bus as a
+ * serially reusable resource lets experiments measure utilization and
+ * queueing delay as the processor count grows.
+ */
+struct BusTimingParams
+{
+    bool enabled = false;
+    double readMissService = 8.0;   ///< block transfer from memory/cache
+    double invalidateService = 2.0; ///< address-only broadcast
+    double updateService = 3.0;     ///< word broadcast + memory update
+};
+
+} // namespace vrc
+
+#endif // VRC_CORE_TIMING_HH

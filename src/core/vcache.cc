@@ -1,0 +1,86 @@
+#include "core/vcache.hh"
+
+#include "base/bitops.hh"
+#include "base/log.hh"
+
+namespace vrc
+{
+
+VCache::VCache(const CacheParams &params, std::uint32_t page_size,
+               std::uint32_t l2_size, std::uint64_t seed)
+    : _tags(CacheGeometry(params.sizeBytes, params.blockBytes,
+                          params.assoc),
+            params.policy, seed),
+      _pageSize(page_size), _rPointerSpan(l2_size / page_size)
+{
+    panicIfNot(isPowerOfTwo(page_size), "page size not a power of two");
+    panicIfNot(l2_size >= page_size,
+               "R-cache smaller than a page makes the r-pointer empty");
+}
+
+std::optional<LineRef>
+VCache::lookup(VirtAddr va)
+{
+    auto ref = _tags.find(va.value());
+    if (!ref)
+        return std::nullopt;
+    Line &l = _tags.line(*ref);
+    if (l.meta.swappedValid)
+        return std::nullopt;  // present but invalid for the new process
+    _tags.touch(*ref);
+    return ref;
+}
+
+LineRef
+VCache::victimFor(VirtAddr va)
+{
+    // A stale line with the *same tag* (necessarily swapped-valid or it
+    // would have hit) must be the victim: tags stay unique per set, so
+    // lookups and reverse pointers are never ambiguous. This also makes
+    // the re-touch of a swapped block replace exactly its old slot,
+    // enabling the write-back cancel.
+    if (auto stale = _tags.find(va.value()))
+        return *stale;
+    return _tags.victim(va.value());
+}
+
+VCache::Line &
+VCache::install(LineRef slot, VirtAddr va, std::uint32_t pa_block,
+                bool dirty)
+{
+    Line &l = _tags.fill(slot, va.value());
+    l.meta.dirty = dirty;
+    l.meta.swappedValid = false;
+    l.meta.physBlockAddr = pa_block;
+    l.meta.rPointer = rPointerBits(pa_block);
+    return l;
+}
+
+void
+VCache::retag(LineRef slot, VirtAddr va)
+{
+    Line &l = _tags.line(slot);
+    panicIfNot(l.valid, "retag of an empty V-cache line");
+    panicIfNot(_tags.geometry().setIndex(va.value()) == slot.set,
+               "retag must stay within the set");
+    l.tag = _tags.geometry().tag(va.value());
+    l.meta.swappedValid = false;
+    _tags.touch(slot);
+}
+
+void
+VCache::markAllSwapped()
+{
+    _tags.forEachLine([](LineRef, Line &l) {
+        if (l.valid)
+            l.meta.swappedValid = true;
+    });
+}
+
+std::optional<LineRef>
+VCache::findOccupied(std::uint32_t va_block) const
+{
+    return _tags.find(va_block);
+}
+
+} // namespace vrc

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The virtually-addressed first-level cache (V-cache).
+ *
+ * Tag entry contents follow Figure 3 of the paper: a virtual tag, an
+ * r-pointer (the low log2(R-cache-size / page-size) bits of the physical
+ * page number, which with the page offset addresses the parent entry in
+ * the R-cache), a dirty bit, a valid bit, and a swapped-valid bit.
+ *
+ * The swapped-valid (sv) bit implements incremental write-back across
+ * context switches: markAllSwapped() "invalidates" every block for hit
+ * purposes while retaining contents, and a dirty swapped block is only
+ * written back when its slot is eventually reclaimed.
+ *
+ * Alongside the architected r-pointer bits the simulator keeps the full
+ * physical block address of each line. Hardware does not store those
+ * bits -- it relocates the parent by indexing the R-cache with
+ * r-pointer + page offset and searching the set -- but the information
+ * content is identical, and checkInvariants() in the hierarchy verifies
+ * that the architected bits reconstruct the same R-cache set.
+ */
+
+#ifndef VRC_CORE_VCACHE_HH
+#define VRC_CORE_VCACHE_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "base/addr.hh"
+#include "base/types.hh"
+#include "cache/tag_store.hh"
+#include "core/config.hh"
+
+namespace vrc
+{
+
+/** Per-line metadata of the V-cache (Figure 3, top). */
+struct VLineMeta
+{
+    bool dirty = false;
+    bool swappedValid = false;  ///< belongs to a switched-out process
+    std::uint32_t rPointer = 0; ///< architected link bits to the R-cache
+    std::uint32_t physBlockAddr = 0; ///< simulator-held full link
+};
+
+/** The virtually-indexed, virtually-tagged level-1 cache. */
+class VCache
+{
+  public:
+    /**
+     * @param params     size/block/associativity of this cache
+     * @param page_size  system page size (for r-pointer width)
+     * @param l2_size    R-cache size in bytes (for r-pointer width)
+     * @param seed       replacement randomness seed
+     */
+    VCache(const CacheParams &params, std::uint32_t page_size,
+           std::uint32_t l2_size, std::uint64_t seed = 0x5ca1e);
+
+    using Store = TagStore<VLineMeta>;
+    using Line = Store::Line;
+
+    /**
+     * Look up a virtual address.
+     *
+     * @return the line location on a *valid* hit (present and not
+     *         swapped), nullopt otherwise. Updates recency on hit.
+     */
+    std::optional<LineRef> lookup(VirtAddr va);
+
+    /** Pick the replacement victim for @p va's set. */
+    LineRef victimFor(VirtAddr va);
+
+    /**
+     * Install a block for @p va into @p slot.
+     *
+     * @param pa_block block-aligned physical address (sets the r-pointer)
+     * @param dirty    initial dirty state
+     */
+    Line &install(LineRef slot, VirtAddr va, std::uint32_t pa_block,
+                  bool dirty);
+
+    /**
+     * Re-tag an existing line to a new virtual address without moving
+     * data (synonym "sameset" relink). Clears swapped-valid, preserves
+     * dirty and the physical link.
+     */
+    void retag(LineRef slot, VirtAddr va);
+
+    /** Invalidate one line completely (drops content). */
+    void invalidate(LineRef slot) { _tags.invalidate(slot); }
+
+    /** Set the swapped-valid bit on every occupied line (context switch). */
+    void markAllSwapped();
+
+    /** Direct line access. */
+    Line &line(LineRef ref) { return _tags.line(ref); }
+    const Line &line(LineRef ref) const { return _tags.line(ref); }
+
+    /** Block-aligned *virtual* address an occupied line maps to. */
+    std::uint32_t
+    lineVAddr(LineRef ref) const
+    {
+        return _tags.lineAddr(ref);
+    }
+
+    /** Set index of a virtual address. */
+    std::uint32_t
+    setIndex(VirtAddr va) const
+    {
+        return _tags.geometry().setIndex(va.value());
+    }
+
+    /**
+     * Find the occupied line (valid or swapped) holding virtual block
+     * @p va_block, if any. Does not update recency.
+     */
+    std::optional<LineRef> findOccupied(std::uint32_t va_block) const;
+
+    /** Architected r-pointer bits for a physical block address. */
+    std::uint32_t
+    rPointerBits(std::uint32_t pa) const
+    {
+        return (pa / _pageSize) & (_rPointerSpan - 1);
+    }
+
+    const CacheGeometry &geometry() const { return _tags.geometry(); }
+    Store &tags() { return _tags; }
+    const Store &tags() const { return _tags; }
+
+  private:
+    Store _tags;
+    std::uint32_t _pageSize;
+    std::uint32_t _rPointerSpan;  ///< R-cache size / page size
+};
+
+} // namespace vrc
+
+#endif // VRC_CORE_VCACHE_HH

@@ -1,0 +1,607 @@
+#include "core/vr_hierarchy.hh"
+
+#include "base/bitops.hh"
+#include "base/log.hh"
+#include "vm/addr_space.hh"
+
+namespace vrc
+{
+
+VrHierarchy::VrHierarchy(const HierarchyParams &params,
+                         AddressSpaceManager &spaces, SharedBus &bus,
+                         bool l1_virtual)
+    : _params(params), _spaces(spaces), _bus(bus), _l1Virtual(l1_virtual),
+      _r(params.l2, params.l1.blockBytes,
+         params.splitL1 ? params.l1.sizeBytes / 2 : params.l1.sizeBytes,
+         params.pageSize),
+      _wb(params.writeBufferDepth, params.writeBufferDrainLatency),
+      _tlb(params.tlbEntries, params.tlbAssoc)
+{
+    CacheParams l1 = params.l1;
+    if (params.splitL1) {
+        panicIfNot(l1.sizeBytes >= 2 * l1.blockBytes,
+                   "split level-1 cache too small");
+        l1.sizeBytes /= 2;  // equal I and D halves, as in the paper
+        _l1[0] = std::make_unique<VCache>(l1, params.pageSize,
+                                          params.l2.sizeBytes, 0xdada);
+        _l1[1] = std::make_unique<VCache>(l1, params.pageSize,
+                                          params.l2.sizeBytes, 0x1f1f);
+    } else {
+        _l1[0] = std::make_unique<VCache>(l1, params.pageSize,
+                                          params.l2.sizeBytes, 0xdada);
+    }
+    _wb.setDrainHandler(
+        [this](const WriteBufferEntry &e) { onWriteBufferDrain(e); });
+    setCpuId(bus.attach(this));
+}
+
+void
+VrHierarchy::onWriteBufferDrain(const WriteBufferEntry &entry)
+{
+    // The write-back completes: the R-cache copy absorbs the data. The
+    // parent line must still be present -- every path that could remove
+    // it (R-cache eviction, bus invalidation) extracts pending buffer
+    // entries first.
+    auto rref = _r.probe(PhysAddr(entry.physBlockAddr));
+    panicIfNot(rref.has_value(),
+               "write-buffer drain with no parent R-cache line");
+    RSubentry &s = _r.sub(*rref, PhysAddr(entry.physBlockAddr));
+    panicIfNot(s.buffer, "drained entry had no buffer bit set");
+    s.buffer = false;
+    s.vdirty = false;
+    _r.line(*rref).meta.rdirty = true;
+    stats().counter("writeback_completions")++;
+    emitEvent(EventKind::WritebackComplete, _refIndex, 0,
+              entry.physBlockAddr);
+}
+
+void
+VrHierarchy::evictVVictim(VCache &vc, LineRef slot)
+{
+    VCache::Line &victim = vc.line(slot);
+    if (!victim.valid)
+        return;
+
+    PhysAddr pa(victim.meta.physBlockAddr);
+    auto rref = _r.probe(pa);
+    panicIfNot(rref.has_value(), "V-cache victim has no R-cache parent");
+    RSubentry &s = _r.sub(*rref, pa);
+    panicIfNot(s.inclusion, "V-cache victim's inclusion bit not set");
+
+    s.inclusion = false;
+    if (victim.meta.dirty) {
+        // Park the block in the write buffer; the buffer bit marks the
+        // data as still owned by the level-1 complex.
+        s.buffer = true;
+        if (_wb.push(victim.meta.physBlockAddr, _refIndex))
+            stats().counter("wb_stalls")++;
+        stats().counter("writebacks")++;
+        emitEvent(EventKind::WritebackParked, _refIndex, 0,
+                  victim.meta.physBlockAddr);
+        if (victim.meta.swappedValid) {
+            stats().counter("swapped_writebacks")++;
+            emitEvent(EventKind::SwappedWriteback, _refIndex, 0,
+                      victim.meta.physBlockAddr);
+        }
+        noteWriteBack(_refIndex);
+    } else {
+        s.vdirty = false;
+    }
+    vc.invalidate(slot);
+}
+
+AccessOutcome
+VrHierarchy::access(const MemAccess &acc)
+{
+    ++_refIndex;
+    _wb.tick(_refIndex);
+    noteRef(acc.type);
+
+    unsigned ci = l1IndexFor(acc.type);
+    VCache &vc = *_l1[ci];
+
+    // In V-R mode level 1 is looked up with the virtual address (the
+    // TLB access proceeds concurrently in hardware and is aborted on a
+    // hit). In R-R mode the translation must complete first -- that is
+    // precisely the access-time penalty Figures 4-6 study.
+    VirtAddr l1_key = acc.va;
+    std::optional<PhysAddr> pa;
+    if (!_l1Virtual) {
+        pa = translate(acc);
+        l1_key = VirtAddr(pa->value());
+    }
+
+    // 1. Level-1 lookup.
+    if (auto hit = vc.lookup(l1_key)) {
+        VCache::Line &l = vc.line(*hit);
+        if (acc.type == RefType::Write && !l.meta.dirty) {
+            // Write hit on a clean block: wait for invack from the
+            // R-cache (clearing coherence with other copies first).
+            PhysAddr block(l.meta.physBlockAddr);
+            auto rref = _r.probe(block);
+            panicIfNot(rref.has_value(), "clean V block lost its parent");
+            if (resolveWriteCoherence(_r.line(*rref), block)) {
+                _r.sub(*rref, block).vdirty = true;
+                l.meta.dirty = true;
+            }
+            // Otherwise (write-update to a shared block) the data went
+            // out on the bus and to memory: the copy stays clean.
+        }
+        noteL1Hit(acc.type);
+        emitEvent(EventKind::L1Hit, _refIndex, l1_key.value(),
+                  l.meta.physBlockAddr);
+        return AccessOutcome::L1Hit;
+    }
+
+    // 2. Level-1 miss: commit the replacement, then translate.
+    LineRef slot = vc.victimFor(l1_key);
+    evictVVictim(vc, slot);
+
+    if (!pa)
+        pa = translate(acc);
+    PhysAddr pa_block(l1Block(pa->value()));
+
+    // 3. R-cache access.
+    if (auto rref = _r.lookup(pa_block))
+        return handleRHit(acc.type, l1_key, ci, slot, *rref, pa_block);
+    return handleRMiss(acc.type, l1_key, ci, slot, pa_block);
+}
+
+PhysAddr
+VrHierarchy::translate(const MemAccess &acc)
+{
+    Ppn ppn = _tlb.translate(acc.pid, acc.va.vpn(_params.pageSize),
+                             _spaces);
+    return makePhysAddr(ppn, acc.va.pageOffset(_params.pageSize),
+                        _params.pageSize);
+}
+
+bool
+VrHierarchy::resolveWriteCoherence(RCache::Line &rline, PhysAddr pa)
+{
+    if (rline.meta.state != CoherenceState::Shared) {
+        // Exclusive: silent upgrade, the write stays local and dirty.
+        rline.meta.state = CoherenceState::Private;
+        return true;
+    }
+    if (_params.protocol == CoherencePolicy::WriteInvalidate) {
+        _bus.broadcast(BusTransaction{
+            BusOp::Invalidate, PhysAddr(l2Block(pa.value())), cpuId()});
+        stats().counter("invalidations_sent")++;
+        rline.meta.state = CoherenceState::Private;
+        return true;
+    }
+    // Write-update: broadcast the new data; every copy (and memory)
+    // absorbs it, so our block stays clean. If nobody acknowledged
+    // sharing, downgrade to Private so later writes stay local
+    // (Firefly's shared-line optimization).
+    BusResult br = _bus.broadcast(BusTransaction{
+        BusOp::Update, PhysAddr(l2Block(pa.value())), cpuId()});
+    stats().counter("updates_sent")++;
+    stats().counter("memory_writes")++;  // bus write-through
+    rline.meta.state =
+        br.shared ? CoherenceState::Shared : CoherenceState::Private;
+    return false;
+}
+
+AccessOutcome
+VrHierarchy::handleRHit(RefType type, VirtAddr l1_key, unsigned ci,
+                        LineRef slot, LineRef rref, PhysAddr pa)
+{
+    VCache &vc = *_l1[ci];
+    RCache::Line &rline = _r.line(rref);
+    RSubentry &s = _r.sub(rref, pa);
+    std::uint32_t va_block = l1Block(l1_key.value());
+
+    AccessOutcome outcome;
+    LineRef data_slot = slot;
+
+    if (s.inclusion) {
+        // Synonym: the block lives in a level-1 cache under another
+        // virtual address (or under the same address, swapped out).
+        VCache &oc = *_l1[s.l1Index];
+        auto child = oc.findOccupied(s.childAddrBlock);
+        panicIfNot(child.has_value(), "dangling inclusion pointer");
+        bool same_place = (s.l1Index == ci) &&
+            (oc.setIndex(VirtAddr(s.childAddrBlock)) ==
+             vc.setIndex(l1_key));
+        if (same_place) {
+            // sameset: re-tag in place, no data movement.
+            oc.retag(*child, l1_key);
+            data_slot = *child;
+            stats().counter("synonym_sameset")++;
+            emitEvent(EventKind::SynonymSameset, _refIndex,
+                      l1_key.value(), pa.value());
+        } else {
+            // move: relocate the block into the new slot.
+            bool was_dirty = oc.line(*child).meta.dirty;
+            oc.invalidate(*child);
+            vc.install(slot, l1_key, pa.value(), was_dirty);
+            stats().counter("synonym_moves")++;
+            emitEvent(EventKind::SynonymMove, _refIndex,
+                      l1_key.value(), pa.value());
+        }
+        s.l1Index = static_cast<std::uint8_t>(ci);
+        s.vPointer = _r.vPointerBits(va_block);
+        s.childAddrBlock = va_block;
+        stats().counter("synonym_hits")++;
+        outcome = AccessOutcome::SynonymHit;
+    } else if (s.buffer) {
+        // The block sits in the write buffer (for a direct-mapped
+        // V-cache this is the paper's sameset case with a dirty
+        // replaced block): cancel the write-back and pull it back.
+        auto pulled = _wb.remove(pa.value());
+        panicIfNot(pulled.has_value(), "buffer bit with no buffer entry");
+        s.buffer = false;
+        vc.install(slot, l1_key, pa.value(), true);
+        s.inclusion = true;
+        s.l1Index = static_cast<std::uint8_t>(ci);
+        s.vPointer = _r.vPointerBits(va_block);
+        s.childAddrBlock = va_block;
+        panicIfNot(s.vdirty, "buffered block lost its vdirty bit");
+        stats().counter("writeback_cancels")++;
+        emitEvent(EventKind::WritebackCancel, _refIndex,
+                  l1_key.value(), pa.value());
+        stats().counter("synonym_hits")++;
+        stats().counter("synonym_from_buffer")++;
+        outcome = AccessOutcome::SynonymHit;
+    } else {
+        // Plain second-level hit: data supply to the V-cache.
+        vc.install(slot, l1_key, pa.value(), false);
+        s.inclusion = true;
+        s.l1Index = static_cast<std::uint8_t>(ci);
+        s.vPointer = _r.vPointerBits(va_block);
+        s.childAddrBlock = va_block;
+        s.vdirty = false;
+        stats().counter("l2_hits")++;
+        emitEvent(EventKind::L2Hit, _refIndex, l1_key.value(),
+                  pa.value());
+        outcome = AccessOutcome::L2Hit;
+    }
+
+    if (type == RefType::Write) {
+        if (resolveWriteCoherence(rline, pa)) {
+            s.vdirty = true;
+            // data_slot is always in vc: the sameset branch requires
+            // the synonym to live in the same (target) cache and set.
+            vc.line(data_slot).meta.dirty = true;
+        } else {
+            // Write-update to a shared block: propagated, stays clean.
+            s.vdirty = false;
+            vc.line(data_slot).meta.dirty = false;
+        }
+    }
+    return outcome;
+}
+
+AccessOutcome
+VrHierarchy::handleRMiss(RefType type, VirtAddr l1_key, unsigned ci,
+                         LineRef slot, PhysAddr pa)
+{
+    VCache &vc = *_l1[ci];
+    PhysAddr pa_line(l2Block(pa.value()));
+
+    auto [rslot, forced] = _r.victimFor(pa_line);
+    if (_r.line(rslot).valid)
+        evictRLine(rslot, forced);
+
+    bool is_write = type == RefType::Write;
+    bool update_protocol =
+        _params.protocol == CoherencePolicy::WriteUpdate;
+
+    // Write misses: invalidation protocols fetch with intent to modify;
+    // update protocols fetch normally and then broadcast the new data
+    // if anyone else holds the block.
+    BusOp op = (is_write && !update_protocol) ? BusOp::ReadModWrite
+                                              : BusOp::ReadMiss;
+    BusResult br =
+        _bus.broadcast(BusTransaction{op, pa_line, cpuId()});
+    stats().counter("misses")++;
+    if (br.suppliedByCache)
+        stats().counter("fills_from_cache")++;
+    else
+        stats().counter("fills_from_memory")++;
+
+    CoherenceState st;
+    bool dirty = is_write;
+    if (is_write && !update_protocol) {
+        st = CoherenceState::Private;  // read-modified-write: exclusive
+    } else {
+        st = br.shared ? CoherenceState::Shared : CoherenceState::Private;
+        if (is_write && br.shared) {
+            // Propagate the write to the other copies and memory.
+            _bus.broadcast(
+                BusTransaction{BusOp::Update, pa_line, cpuId()});
+            stats().counter("updates_sent")++;
+            stats().counter("memory_writes")++;
+            dirty = false;
+        }
+    }
+
+    RCache::Line &rline = _r.install(rslot, pa_line, st);
+    RSubentry &s = _r.sub(rslot, pa);
+    std::uint32_t va_block = l1Block(l1_key.value());
+
+    vc.install(slot, l1_key, pa.value(), dirty);
+    s.inclusion = true;
+    s.l1Index = static_cast<std::uint8_t>(ci);
+    s.vPointer = _r.vPointerBits(va_block);
+    s.childAddrBlock = va_block;
+    s.vdirty = dirty;
+    rline.meta.rdirty = false;
+    emitEvent(EventKind::Miss, _refIndex, l1_key.value(), pa.value());
+    return AccessOutcome::Miss;
+}
+
+void
+VrHierarchy::evictRLine(LineRef rslot, bool forced)
+{
+    RCache::Line &rline = _r.line(rslot);
+    std::uint32_t line_addr = _r.lineAddr(rslot);
+    bool dirty_data = rline.meta.rdirty;
+
+    for (std::uint32_t i = 0; i < _r.subCount(); ++i) {
+        RSubentry &s = rline.meta.subs[i];
+        std::uint32_t sub_addr = line_addr + i * _params.l1.blockBytes;
+        if (s.buffer) {
+            // Complete the parked write-back straight to memory.
+            auto e = _wb.remove(sub_addr);
+            panicIfNot(e.has_value(), "buffer bit with no buffer entry");
+            s.buffer = false;
+            dirty_data = true;
+        }
+        if (s.inclusion) {
+            // Relaxed replacement fallback: kill the level-1 child.
+            VCache &oc = *_l1[s.l1Index];
+            auto child = oc.findOccupied(s.childAddrBlock);
+            panicIfNot(child.has_value(), "dangling inclusion pointer");
+            if (oc.line(*child).meta.dirty)
+                dirty_data = true;
+            oc.invalidate(*child);
+            s.inclusion = false;
+            stats().counter("inclusion_invalidations")++;
+            stats().counter("l1_coherence_msgs")++;
+            emitEvent(EventKind::InclusionInvalidation, _refIndex,
+                      s.childAddrBlock, sub_addr);
+            panicIfNot(forced,
+                       "children evicted on a non-forced replacement");
+        }
+        s.vdirty = false;
+    }
+    if (dirty_data)
+        stats().counter("memory_writes")++;
+    _r.invalidate(rslot);
+    if (forced)
+        stats().counter("forced_r_replacements")++;
+}
+
+void
+VrHierarchy::contextSwitch(ProcessId new_pid)
+{
+    (void)new_pid;  // level-1 tags carry no process id
+    if (_l1Virtual) {
+        // Virtual tags are ambiguous across processes: swap-invalidate
+        // everything; dirty blocks write back lazily on replacement.
+        for (unsigned i = 0; i < l1Count(); ++i)
+            _l1[i]->markAllSwapped();
+    }
+    // Physical tags (R-R mode) stay valid across switches.
+    stats().counter("context_switches")++;
+    emitEvent(EventKind::ContextSwitch, _refIndex);
+}
+
+SnoopResult
+VrHierarchy::snoopReadMiss(LineRef rref)
+{
+    SnoopResult res;
+    RCache::Line &rline = _r.line(rref);
+    std::uint32_t line_addr = _r.lineAddr(rref);
+    res.sharedAck = true;
+
+    for (std::uint32_t i = 0; i < _r.subCount(); ++i) {
+        RSubentry &s = rline.meta.subs[i];
+        std::uint32_t sub_addr = line_addr + i * _params.l1.blockBytes;
+        if (s.inclusion && s.vdirty) {
+            // flush(v-pointer): the V-cache supplies, stays valid clean.
+            VCache &oc = *_l1[s.l1Index];
+            auto child = oc.findOccupied(s.childAddrBlock);
+            panicIfNot(child.has_value(), "dangling inclusion pointer");
+            oc.line(*child).meta.dirty = false;
+            s.vdirty = false;
+            res.suppliedData = true;
+            stats().counter("l1_coherence_msgs")++;
+            stats().counter("l1_flushes")++;
+            stats().counter("memory_writes")++;
+            emitEvent(EventKind::L1Flush, _refIndex,
+                      s.childAddrBlock, sub_addr);
+        } else if (s.buffer && s.vdirty) {
+            // flush(buffer): the write buffer supplies; entry retires.
+            auto e = _wb.remove(sub_addr);
+            panicIfNot(e.has_value(), "buffer bit with no buffer entry");
+            s.buffer = false;
+            s.vdirty = false;
+            res.suppliedData = true;
+            stats().counter("l1_coherence_msgs")++;
+            stats().counter("buffer_flushes")++;
+            stats().counter("memory_writes")++;
+            emitEvent(EventKind::BufferFlush, _refIndex, 0, sub_addr);
+        }
+    }
+    if (rline.meta.rdirty) {
+        rline.meta.rdirty = false;
+        res.suppliedData = true;
+        stats().counter("memory_writes")++;
+    }
+    rline.meta.state = CoherenceState::Shared;
+    return res;
+}
+
+void
+VrHierarchy::snoopInvalidate(LineRef rref)
+{
+    RCache::Line &rline = _r.line(rref);
+    std::uint32_t line_addr = _r.lineAddr(rref);
+
+    for (std::uint32_t i = 0; i < _r.subCount(); ++i) {
+        RSubentry &s = rline.meta.subs[i];
+        std::uint32_t sub_addr = line_addr + i * _params.l1.blockBytes;
+        if (s.inclusion) {
+            VCache &oc = *_l1[s.l1Index];
+            auto child = oc.findOccupied(s.childAddrBlock);
+            panicIfNot(child.has_value(), "dangling inclusion pointer");
+            oc.invalidate(*child);
+            s.inclusion = false;
+            stats().counter("l1_coherence_msgs")++;
+            stats().counter("l1_invalidations")++;
+            emitEvent(EventKind::L1Invalidation, _refIndex,
+                      s.childAddrBlock, sub_addr);
+        }
+        if (s.buffer) {
+            // invalidation(buffer): the parked write-back is obsolete.
+            auto e = _wb.remove(sub_addr);
+            panicIfNot(e.has_value(), "buffer bit with no buffer entry");
+            s.buffer = false;
+            stats().counter("l1_coherence_msgs")++;
+            stats().counter("buffer_invalidations")++;
+            emitEvent(EventKind::BufferInvalidation, _refIndex, 0,
+                      sub_addr);
+        }
+    }
+    _r.invalidate(rref);
+}
+
+SnoopResult
+VrHierarchy::snoopUpdate(LineRef rref)
+{
+    // A foreign write-update: every copy absorbs the new data in
+    // place. Memory was updated on the bus, so nothing here is dirty
+    // any more; the line stays valid and shared. The R-cache still
+    // shields level 1: the update percolates only to an actual child.
+    SnoopResult res;
+    res.sharedAck = true;
+    RCache::Line &rline = _r.line(rref);
+    rline.meta.state = CoherenceState::Shared;
+    rline.meta.rdirty = false;
+
+    for (std::uint32_t i = 0; i < _r.subCount(); ++i) {
+        RSubentry &s = rline.meta.subs[i];
+        if (s.inclusion) {
+            VCache &oc = *_l1[s.l1Index];
+            auto child = oc.findOccupied(s.childAddrBlock);
+            panicIfNot(child.has_value(), "dangling inclusion pointer");
+            oc.line(*child).meta.dirty = false;
+            s.vdirty = false;
+            stats().counter("l1_coherence_msgs")++;
+            stats().counter("l1_updates")++;
+            emitEvent(EventKind::L1Update, _refIndex,
+                      s.childAddrBlock, _r.lineAddr(rref));
+        }
+        // A buffered (dirty) copy implies we held the block Private, in
+        // which case no foreign writer can exist: nothing to do here.
+    }
+    return res;
+}
+
+SnoopResult
+VrHierarchy::snoop(const BusTransaction &tx)
+{
+    SnoopResult res;
+    auto rref = _r.probe(tx.blockAddr);
+    stats().counter("snoops")++;
+    if (!rref) {
+        stats().counter("snoop_misses")++;
+        return res;
+    }
+    stats().counter("snoop_hits")++;
+
+    switch (tx.op) {
+      case BusOp::ReadMiss:
+        res = snoopReadMiss(*rref);
+        break;
+      case BusOp::Invalidate:
+        snoopInvalidate(*rref);
+        break;
+      case BusOp::ReadModWrite:
+        res = snoopReadMiss(*rref);
+        snoopInvalidate(*rref);
+        res.sharedAck = false;  // nothing survives an invalidation
+        break;
+      case BusOp::Update:
+        res = snoopUpdate(*rref);
+        break;
+    }
+    return res;
+}
+
+void
+VrHierarchy::checkInvariants() const
+{
+    // Level-1 -> level-2 direction.
+    for (unsigned ci = 0; ci < l1Count(); ++ci) {
+        const VCache &vc = *_l1[ci];
+        vc.tags().forEachLine([&](LineRef ref, const VCache::Line &l) {
+            if (!l.valid)
+                return;
+            PhysAddr pa(l.meta.physBlockAddr);
+            auto rref = _r.probe(pa);
+            panicIfNot(rref.has_value(),
+                       "inclusion violated: V block with no parent");
+            const RSubentry &s = _r.sub(*rref, pa);
+            panicIfNot(s.inclusion, "parent inclusion bit clear");
+            panicIfNot(s.l1Index == ci, "parent points at the wrong L1");
+            panicIfNot(s.childAddrBlock == vc.lineVAddr(ref),
+                       "parent v-pointer names the wrong child");
+            panicIfNot(s.vdirty == l.meta.dirty,
+                       "vdirty bit out of sync with the child");
+            // The architected r-pointer must reconstruct the R-cache
+            // set (the paper's claim that log2(C2/page) bits suffice).
+            panicIfNot(l.meta.rPointer == vc.rPointerBits(pa.value()),
+                       "stale r-pointer bits");
+            std::uint32_t rebuilt =
+                l.meta.rPointer * _params.pageSize +
+                pa.value() % _params.pageSize;
+            panicIfNot(_r.geometry().setIndex(rebuilt) ==
+                           _r.geometry().setIndex(pa.value()),
+                       "r-pointer + page offset misses the R-cache set");
+            if (l.meta.dirty) {
+                panicIfNot(_r.line(*rref).meta.state ==
+                               CoherenceState::Private,
+                           "dirty child in a non-private line");
+            }
+        });
+    }
+
+    // Level-2 -> level-1 direction, plus buffer-bit consistency.
+    _r.tags().forEachLine(
+        [&](LineRef rref, const RCache::Line &rl) {
+            if (!rl.valid)
+                return;
+            for (std::uint32_t i = 0; i < _r.subCount(); ++i) {
+                const RSubentry &s = rl.meta.subs[i];
+                std::uint32_t sub_addr =
+                    _r.lineAddr(rref) + i * _params.l1.blockBytes;
+                panicIfNot(!(s.inclusion && s.buffer),
+                           "block both in V-cache and write buffer");
+                if (s.inclusion) {
+                    const VCache &oc = *_l1[s.l1Index];
+                    auto child = oc.findOccupied(s.childAddrBlock);
+                    panicIfNot(child.has_value(),
+                               "inclusion bit with no child");
+                    panicIfNot(oc.line(*child).meta.physBlockAddr ==
+                                   sub_addr,
+                               "child links to a different block");
+                    panicIfNot(s.vPointer ==
+                                   _r.vPointerBits(s.childAddrBlock),
+                               "stale v-pointer bits");
+                }
+                if (s.buffer) {
+                    panicIfNot(_wb.contains(sub_addr),
+                               "buffer bit with no write-buffer entry");
+                    panicIfNot(s.vdirty,
+                               "buffered block must be marked vdirty");
+                }
+            }
+        });
+}
+
+} // namespace vrc

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * The paper's two-level virtual-real cache hierarchy.
+ *
+ * Level 1 is one (or, when split, two) virtually-addressed VCache(s);
+ * level 2 is a physically-addressed RCache enforcing inclusion, with a
+ * TLB at the second level. The implementation follows the operational
+ * description in Section 3 of the paper:
+ *
+ *  - V-cache read/write hit: serviced locally; a write hit on a clean
+ *    block first clears coherence through the R-cache state (invack).
+ *  - V-cache miss: the victim is evicted first (clean: clear the parent
+ *    inclusion bit; dirty: park in the write buffer and set the parent
+ *    buffer bit), the address is translated by the second-level TLB,
+ *    and the R-cache is accessed.
+ *  - R-cache hit with the inclusion bit set under a different virtual
+ *    address: a synonym. Same target set: re-tag in place ("sameset").
+ *    Different set or different split cache: move the block ("move").
+ *  - R-cache hit with the buffer bit set: the block is in the write
+ *    buffer (for a direct-mapped V-cache this is exactly the paper's
+ *    sameset-with-dirty-victim case); the pending write-back is
+ *    canceled and the block pulled back dirty.
+ *  - R-cache miss: relaxed inclusion replacement (victimize a line with
+ *    no level-1 children if possible, otherwise invalidate the children
+ *    and count an inclusion invalidation), then a bus read-miss or
+ *    read-modified-write transaction.
+ *  - Context switch: every V-cache block gets the swapped-valid bit;
+ *    dirty swapped blocks are written back lazily on replacement.
+ *  - Bus-induced requests are filtered by the R-cache and percolate to
+ *    level 1 only when the inclusion/buffer/vdirty bits require it.
+ */
+
+#ifndef VRC_CORE_VR_HIERARCHY_HH
+#define VRC_CORE_VR_HIERARCHY_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "cache/write_buffer.hh"
+#include "coherence/bus.hh"
+#include "core/config.hh"
+#include "core/hierarchy.hh"
+#include "core/rcache.hh"
+#include "core/vcache.hh"
+#include "vm/tlb.hh"
+
+namespace vrc
+{
+
+class AddressSpaceManager;
+
+/**
+ * The virtual-real two-level hierarchy (the paper's proposal).
+ *
+ * The same engine also implements the paper's R-R (inclusion) baseline:
+ * constructing with l1_virtual = false indexes and tags level 1 with
+ * *physical* addresses (translating before the level-1 lookup, i.e. a
+ * TLB at the first level). In that mode synonyms cannot arise in a
+ * unified level 1 (physical tags are unique), nothing is flushed on a
+ * context switch, and all the inclusion / write-buffer / coherence
+ * shielding machinery is shared unchanged -- which is exactly the
+ * comparison the paper makes.
+ */
+class VrHierarchy : public CacheHierarchy
+{
+  public:
+    /**
+     * @param params     cache geometry and policy parameters
+     * @param spaces     machine-wide address spaces (shared by all CPUs)
+     * @param bus        the shared snooping bus; this hierarchy attaches
+     *                   itself and adopts the returned CPU id
+     * @param l1_virtual level-1 indexed/tagged by virtual addresses
+     *                   (true: the paper's V-R design; false: the R-R
+     *                   inclusion baseline)
+     */
+    VrHierarchy(const HierarchyParams &params, AddressSpaceManager &spaces,
+                SharedBus &bus, bool l1_virtual = true);
+
+    AccessOutcome access(const MemAccess &acc) override;
+    void contextSwitch(ProcessId new_pid) override;
+    SnoopResult snoop(const BusTransaction &tx) override;
+    void checkInvariants() const override;
+
+    void
+    tlbShootdown(ProcessId pid, Vpn vpn) override
+    {
+        if (_tlb.invalidate(pid, vpn))
+            stats().counter("tlb_shootdowns")++;
+    }
+
+    /** Number of level-1 caches (1 unified, 2 split). */
+    unsigned l1Count() const { return _params.splitL1 ? 2 : 1; }
+
+    /** Level-1 cache: index 0 = unified/data, 1 = instruction. */
+    VCache &vcache(unsigned idx = 0) { return *_l1[idx]; }
+    const VCache &vcache(unsigned idx = 0) const { return *_l1[idx]; }
+
+    RCache &rcache() { return _r; }
+    const RCache &rcache() const { return _r; }
+
+    WriteBuffer &writeBuffer() { return _wb; }
+    const WriteBuffer &writeBuffer() const { return _wb; }
+
+    Tlb &tlb() { return _tlb; }
+
+    const HierarchyParams &params() const { return _params; }
+
+    /** Local references processed so far (the hierarchy's clock). */
+    std::uint64_t refIndex() const { return _refIndex; }
+
+    /** True when level 1 is virtually addressed (the V-R design). */
+    bool l1Virtual() const { return _l1Virtual; }
+
+  private:
+    /** Which L1 serves a reference type (0 = data/unified, 1 = instr). */
+    unsigned
+    l1IndexFor(RefType t) const
+    {
+        return (_params.splitL1 && t == RefType::Instr) ? 1 : 0;
+    }
+
+    /** Align to the level-1 block size. */
+    std::uint32_t
+    l1Block(std::uint32_t addr) const
+    {
+        return addr & ~(_params.l1.blockBytes - 1);
+    }
+
+    /** Align to the level-2 line size. */
+    std::uint32_t
+    l2Block(std::uint32_t addr) const
+    {
+        return addr & ~(_params.l2.blockBytes - 1);
+    }
+
+    /** Evict the chosen V-cache victim, notifying the R-cache. */
+    void evictVVictim(VCache &vc, LineRef slot);
+
+    /** Translate via the TLB (demand-allocating on first touch). */
+    PhysAddr translate(const MemAccess &acc);
+
+    /**
+     * Processor-side handling after an R-cache hit.
+     *
+     * @param l1_key the level-1 lookup address (virtual in V-R mode,
+     *               physical in R-R mode)
+     */
+    AccessOutcome handleRHit(RefType type, VirtAddr l1_key, unsigned ci,
+                             LineRef slot, LineRef rref, PhysAddr pa);
+
+    /** Processor-side handling after an R-cache miss. */
+    AccessOutcome handleRMiss(RefType type, VirtAddr l1_key, unsigned ci,
+                              LineRef slot, PhysAddr pa);
+
+    /** Evict an R-cache line (inclusion invalidations, write-back). */
+    void evictRLine(LineRef rslot, bool forced);
+
+    /**
+     * Clear coherence for a write to the given line.
+     *
+     * Write-invalidate: invalidates other copies, upgrades to Private.
+     * Write-update: broadcasts the data to all copies and memory.
+     *
+     * @return true if the local copy should be marked dirty (the write
+     *         stayed local); false if it was propagated and stays clean.
+     */
+    bool resolveWriteCoherence(RCache::Line &rline, PhysAddr pa);
+
+    /** Write-buffer drain completion: fold the data into the R-cache. */
+    void onWriteBufferDrain(const WriteBufferEntry &entry);
+
+    /** Snoop helpers for the two halves of read-mod-write. */
+    SnoopResult snoopReadMiss(LineRef rref);
+    void snoopInvalidate(LineRef rref);
+
+    /** Snoop handler for foreign write-update broadcasts. */
+    SnoopResult snoopUpdate(LineRef rref);
+
+    HierarchyParams _params;
+    AddressSpaceManager &_spaces;
+    SharedBus &_bus;
+    bool _l1Virtual;
+    std::array<std::unique_ptr<VCache>, 2> _l1;
+    RCache _r;
+    WriteBuffer _wb;
+    Tlb _tlb;
+    std::uint64_t _refIndex = 0;
+};
+
+} // namespace vrc
+
+#endif // VRC_CORE_VR_HIERARCHY_HH

@@ -1,0 +1,89 @@
+#include "sim/experiment.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace vrc
+{
+
+MachineConfig
+makeMachineConfig(HierarchyKind kind, std::uint32_t l1_size,
+                  std::uint32_t l2_size, std::uint32_t page_size,
+                  bool split)
+{
+    MachineConfig mc;
+    mc.kind = kind;
+    mc.hierarchy.pageSize = page_size;
+    mc.hierarchy.l1.sizeBytes = l1_size;
+    mc.hierarchy.l2.sizeBytes = l2_size;
+    mc.hierarchy.splitL1 = split;
+    return mc;
+}
+
+SimSummary
+runSimulation(const TraceBundle &bundle, HierarchyKind kind,
+              std::uint32_t l1_size, std::uint32_t l2_size, bool split,
+              std::uint64_t invariant_period)
+{
+    MachineConfig mc = makeMachineConfig(kind, l1_size, l2_size,
+                                         bundle.profile.pageSize, split);
+    mc.invariantPeriod = invariant_period;
+    MpSimulator sim(mc, bundle.profile);
+    sim.run(bundle.records);
+
+    SimSummary s;
+    s.kind = kind;
+    s.l1Size = l1_size;
+    s.l2Size = l2_size;
+    s.split = split;
+    s.h1 = sim.h1();
+    s.h2 = sim.h2();
+    s.h1Instr = sim.h1ForType(RefType::Instr);
+    s.h1Read = sim.h1ForType(RefType::Read);
+    s.h1Write = sim.h1ForType(RefType::Write);
+    for (CpuId c = 0; c < sim.cpuCount(); ++c) {
+        s.l1MsgsPerCpu.push_back(
+            sim.hierarchy(c).stats().value("l1_coherence_msgs"));
+    }
+    s.inclusionInvalidations =
+        sim.totalCounter("inclusion_invalidations");
+    s.synonymHits = sim.totalCounter("synonym_hits");
+    s.synonymMoves = sim.totalCounter("synonym_moves");
+    s.writebackCancels = sim.totalCounter("writeback_cancels");
+    s.swappedWritebacks = sim.totalCounter("swapped_writebacks");
+    s.busTransactions = sim.bus().transactions();
+    s.memoryWrites = sim.totalCounter("memory_writes");
+    s.refs = sim.refsProcessed();
+    return s;
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>>
+paperSizePairs()
+{
+    return {{4 * 1024, 64 * 1024},
+            {8 * 1024, 128 * 1024},
+            {16 * 1024, 256 * 1024}};
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>>
+smallSizePairs()
+{
+    return {{512, 64 * 1024}, {1024, 128 * 1024}, {2048, 256 * 1024}};
+}
+
+double
+benchScaleFromArgs(int argc, char **argv, double quick)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            return quick;
+        if (std::strncmp(argv[i], "--scale=", 8) == 0)
+            return std::atof(argv[i] + 8);
+    }
+    if (const char *env = std::getenv("VRC_QUICK");
+        env && env[0] == '1')
+        return quick;
+    return 1.0;
+}
+
+} // namespace vrc

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Experiment helpers: run one simulation and summarize the counters the
+ * paper's tables report. Shared by the bench binaries and the
+ * integration tests.
+ */
+
+#ifndef VRC_SIM_EXPERIMENT_HH
+#define VRC_SIM_EXPERIMENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/mp_sim.hh"
+#include "trace/generator.hh"
+
+namespace vrc
+{
+
+/** Everything the paper's tables need from one simulation run. */
+struct SimSummary
+{
+    HierarchyKind kind = HierarchyKind::VirtualReal;
+    std::uint32_t l1Size = 0;
+    std::uint32_t l2Size = 0;
+    bool split = false;
+
+    double h1 = 0.0;       ///< level-1 hit ratio
+    double h2 = 0.0;       ///< local level-2 hit ratio
+    double h1Instr = 0.0;
+    double h1Read = 0.0;
+    double h1Write = 0.0;
+
+    std::vector<std::uint64_t> l1MsgsPerCpu; ///< Tables 11-13 columns
+    std::uint64_t inclusionInvalidations = 0;
+    std::uint64_t synonymHits = 0;
+    std::uint64_t synonymMoves = 0;
+    std::uint64_t writebackCancels = 0;
+    std::uint64_t swappedWritebacks = 0;
+    std::uint64_t writeBufferStalls = 0;
+    std::uint64_t busTransactions = 0;
+    std::uint64_t memoryWrites = 0;
+    std::uint64_t refs = 0;
+};
+
+/** Default machine configuration for a size pair and organization. */
+MachineConfig makeMachineConfig(HierarchyKind kind, std::uint32_t l1_size,
+                                std::uint32_t l2_size,
+                                std::uint32_t page_size, bool split = false);
+
+/**
+ * Run one full simulation of @p bundle on the given organization and
+ * sizes and collect the summary.
+ *
+ * @param invariant_period when nonzero, checkInvariants() runs every
+ *                         that many references (slow; tests only)
+ */
+SimSummary runSimulation(const TraceBundle &bundle, HierarchyKind kind,
+                         std::uint32_t l1_size, std::uint32_t l2_size,
+                         bool split = false,
+                         std::uint64_t invariant_period = 0);
+
+/** The paper's three large size pairs (Table 6, 8-13). */
+std::vector<std::pair<std::uint32_t, std::uint32_t>> paperSizePairs();
+
+/** The paper's three small size pairs (Table 7). */
+std::vector<std::pair<std::uint32_t, std::uint32_t>> smallSizePairs();
+
+/**
+ * Resolve the trace-length scale factor for bench binaries: 1.0 by
+ * default, smaller when --quick is passed or VRC_QUICK is set in the
+ * environment.
+ */
+double benchScaleFromArgs(int argc, char **argv, double quick = 0.05);
+
+} // namespace vrc
+
+#endif // VRC_SIM_EXPERIMENT_HH

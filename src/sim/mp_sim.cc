@@ -1,0 +1,194 @@
+#include "sim/mp_sim.hh"
+
+#include <algorithm>
+
+#include "base/log.hh"
+#include "trace/generator.hh"
+
+namespace vrc
+{
+
+MpSimulator::MpSimulator(const MachineConfig &config,
+                         const WorkloadProfile &profile)
+    : _config(config),
+      _spaces(profile.pageSize, config.physPages)
+{
+    panicIfNot(config.hierarchy.pageSize == profile.pageSize,
+               "hierarchy/profile page size mismatch");
+    setupAddressSpaces(profile, _spaces);
+    _cpuClock.assign(profile.numCpus, 0.0);
+    for (CpuId c = 0; c < profile.numCpus; ++c) {
+        _cpus.push_back(
+            makeHierarchy(config.kind, config.hierarchy, _spaces, _bus));
+        panicIfNot(_cpus.back()->cpuId() == c,
+                   "bus assigned an unexpected CPU id");
+    }
+}
+
+void
+MpSimulator::step(const TraceRecord &r)
+{
+    panicIfNot(r.cpu < _cpus.size(), "trace references an unknown CPU");
+    CacheHierarchy &h = *_cpus[r.cpu];
+    if (r.type == RefType::ContextSwitch) {
+        h.contextSwitch(r.pid);
+        return;
+    }
+    AccessOutcome outcome = h.access(MemAccess{r.type, r.va(), r.pid});
+    double cost = 0.0;
+    switch (outcome) {
+      case AccessOutcome::L1Hit:
+        cost = _config.timing.effectiveT1();
+        break;
+      case AccessOutcome::L2Hit:
+      case AccessOutcome::SynonymHit:
+        cost = _config.timing.t2;
+        break;
+      case AccessOutcome::Miss:
+        cost = _config.timing.tm;
+        break;
+    }
+    _cycles += cost;
+    if (_config.busTiming.enabled) {
+        _cpuClock[r.cpu] += cost;
+        chargeBusTransactions(r.cpu);
+    }
+    ++_refs;
+    if (_config.invariantPeriod != 0 &&
+        _refs % _config.invariantPeriod == 0) {
+        h.checkInvariants();
+    }
+}
+
+void
+MpSimulator::run(const std::vector<TraceRecord> &records)
+{
+    for (const TraceRecord &r : records)
+        step(r);
+}
+
+double
+MpSimulator::h1() const
+{
+    std::uint64_t refs = totalCounter("refs");
+    std::uint64_t hits = totalCounter("l1_hits");
+    return refs ? static_cast<double>(hits) / static_cast<double>(refs)
+                : 0.0;
+}
+
+double
+MpSimulator::h2() const
+{
+    std::uint64_t refs = totalCounter("refs");
+    std::uint64_t hits = totalCounter("l1_hits");
+    std::uint64_t l2 =
+        totalCounter("l2_hits") + totalCounter("synonym_hits");
+    std::uint64_t miss1 = refs - hits;
+    return miss1 ? static_cast<double>(l2) / static_cast<double>(miss1)
+                 : 0.0;
+}
+
+double
+MpSimulator::h1ForType(RefType t) const
+{
+    const char *suffix = t == RefType::Instr ? "instr"
+        : t == RefType::Read               ? "read"
+                                           : "write";
+    std::uint64_t refs = totalCounter(std::string("refs_") + suffix);
+    std::uint64_t hits = totalCounter(std::string("l1_hits_") + suffix);
+    return refs ? static_cast<double>(hits) / static_cast<double>(refs)
+                : 0.0;
+}
+
+std::uint64_t
+MpSimulator::totalCounter(const std::string &name) const
+{
+    std::uint64_t total = 0;
+    for (const auto &cpu : _cpus)
+        total += cpu->stats().value(name);
+    return total;
+}
+
+void
+MpSimulator::remapPage(ProcessId pid, Vpn vpn, Ppn new_ppn)
+{
+    auto old_pa = _spaces.tryTranslate(
+        pid, makeVirtAddr(vpn, 0, _spaces.pageSize()));
+    if (old_pa) {
+        // Reclaim the old frame: flush dirty data and invalidate every
+        // cached copy through the coherent physical level. The
+        // transactions come from a system agent (no attached snooper),
+        // so every hierarchy responds.
+        std::uint32_t line = _config.hierarchy.l2.blockBytes;
+        std::uint32_t base = old_pa->value();
+        for (std::uint32_t off = 0; off < _spaces.pageSize();
+             off += line) {
+            _bus.broadcast(BusTransaction{
+                BusOp::ReadModWrite, PhysAddr(base + off),
+                static_cast<CpuId>(_cpus.size())});
+        }
+    }
+    for (auto &cpu : _cpus)
+        cpu->tlbShootdown(pid, vpn);
+    _spaces.pageTable(pid).map(vpn, new_ppn);
+}
+
+void
+MpSimulator::resetStats()
+{
+    for (auto &cpu : _cpus)
+        cpu->resetStats();
+    _bus.resetStats();
+    _refs = 0;
+    _cycles = 0.0;
+    _cpuClock.assign(_cpuClock.size(), 0.0);
+    _busFree = 0.0;
+    _busBusy = 0.0;
+    _busWait = 0.0;
+    _lastOpCounts = {};
+}
+
+void
+MpSimulator::chargeBusTransactions(CpuId cpu)
+{
+    // Compare per-operation bus counters against the last snapshot and
+    // charge the requester queueing delay plus service time for each
+    // transaction issued during this step.
+    static const char *op_names[4] = {"read-miss", "invalidate",
+                                      "read-modified-write", "update"};
+    const BusTimingParams &bt = _config.busTiming;
+    const double service[4] = {
+        bt.readMissService, bt.invalidateService,
+        bt.readMissService + bt.invalidateService, bt.updateService};
+
+    double &clk = _cpuClock[cpu];
+    for (int i = 0; i < 4; ++i) {
+        std::uint64_t now = _bus.stats().value(op_names[i]);
+        for (std::uint64_t k = _lastOpCounts[i]; k < now; ++k) {
+            double start = std::max(clk, _busFree);
+            _busWait += start - clk;
+            clk = start + service[i];
+            _busFree = clk;
+            _busBusy += service[i];
+        }
+        _lastOpCounts[i] = now;
+    }
+}
+
+double
+MpSimulator::busUtilization() const
+{
+    double horizon = 0.0;
+    for (double c : _cpuClock)
+        horizon = std::max(horizon, c);
+    return horizon > 0.0 ? _busBusy / horizon : 0.0;
+}
+
+void
+MpSimulator::checkInvariants() const
+{
+    for (const auto &cpu : _cpus)
+        cpu->checkInvariants();
+}
+
+} // namespace vrc

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Trace-driven shared-bus multiprocessor simulator.
+ *
+ * One private two-level hierarchy per CPU (Figure 1), all attached to
+ * one snooping bus and sharing the machine's address spaces. The
+ * simulator replays an interleaved trace, dispatching each record to
+ * its CPU's hierarchy and delivering context-switch markers.
+ */
+
+#ifndef VRC_SIM_MP_SIM_HH
+#define VRC_SIM_MP_SIM_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "coherence/bus.hh"
+#include "core/timing.hh"
+#include "core/config.hh"
+#include "core/factory.hh"
+#include "core/hierarchy.hh"
+#include "trace/record.hh"
+#include "trace/workload.hh"
+#include "vm/addr_space.hh"
+
+namespace vrc
+{
+
+/** Whole-machine configuration. */
+struct MachineConfig
+{
+    HierarchyKind kind = HierarchyKind::VirtualReal;
+    HierarchyParams hierarchy;
+    std::uint32_t physPages = 1u << 18;
+
+    /** Run checkInvariants() every N references (0 disables). */
+    std::uint64_t invariantPeriod = 0;
+
+    /**
+     * Access costs used for measured (counted) access-time accounting:
+     * every reference contributes effectiveT1(), t2 or tm depending on
+     * where it hit. The analytic Section-4 equation over the measured
+     * hit ratios must agree exactly with this accounting.
+     */
+    TimingParams timing;
+
+    /**
+     * Optional bus-contention model: when enabled, every bus
+     * transaction must acquire the single shared bus, serializing
+     * against transactions from all CPUs. Requesters stall for the
+     * queueing delay plus the service time; the simulator reports bus
+     * utilization and total waiting. (In this mode `timing.tm` is the
+     * memory latency excluding the bus, which is modeled explicitly.)
+     */
+    BusTimingParams busTiming;
+};
+
+/** A shared-bus multiprocessor built from per-CPU cache hierarchies. */
+class MpSimulator
+{
+  public:
+    /**
+     * Build the machine for a workload: @p profile determines the CPU
+     * count and the shared-segment layout (setupAddressSpaces).
+     */
+    MpSimulator(const MachineConfig &config,
+                const WorkloadProfile &profile);
+
+    /** Replay @p records (appending to any earlier run). */
+    void run(const std::vector<TraceRecord> &records);
+
+    /** Process a single record. */
+    void step(const TraceRecord &r);
+
+    CacheHierarchy &hierarchy(CpuId cpu) { return *_cpus.at(cpu); }
+    const CacheHierarchy &hierarchy(CpuId cpu) const
+    {
+        return *_cpus.at(cpu);
+    }
+
+    std::uint32_t cpuCount() const
+    {
+        return static_cast<std::uint32_t>(_cpus.size());
+    }
+
+    SharedBus &bus() { return _bus; }
+    const SharedBus &bus() const { return _bus; }
+    AddressSpaceManager &spaces() { return _spaces; }
+
+    /** Machine-wide level-1 hit ratio (all CPUs, all reference types). */
+    double h1() const;
+
+    /** Machine-wide local level-2 hit ratio. */
+    double h2() const;
+
+    /** Machine-wide level-1 hit ratio for one reference type. */
+    double h1ForType(RefType t) const;
+
+    /** Sum of a named counter over all CPUs. */
+    std::uint64_t totalCounter(const std::string &name) const;
+
+    /** References processed (memory references only). */
+    std::uint64_t refsProcessed() const { return _refs; }
+
+    /** Accumulated access cost (in t1 units) over all references. */
+    double cycles() const { return _cycles; }
+
+    /** Per-CPU clock under the bus-contention model (t1 units). */
+    double cpuClock(CpuId cpu) const { return _cpuClock.at(cpu); }
+
+    /** Total time the bus spent serving transactions. */
+    double busBusyTime() const { return _busBusy; }
+
+    /** Total time requesters queued waiting for the bus. */
+    double busWaitTime() const { return _busWait; }
+
+    /** Bus utilization: busy time over the slowest CPU's clock. */
+    double busUtilization() const;
+
+    /**
+     * Measured average access time: counted cost per reference. Agrees
+     * with avgAccessTime(h1(), h2(), config().timing) by construction.
+     */
+    double
+    measuredAccessTime() const
+    {
+        return _refs ? _cycles / static_cast<double>(_refs) : 0.0;
+    }
+
+    const MachineConfig &config() const { return _config; }
+
+    /** Run the invariant checks on every hierarchy now. */
+    void checkInvariants() const;
+
+    /**
+     * Zero all statistics (per-CPU counters, bus counters, reference
+     * and cycle accounting) while keeping cache/TLB contents: call
+     * after a warm-up window so reported ratios cover steady state.
+     */
+    void resetStats();
+
+    /**
+     * OS-style page remap: change (pid, vpn) to map @p new_ppn.
+     *
+     * Demonstrates the paper's point that TLB coherence can be handled
+     * at the second level: the old frame's cached copies are flushed
+     * and invalidated machine-wide through ordinary (physical) bus
+     * transactions, and every CPU's TLB entry is shot down -- nothing
+     * touches a V-cache except through its own R-cache filter.
+     */
+    void remapPage(ProcessId pid, Vpn vpn, Ppn new_ppn);
+
+  private:
+    MachineConfig _config;
+    AddressSpaceManager _spaces;
+    SharedBus _bus;
+    /** Charge queueing + service for transactions issued in one step. */
+    void chargeBusTransactions(CpuId cpu);
+
+    std::vector<std::unique_ptr<CacheHierarchy>> _cpus;
+    std::uint64_t _refs = 0;
+    double _cycles = 0.0;
+    std::vector<double> _cpuClock;
+    double _busFree = 0.0;
+    double _busBusy = 0.0;
+    double _busWait = 0.0;
+    std::array<std::uint64_t, 4> _lastOpCounts{};
+};
+
+} // namespace vrc
+
+#endif // VRC_SIM_MP_SIM_HH

@@ -1,0 +1,456 @@
+#include "trace/generator.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "base/bitops.hh"
+#include "base/log.hh"
+#include "vm/addr_space.hh"
+
+namespace vrc
+{
+
+// ---------------------------------------------------------------------
+// NestedWorkingSetSampler
+// ---------------------------------------------------------------------
+
+NestedWorkingSetSampler::NestedWorkingSetSampler(
+    std::vector<WorkingSetLevel> levels, std::uint32_t block_bytes,
+    std::uint32_t region_base)
+    : _levels(std::move(levels)), _blockBytes(block_bytes),
+      _regionBase(region_base)
+{
+    panicIfNot(!_levels.empty(), "sampler needs at least one level");
+    std::sort(_levels.begin(), _levels.end(),
+              [](const auto &a, const auto &b) { return a.bytes < b.bytes; });
+    for (const auto &l : _levels)
+        _weights.push_back(l.weight);
+}
+
+std::uint32_t
+NestedWorkingSetSampler::sample(Rng &rng) const
+{
+    std::size_t li = rng.weighted(_weights);
+    std::uint32_t blocks = std::max<std::uint32_t>(
+        1, _levels[li].bytes / _blockBytes);
+    std::uint32_t block = static_cast<std::uint32_t>(rng.below(blocks));
+    std::uint32_t offset = static_cast<std::uint32_t>(
+        rng.below(_blockBytes)) & ~3u;
+    return _regionBase + block * _blockBytes + offset;
+}
+
+// ---------------------------------------------------------------------
+// Address-space setup shared by generator and simulator
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+std::uint32_t
+textPages(const WorkloadProfile &p)
+{
+    std::uint64_t text_bytes =
+        std::uint64_t{p.procCount} * p.procStride;
+    return static_cast<std::uint32_t>(
+        (text_bytes + p.pageSize - 1) / p.pageSize);
+}
+
+} // namespace
+
+std::uint32_t
+processCount(const WorkloadProfile &profile)
+{
+    return profile.numCpus * profile.processesPerCpu;
+}
+
+void
+setupAddressSpaces(const WorkloadProfile &profile,
+                   AddressSpaceManager &spaces)
+{
+    const std::uint32_t page = spaces.pageSize();
+    panicIfNot(page == profile.pageSize,
+               "profile/page-size mismatch between trace and simulator");
+
+    SegmentId text = spaces.createSegment(
+        textPages(profile), VirtualLayout::textBase / page);
+    SegmentId shared = spaces.createSegment(
+        profile.sharedPages, VirtualLayout::sharedBase / page);
+
+    const std::uint32_t nproc = processCount(profile);
+    for (ProcessId pid = 0; pid < nproc; ++pid) {
+        spaces.attachSegment(pid, text, VirtualLayout::textBase / page);
+        spaces.attachSegment(pid, shared,
+                             VirtualLayout::sharedBase / page);
+        spaces.attachSegment(
+            pid, shared,
+            VirtualLayout::aliasBase(pid, profile.sharedPages, page) /
+                page);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Generator internals
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Zipf-weighted procedure popularity. */
+std::vector<double>
+procWeights(std::uint32_t count, double theta)
+{
+    std::vector<double> w(count);
+    for (std::uint32_t i = 0; i < count; ++i)
+        w[i] = 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    return w;
+}
+
+/** Execution state of one simulated process. */
+struct ProcessState
+{
+    ProcessId pid = 0;
+    std::uint32_t pc = VirtualLayout::textBase;
+    std::uint32_t procEntry = VirtualLayout::textBase;
+    std::uint32_t sp = VirtualLayout::stackBase + 0x8000;
+    /** Last private data address touched (temporal-reuse source). */
+    std::uint32_t lastData = VirtualLayout::privateDataBase;
+    /** Current shared block being worked on (0 = none yet). */
+    std::uint32_t lastShared = 0;
+    /** Return address + frame size for each live call. */
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> callStack;
+};
+
+/** Per-CPU generation engine: emits one TraceRecord per step. */
+class CpuEngine
+{
+  public:
+    CpuEngine(const WorkloadProfile &p, CpuId cpu, Rng rng,
+              GenStats &stats)
+        : _p(p), _cpu(cpu), _rng(std::move(rng)), _stats(stats),
+          _procWeights(procWeights(p.procCount, p.procZipfTheta)),
+          _dataSampler(p.dataLevels, p.dataBlockBytes,
+                       VirtualLayout::privateDataBase),
+          _sharedSampler(
+              // A small, hot, actively contended region (locks,
+              // frequently updated shared state) in front of the full
+              // segment: this is what keeps shared blocks resident in
+              // several level-1 caches at once, producing genuine
+              // coherence percolation (Tables 11-13).
+              {{8 * p.dataBlockBytes, 0.60},
+               {std::max<std::uint32_t>(p.sharedPages * p.pageSize / 16,
+                                        64 * p.dataBlockBytes),
+                0.22},
+               {p.sharedPages * p.pageSize, 0.18}},
+              p.dataBlockBytes, 0)
+    {
+        _readsPerInstr = p.instrFrac > 0 ? p.readFrac / p.instrFrac : 0;
+        double writes_per_instr =
+            p.instrFrac > 0 ? p.writeFrac / p.instrFrac : 0;
+        double burst_mean = (p.callWritesMin + p.callWritesMax) / 2.0;
+        _bgWritesPerInstr =
+            std::max(0.0, writes_per_instr - p.callProb * burst_mean);
+
+        for (std::uint32_t k = 0; k < p.processesPerCpu; ++k) {
+            ProcessState ps;
+            ps.pid = cpu * p.processesPerCpu + k;
+            // Desynchronize processes so CPUs don't run in lockstep.
+            ps.procEntry = procEntryAddr(
+                static_cast<std::uint32_t>(_rng.below(p.procCount)));
+            ps.pc = ps.procEntry;
+            _procs.push_back(ps);
+        }
+    }
+
+    ProcessId activePid() const { return _procs[_active].pid; }
+
+    /** Rotate to the next process; returns the new pid. */
+    ProcessId
+    contextSwitch()
+    {
+        _active = (_active + 1) % _procs.size();
+        _stats.contextSwitches += 1;
+        return activePid();
+    }
+
+    /** Produce the next memory reference for the active process. */
+    TraceRecord
+    next()
+    {
+        if (!_pending.empty()) {
+            TraceRecord r = _pending.front();
+            _pending.pop_front();
+            note(r);
+            return r;
+        }
+        ProcessState &ps = _procs[_active];
+        TraceRecord instr =
+            makeRef(_cpu, RefType::Instr, ps.pid, VirtAddr(ps.pc));
+        stepControlFlow(ps);
+        scheduleDataRefs(ps);
+        note(instr);
+        return instr;
+    }
+
+  private:
+    std::uint32_t
+    procEntryAddr(std::uint32_t proc_index) const
+    {
+        return VirtualLayout::textBase + proc_index * _p.procStride;
+    }
+
+    void
+    note(const TraceRecord &r)
+    {
+        switch (r.type) {
+          case RefType::Instr:
+            _stats.totalInstr += 1;
+            break;
+          case RefType::Read:
+            _stats.totalReads += 1;
+            break;
+          case RefType::Write:
+            _stats.totalWrites += 1;
+            break;
+          default:
+            break;
+        }
+    }
+
+    /** Advance the PC: sequential fetch, loops, calls and returns. */
+    void
+    stepControlFlow(ProcessState &ps)
+    {
+        ps.pc += 4;
+        bool past_end = ps.pc >= ps.procEntry + _p.procStride;
+
+        if (!past_end && _rng.chance(_p.loopBackProb)) {
+            std::uint32_t span = static_cast<std::uint32_t>(
+                _rng.range(8, std::max<std::uint32_t>(8, _p.loopSpanBytes)));
+            span &= ~3u;
+            ps.pc = std::max(ps.procEntry, ps.pc - span);
+            return;
+        }
+
+        if (!past_end && ps.callStack.size() < _p.maxCallDepth &&
+            _rng.chance(_p.callProb)) {
+            doCall(ps);
+            return;
+        }
+
+        if (past_end || (!ps.callStack.empty() &&
+                         _rng.chance(_p.returnProb))) {
+            doReturn(ps);
+            return;
+        }
+    }
+
+    void
+    doCall(ProcessState &ps)
+    {
+        std::uint32_t writes = static_cast<std::uint32_t>(
+            _rng.range(_p.callWritesMin, _p.callWritesMax));
+        // The paper's Table 1 shows a small residue of 1..5-write calls.
+        if (_rng.chance(0.002))
+            writes = static_cast<std::uint32_t>(_rng.range(1, 5));
+
+        std::uint32_t frame = writes * 4;
+        if (ps.sp < VirtualLayout::stackBase + frame + 256)
+            ps.sp = VirtualLayout::stackBase + 0x8000; // stack reset guard
+        for (std::uint32_t i = 0; i < writes; ++i) {
+            ps.sp -= 4;
+            _pending.push_back(
+                makeRef(_cpu, RefType::Write, ps.pid, VirtAddr(ps.sp)));
+        }
+        _stats.totalCalls += 1;
+        _stats.callWrites.record(writes);
+        _stats.callWriteCount += writes;
+
+        ps.callStack.emplace_back(ps.pc, frame);
+        std::uint32_t callee = static_cast<std::uint32_t>(
+            _rng.weighted(_procWeights));
+        ps.procEntry = procEntryAddr(callee);
+        ps.pc = ps.procEntry;
+    }
+
+    void
+    doReturn(ProcessState &ps)
+    {
+        if (ps.callStack.empty()) {
+            // Main loop wrapped around: restart a fresh top procedure.
+            std::uint32_t callee = static_cast<std::uint32_t>(
+                _rng.weighted(_procWeights));
+            ps.procEntry = procEntryAddr(callee);
+            ps.pc = ps.procEntry;
+            return;
+        }
+        auto [ret_pc, frame] = ps.callStack.back();
+        ps.callStack.pop_back();
+        ps.sp += frame;
+        ps.pc = ret_pc;
+        // Recover the enclosing procedure entry from the return address.
+        std::uint32_t idx =
+            (ret_pc - VirtualLayout::textBase) / _p.procStride;
+        ps.procEntry = procEntryAddr(idx);
+    }
+
+    /** Queue the data references associated with one instruction. */
+    void
+    scheduleDataRefs(ProcessState &ps)
+    {
+        for (double x = _readsPerInstr; x >= 1.0 || _rng.chance(x);
+             x -= 1.0) {
+            _pending.push_back(makeRef(_cpu, RefType::Read, ps.pid,
+                                       VirtAddr(readAddr(ps))));
+            if (x < 1.0)
+                break;
+        }
+        for (double x = _bgWritesPerInstr; x >= 1.0 || _rng.chance(x);
+             x -= 1.0) {
+            _pending.push_back(makeRef(_cpu, RefType::Write, ps.pid,
+                                       VirtAddr(writeAddr(ps))));
+            if (x < 1.0)
+                break;
+        }
+    }
+
+    /** One block of the globally hot, constantly polled set. */
+    std::uint32_t
+    hotspotAddr()
+    {
+        // The hotspot lives at the tail of the shared segment, away
+        // from the contended-region levels at its head.
+        std::uint32_t limit = _p.sharedPages * _p.pageSize;
+        std::uint32_t block = static_cast<std::uint32_t>(
+            _rng.below(std::max<std::uint32_t>(1, _p.hotspotBlocks)));
+        return VirtualLayout::sharedBase + limit -
+            (block + 1) * _p.dataBlockBytes;
+    }
+
+    std::uint32_t
+    sharedAddr(ProcessState &ps)
+    {
+        // Bursty sharing: keep working on the current shared block for
+        // a while before moving on, as real producer/consumer and
+        // shared-structure code does.
+        if (ps.lastShared != 0 && _rng.chance(_p.sharedRepeatFrac))
+            return ps.lastShared;
+        std::uint32_t offset = _sharedSampler.sample(_rng);
+        std::uint32_t limit = _p.sharedPages * _p.pageSize;
+        offset %= limit;
+        if (_rng.chance(_p.aliasFrac)) {
+            ps.lastShared = VirtualLayout::aliasBase(
+                                ps.pid, _p.sharedPages, _p.pageSize) +
+                offset;
+        } else {
+            ps.lastShared = VirtualLayout::sharedBase + offset;
+        }
+        return ps.lastShared;
+    }
+
+    std::uint32_t
+    readAddr(ProcessState &ps)
+    {
+        if (_rng.chance(_p.hotspotFrac))
+            return hotspotAddr();
+        if (_rng.chance(_p.repeatFrac))
+            return ps.lastData;
+        if (_rng.chance(_p.seqFrac)) {
+            ps.lastData += 4;  // array walk continues
+            return ps.lastData;
+        }
+        if (_rng.chance(_p.stackReadFrac))
+            return ps.sp + static_cast<std::uint32_t>(_rng.below(16)) * 4;
+        if (_rng.chance(_p.sharedFrac))
+            return sharedAddr(ps);
+        ps.lastData = _dataSampler.sample(_rng);
+        return ps.lastData;
+    }
+
+    std::uint32_t
+    writeAddr(ProcessState &ps)
+    {
+        if (_rng.chance(_p.hotspotFrac))
+            return hotspotAddr();
+        if (_rng.chance(_p.repeatFrac))
+            return ps.lastData;
+        if (_rng.chance(_p.seqFrac)) {
+            ps.lastData += 4;
+            return ps.lastData;
+        }
+        if (_rng.chance(_p.sharedFrac) && _rng.chance(_p.sharedWriteFrac))
+            return sharedAddr(ps);
+        ps.lastData = _dataSampler.sample(_rng);
+        return ps.lastData;
+    }
+
+    const WorkloadProfile &_p;
+    CpuId _cpu;
+    Rng _rng;
+    GenStats &_stats;
+    std::vector<double> _procWeights;
+    NestedWorkingSetSampler _dataSampler;
+    NestedWorkingSetSampler _sharedSampler;
+    double _readsPerInstr = 0;
+    double _bgWritesPerInstr = 0;
+    std::vector<ProcessState> _procs;
+    std::size_t _active = 0;
+    std::deque<TraceRecord> _pending;
+};
+
+} // namespace
+
+TraceBundle
+generateTrace(const WorkloadProfile &profile)
+{
+    panicIfNot(profile.numCpus >= 1, "need at least one CPU");
+    panicIfNot(std::abs(profile.instrFrac + profile.readFrac +
+                        profile.writeFrac - 1.0) < 0.05,
+               "reference mix should sum to ~1");
+
+    TraceBundle bundle;
+    bundle.profile = profile;
+
+    Rng root(profile.seed);
+    std::vector<CpuEngine> engines;
+    engines.reserve(profile.numCpus);
+    for (CpuId c = 0; c < profile.numCpus; ++c)
+        engines.emplace_back(profile, c, root.fork(), bundle.stats);
+
+    const std::uint64_t per_cpu = profile.totalRefs / profile.numCpus;
+    // Spread context switches across CPUs, remainder to low CPUs.
+    std::vector<std::uint64_t> next_switch(profile.numCpus, 0);
+    std::vector<std::uint64_t> switch_interval(profile.numCpus, 0);
+    std::vector<std::uint32_t> switches_left(profile.numCpus, 0);
+    for (CpuId c = 0; c < profile.numCpus; ++c) {
+        std::uint32_t n = profile.contextSwitches / profile.numCpus +
+            (c < profile.contextSwitches % profile.numCpus ? 1 : 0);
+        switches_left[c] = n;
+        switch_interval[c] = n > 0 ? per_cpu / (n + 1) : 0;
+        next_switch[c] = switch_interval[c];
+    }
+
+    bundle.records.reserve(profile.totalRefs + profile.contextSwitches);
+    std::vector<std::uint64_t> emitted(profile.numCpus, 0);
+
+    bool work_left = true;
+    while (work_left) {
+        work_left = false;
+        for (CpuId c = 0; c < profile.numCpus; ++c) {
+            if (emitted[c] >= per_cpu)
+                continue;
+            work_left = true;
+            if (switches_left[c] > 0 && emitted[c] >= next_switch[c]) {
+                ProcessId new_pid = engines[c].contextSwitch();
+                bundle.records.push_back(makeContextSwitch(c, new_pid));
+                switches_left[c] -= 1;
+                next_switch[c] += switch_interval[c];
+            }
+            bundle.records.push_back(engines[c].next());
+            emitted[c] += 1;
+        }
+    }
+    return bundle;
+}
+
+} // namespace vrc

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Workload profile file I/O.
+ *
+ * Profiles are stored as plain "key = value" text so users can define
+ * custom workloads for the CLI tools without recompiling. All keys are
+ * optional; unset keys keep the default-constructed value. Unknown
+ * keys are fatal (they are always typos). The format round-trips:
+ * saveProfile followed by loadProfile reproduces the profile exactly.
+ *
+ *     name = mywork
+ *     num_cpus = 4
+ *     total_refs = 1000000
+ *     instr_frac = 0.5
+ *     data_levels = 1024:0.5, 8192:0.3, 262144:0.2
+ *     ...
+ */
+
+#ifndef VRC_TRACE_PROFILE_IO_HH
+#define VRC_TRACE_PROFILE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/workload.hh"
+
+namespace vrc
+{
+
+/** Serialize a profile (all fields, commented sections). */
+void writeProfile(std::ostream &os, const WorkloadProfile &p);
+
+/**
+ * Parse a profile. Starts from a default-constructed WorkloadProfile.
+ * fatal() on malformed lines or unknown keys.
+ */
+WorkloadProfile readProfile(std::istream &is);
+
+/** File wrappers; fatal() when the file cannot be opened. */
+void saveProfile(const std::string &path, const WorkloadProfile &p);
+WorkloadProfile loadProfile(const std::string &path);
+
+} // namespace vrc
+
+#endif // VRC_TRACE_PROFILE_IO_HH

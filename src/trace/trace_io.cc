@@ -1,0 +1,193 @@
+#include "trace/trace_io.hh"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "base/log.hh"
+
+namespace vrc
+{
+
+namespace
+{
+
+struct BinaryHeader
+{
+    std::uint32_t magic;
+    std::uint32_t version;
+    std::uint64_t count;
+};
+
+char
+typeLetter(RefType t)
+{
+    switch (t) {
+      case RefType::Instr:
+        return 'I';
+      case RefType::Read:
+        return 'R';
+      case RefType::Write:
+        return 'W';
+      case RefType::ContextSwitch:
+        return 'S';
+    }
+    return '?';
+}
+
+RefType
+typeFromLetter(char c)
+{
+    switch (c) {
+      case 'I':
+        return RefType::Instr;
+      case 'R':
+        return RefType::Read;
+      case 'W':
+        return RefType::Write;
+      case 'S':
+        return RefType::ContextSwitch;
+      default:
+        fatal("bad reference type letter '", c, "' in text trace");
+    }
+}
+
+} // namespace
+
+const char *
+refTypeName(RefType t)
+{
+    switch (t) {
+      case RefType::Instr:
+        return "instr";
+      case RefType::Read:
+        return "read";
+      case RefType::Write:
+        return "write";
+      case RefType::ContextSwitch:
+        return "context-switch";
+    }
+    return "unknown";
+}
+
+std::uint64_t
+writeTraceBinary(std::ostream &os, const std::vector<TraceRecord> &records)
+{
+    BinaryHeader hdr{traceMagic, traceVersion, records.size()};
+    os.write(reinterpret_cast<const char *>(&hdr), sizeof(hdr));
+    os.write(reinterpret_cast<const char *>(records.data()),
+             static_cast<std::streamsize>(records.size() *
+                                          sizeof(TraceRecord)));
+    return sizeof(hdr) + records.size() * sizeof(TraceRecord);
+}
+
+std::vector<TraceRecord>
+readTraceBinary(std::istream &is)
+{
+    BinaryHeader hdr{};
+    is.read(reinterpret_cast<char *>(&hdr), sizeof(hdr));
+    if (!is || hdr.magic != traceMagic)
+        fatal("not a vrc binary trace (bad magic)");
+    if (hdr.version != traceVersion)
+        fatal("unsupported trace version ", hdr.version);
+    std::vector<TraceRecord> records(hdr.count);
+    is.read(reinterpret_cast<char *>(records.data()),
+            static_cast<std::streamsize>(hdr.count * sizeof(TraceRecord)));
+    if (!is)
+        fatal("truncated trace body: expected ", hdr.count, " records");
+    return records;
+}
+
+void
+writeTraceText(std::ostream &os, const std::vector<TraceRecord> &records)
+{
+    for (const TraceRecord &r : records) {
+        os << static_cast<unsigned>(r.cpu) << ' ' << typeLetter(r.type)
+           << ' ' << r.pid << ' ' << std::hex << r.vaddr << std::dec
+           << '\n';
+    }
+}
+
+std::vector<TraceRecord>
+readTraceText(std::istream &is)
+{
+    std::vector<TraceRecord> records;
+    std::string line;
+    std::uint64_t lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        unsigned cpu;
+        char type;
+        std::uint32_t pid;
+        std::uint32_t vaddr;
+        if (!(ls >> cpu >> type >> pid >> std::hex >> vaddr))
+            fatal("malformed text trace at line ", lineno, ": '", line,
+                  "'");
+        TraceRecord r;
+        r.cpu = static_cast<std::uint8_t>(cpu);
+        r.type = typeFromLetter(type);
+        r.pid = static_cast<std::uint16_t>(pid);
+        r.vaddr = vaddr;
+        records.push_back(r);
+    }
+    return records;
+}
+
+std::vector<TraceRecord>
+readTraceDinero(std::istream &is, CpuId cpu, ProcessId pid)
+{
+    std::vector<TraceRecord> records;
+    std::string line;
+    std::uint64_t lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        unsigned label;
+        std::uint32_t addr;
+        if (!(ls >> label >> std::hex >> addr))
+            fatal("malformed dinero record at line ", lineno, ": '",
+                  line, "'");
+        RefType type;
+        switch (label) {
+          case 0:
+            type = RefType::Read;
+            break;
+          case 1:
+            type = RefType::Write;
+            break;
+          case 2:
+            type = RefType::Instr;
+            break;
+          default:
+            fatal("unknown dinero label ", label, " at line ", lineno);
+        }
+        records.push_back(makeRef(cpu, type, pid, VirtAddr(addr)));
+    }
+    return records;
+}
+
+void
+saveTrace(const std::string &path, const std::vector<TraceRecord> &records)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        fatal("cannot open trace file for writing: ", path);
+    writeTraceBinary(os, records);
+}
+
+std::vector<TraceRecord>
+loadTrace(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        fatal("cannot open trace file: ", path);
+    return readTraceBinary(is);
+}
+
+} // namespace vrc

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Binary and text trace file I/O.
+ *
+ * Binary format: a fixed 16-byte header (magic, version, record count)
+ * followed by packed TraceRecords. Text format: one record per line,
+ * "cpu type pid vaddr" with the type as a letter (I/R/W/S), for
+ * human inspection and for importing external traces.
+ */
+
+#ifndef VRC_TRACE_TRACE_IO_HH
+#define VRC_TRACE_TRACE_IO_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/record.hh"
+
+namespace vrc
+{
+
+/** Magic number identifying binary vrc traces ("VRCT"). */
+inline constexpr std::uint32_t traceMagic = 0x54435256;
+
+/** Current binary trace format version. */
+inline constexpr std::uint32_t traceVersion = 1;
+
+/**
+ * Write @p records to @p os in binary format.
+ *
+ * @return bytes written.
+ */
+std::uint64_t writeTraceBinary(std::ostream &os,
+                               const std::vector<TraceRecord> &records);
+
+/**
+ * Read a binary trace.
+ *
+ * Calls fatal() on malformed input (bad magic, truncated body).
+ */
+std::vector<TraceRecord> readTraceBinary(std::istream &is);
+
+/** Write @p records in the line-oriented text format. */
+void writeTraceText(std::ostream &os,
+                    const std::vector<TraceRecord> &records);
+
+/**
+ * Read a text trace. Blank lines and lines starting with '#' are skipped.
+ * Calls fatal() on malformed lines.
+ */
+std::vector<TraceRecord> readTraceText(std::istream &is);
+
+/**
+ * Import a classic dinero "din" trace: one "<label> <hex-addr>" pair
+ * per line, label 0 = data read, 1 = data write, 2 = instruction
+ * fetch. Dinero traces are uniprocessor with no process information;
+ * all records are attributed to @p cpu and @p pid. Blank lines and
+ * '#' comments are skipped; fatal() on malformed input.
+ */
+std::vector<TraceRecord> readTraceDinero(std::istream &is,
+                                         CpuId cpu = 0,
+                                         ProcessId pid = 0);
+
+/** Write a binary trace file. fatal() if the file cannot be opened. */
+void saveTrace(const std::string &path,
+               const std::vector<TraceRecord> &records);
+
+/** Read a binary trace file. fatal() if the file cannot be opened. */
+std::vector<TraceRecord> loadTrace(const std::string &path);
+
+} // namespace vrc
+
+#endif // VRC_TRACE_TRACE_IO_HH

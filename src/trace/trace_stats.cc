@@ -1,0 +1,42 @@
+#include "trace/trace_stats.hh"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace vrc
+{
+
+TraceCharacteristics
+characterize(const std::vector<TraceRecord> &records)
+{
+    TraceCharacteristics c;
+    std::unordered_set<std::uint16_t> pids;
+    for (const TraceRecord &r : records) {
+        pids.insert(r.pid);
+        if (r.cpu >= c.refsPerCpu.size())
+            c.refsPerCpu.resize(r.cpu + 1, 0);
+        switch (r.type) {
+          case RefType::Instr:
+            c.instrCount += 1;
+            break;
+          case RefType::Read:
+            c.dataReads += 1;
+            break;
+          case RefType::Write:
+            c.dataWrites += 1;
+            break;
+          case RefType::ContextSwitch:
+            c.contextSwitches += 1;
+            break;
+        }
+        if (r.isMemRef()) {
+            c.totalRefs += 1;
+            c.refsPerCpu[r.cpu] += 1;
+        }
+    }
+    c.numCpus = static_cast<std::uint32_t>(c.refsPerCpu.size());
+    c.processCount = static_cast<std::uint32_t>(pids.size());
+    return c;
+}
+
+} // namespace vrc

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Trace characterization (the paper's Table 5).
+ */
+
+#ifndef VRC_TRACE_TRACE_STATS_HH
+#define VRC_TRACE_TRACE_STATS_HH
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "trace/record.hh"
+
+namespace vrc
+{
+
+/** Aggregate characteristics of a trace (Table 5 columns). */
+struct TraceCharacteristics
+{
+    std::uint32_t numCpus = 0;      ///< distinct CPUs seen
+    std::uint64_t totalRefs = 0;    ///< memory references (excl. switches)
+    std::uint64_t instrCount = 0;
+    std::uint64_t dataReads = 0;
+    std::uint64_t dataWrites = 0;
+    std::uint64_t contextSwitches = 0;
+    std::uint32_t processCount = 0; ///< distinct process ids seen
+
+    /** Per-CPU memory reference counts, indexed by CPU id. */
+    std::vector<std::uint64_t> refsPerCpu;
+};
+
+/** Scan a trace and compute its Table 5 characteristics. */
+TraceCharacteristics characterize(const std::vector<TraceRecord> &records);
+
+} // namespace vrc
+
+#endif // VRC_TRACE_TRACE_STATS_HH

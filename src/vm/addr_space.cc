@@ -1,0 +1,92 @@
+#include "vm/addr_space.hh"
+
+#include "base/bitops.hh"
+#include "base/log.hh"
+
+namespace vrc
+{
+
+AddressSpaceManager::AddressSpaceManager(std::uint32_t page_size,
+                                         std::uint32_t phys_pages)
+    : _pageSize(page_size), _physPages(phys_pages)
+{
+    panicIfNot(isPowerOfTwo(page_size), "page size must be a power of two");
+    panicIfNot(phys_pages >= 2, "need at least two physical frames");
+}
+
+Ppn
+AddressSpaceManager::allocFrame(std::uint32_t color)
+{
+    color %= numColors;
+    _framesAllocated += 1;
+    // Physical memories too small to hold one stripe per color fall
+    // back to plain wrapping allocation (frame 0 stays reserved).
+    if (_physPages < 2 * numColors) {
+        std::uint64_t k = _nextPerColor[0]++;
+        return static_cast<Ppn>(1 + k % (_physPages - 1));
+    }
+    // Frames of one color are numColors apart. Frame 0 stays reserved
+    // (null page), so color 0 starts at numColors. Allocation wraps
+    // around the bounded physical memory per color.
+    std::uint64_t stripes = _physPages / numColors - 1;
+    std::uint64_t k = _nextPerColor[color] % stripes;
+    _nextPerColor[color] += 1;
+    return static_cast<Ppn>((k + 1) * numColors + color);
+}
+
+PhysAddr
+AddressSpaceManager::translate(ProcessId pid, VirtAddr va)
+{
+    Vpn vpn = va.vpn(_pageSize);
+    PageTable &pt = _tables[pid];
+    auto ppn = pt.lookup(vpn);
+    if (!ppn) {
+        ppn = allocFrame(vpn % numColors);
+        pt.map(vpn, *ppn);
+    }
+    return makePhysAddr(*ppn, va.pageOffset(_pageSize), _pageSize);
+}
+
+std::optional<PhysAddr>
+AddressSpaceManager::tryTranslate(ProcessId pid, VirtAddr va) const
+{
+    auto table_it = _tables.find(pid);
+    if (table_it == _tables.end())
+        return std::nullopt;
+    auto ppn = table_it->second.lookup(va.vpn(_pageSize));
+    if (!ppn)
+        return std::nullopt;
+    return makePhysAddr(*ppn, va.pageOffset(_pageSize), _pageSize);
+}
+
+SegmentId
+AddressSpaceManager::createSegment(std::uint32_t num_pages,
+                                   Vpn color_base_vpn)
+{
+    panicIfNot(num_pages > 0, "empty shared segment");
+    std::vector<Ppn> frames;
+    frames.reserve(num_pages);
+    for (std::uint32_t i = 0; i < num_pages; ++i)
+        frames.push_back(allocFrame((color_base_vpn + i) % numColors));
+    _segments.push_back(std::move(frames));
+    return static_cast<SegmentId>(_segments.size() - 1);
+}
+
+void
+AddressSpaceManager::attachSegment(ProcessId pid, SegmentId seg, Vpn base)
+{
+    panicIfNot(seg < _segments.size(), "unknown segment id");
+    PageTable &pt = _tables[pid];
+    const auto &frames = _segments[seg];
+    for (std::size_t i = 0; i < frames.size(); ++i)
+        pt.map(base + static_cast<Vpn>(i), frames[i]);
+}
+
+const std::vector<Ppn> &
+AddressSpaceManager::segmentFrames(SegmentId seg) const
+{
+    panicIfNot(seg < _segments.size(), "unknown segment id");
+    return _segments[seg];
+}
+
+} // namespace vrc

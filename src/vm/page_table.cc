@@ -1,0 +1,29 @@
+#include "vm/page_table.hh"
+
+namespace vrc
+{
+
+bool
+PageTable::map(Vpn vpn, Ppn ppn)
+{
+    auto [it, inserted] = _map.insert_or_assign(vpn, ppn);
+    (void)it;
+    return !inserted;
+}
+
+bool
+PageTable::unmap(Vpn vpn)
+{
+    return _map.erase(vpn) > 0;
+}
+
+std::optional<Ppn>
+PageTable::lookup(Vpn vpn) const
+{
+    auto it = _map.find(vpn);
+    if (it == _map.end())
+        return std::nullopt;
+    return it->second;
+}
+
+} // namespace vrc

@@ -1,0 +1,97 @@
+#include "vm/tlb.hh"
+
+#include "base/bitops.hh"
+#include "base/log.hh"
+#include "vm/addr_space.hh"
+
+namespace vrc
+{
+
+Tlb::Tlb(std::uint32_t entries, std::uint32_t assoc)
+    : _numSets(entries / assoc), _assoc(assoc),
+      _entries(static_cast<std::size_t>(entries))
+{
+    panicIfNot(isPowerOfTwo(entries), "TLB entries must be a power of two");
+    panicIfNot(isPowerOfTwo(assoc) && assoc <= entries,
+               "bad TLB associativity");
+}
+
+bool
+Tlb::probe(ProcessId pid, Vpn vpn) const
+{
+    std::uint32_t set = setIndex(vpn);
+    for (std::uint32_t w = 0; w < _assoc; ++w) {
+        const Entry &e = _entries[set * _assoc + w];
+        if (e.valid && e.pid == pid && e.vpn == vpn)
+            return true;
+    }
+    return false;
+}
+
+Ppn
+Tlb::translate(ProcessId pid, Vpn vpn, AddressSpaceManager &spaces)
+{
+    ++_clock;
+    std::uint32_t set = setIndex(vpn);
+    Entry *victim = nullptr;
+    for (std::uint32_t w = 0; w < _assoc; ++w) {
+        Entry &e = _entries[set * _assoc + w];
+        if (e.valid && e.pid == pid && e.vpn == vpn) {
+            e.lruStamp = _clock;
+            _stats.counter("hits")++;
+            return e.ppn;
+        }
+        if (!victim || !e.valid ||
+            (victim->valid && e.lruStamp < victim->lruStamp)) {
+            if (!victim || victim->valid)
+                victim = &e;
+        }
+    }
+    _stats.counter("misses")++;
+
+    // Hard miss: walk the page tables (allocating on first touch, matching
+    // the demand-allocation behaviour of the trace's address spaces).
+    std::uint32_t page_size = spaces.pageSize();
+    PhysAddr pa =
+        spaces.translate(pid, makeVirtAddr(vpn, 0, page_size));
+    Ppn ppn = pa.ppn(page_size);
+
+    victim->valid = true;
+    victim->pid = pid;
+    victim->vpn = vpn;
+    victim->ppn = ppn;
+    victim->lruStamp = _clock;
+    return ppn;
+}
+
+bool
+Tlb::invalidate(ProcessId pid, Vpn vpn)
+{
+    std::uint32_t set = setIndex(vpn);
+    for (std::uint32_t w = 0; w < _assoc; ++w) {
+        Entry &e = _entries[set * _assoc + w];
+        if (e.valid && e.pid == pid && e.vpn == vpn) {
+            e.valid = false;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Tlb::invalidateProcess(ProcessId pid)
+{
+    for (Entry &e : _entries) {
+        if (e.valid && e.pid == pid)
+            e.valid = false;
+    }
+}
+
+void
+Tlb::flush()
+{
+    for (Entry &e : _entries)
+        e.valid = false;
+}
+
+} // namespace vrc

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Translation lookaside buffer.
+ *
+ * In the paper's organization the TLB sits at the *second* level: the
+ * virtual address is forwarded to it in parallel with the V-cache lookup
+ * and the translation is aborted on a V-cache hit. The TLB therefore only
+ * matters on V-cache misses. We model a set-associative, LRU TLB tagged by
+ * (process id, virtual page number) and count hits/misses so experiments
+ * can report TLB behaviour; a miss is serviced from the page tables.
+ */
+
+#ifndef VRC_VM_TLB_HH
+#define VRC_VM_TLB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/counter.hh"
+#include "base/types.hh"
+
+namespace vrc
+{
+
+class AddressSpaceManager;
+
+/** Set-associative, LRU, (pid, vpn)-tagged translation buffer. */
+class Tlb
+{
+  public:
+    /**
+     * @param entries   total number of entries (power of two)
+     * @param assoc     set associativity (power of two, <= entries)
+     */
+    Tlb(std::uint32_t entries, std::uint32_t assoc);
+
+    /**
+     * Translate a virtual page number, filling from @p asm_ on a miss.
+     *
+     * @return the physical frame number.
+     */
+    Ppn translate(ProcessId pid, Vpn vpn, AddressSpaceManager &spaces);
+
+    /** Probe without filling. @return true on a TLB hit. */
+    bool probe(ProcessId pid, Vpn vpn) const;
+
+    /** Invalidate one translation. @return true if it was present. */
+    bool invalidate(ProcessId pid, Vpn vpn);
+
+    /** Invalidate all entries of one process. */
+    void invalidateProcess(ProcessId pid);
+
+    /** Invalidate everything. */
+    void flush();
+
+    std::uint64_t hits() const { return _stats.value("hits"); }
+    std::uint64_t misses() const { return _stats.value("misses"); }
+
+    const StatGroup &stats() const { return _stats; }
+
+    std::uint32_t numEntries() const { return _numSets * _assoc; }
+    std::uint32_t associativity() const { return _assoc; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        ProcessId pid = invalidProcess;
+        Vpn vpn = 0;
+        Ppn ppn = 0;
+        std::uint64_t lruStamp = 0;
+    };
+
+    std::uint32_t setIndex(Vpn vpn) const { return vpn & (_numSets - 1); }
+
+    std::uint32_t _numSets;
+    std::uint32_t _assoc;
+    std::vector<Entry> _entries; // _numSets * _assoc, set-major
+    std::uint64_t _clock = 0;
+    mutable StatGroup _stats{"tlb"};
+};
+
+} // namespace vrc
+
+#endif // VRC_VM_TLB_HH

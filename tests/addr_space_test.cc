@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Unit tests for machine-wide address-space management.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vm/addr_space.hh"
+
+namespace vrc
+{
+namespace
+{
+
+constexpr std::uint32_t kPage = 4096;
+
+TEST(AddrSpaceTest, DemandAllocationIsStable)
+{
+    AddressSpaceManager m(kPage);
+    PhysAddr a = m.translate(0, VirtAddr(0x1234));
+    PhysAddr b = m.translate(0, VirtAddr(0x1678));
+    EXPECT_EQ(a.ppn(kPage), b.ppn(kPage)) << "same page, same frame";
+    EXPECT_EQ(a.value() % kPage, 0x234u) << "offset preserved";
+    EXPECT_EQ(b.value() % kPage, 0x678u);
+}
+
+TEST(AddrSpaceTest, DistinctPagesDistinctFrames)
+{
+    AddressSpaceManager m(kPage);
+    PhysAddr a = m.translate(0, VirtAddr(0x1000));
+    PhysAddr b = m.translate(0, VirtAddr(0x2000));
+    EXPECT_NE(a.ppn(kPage), b.ppn(kPage));
+}
+
+TEST(AddrSpaceTest, ProcessesAreIsolated)
+{
+    AddressSpaceManager m(kPage);
+    PhysAddr a = m.translate(0, VirtAddr(0x1000));
+    PhysAddr b = m.translate(1, VirtAddr(0x1000));
+    EXPECT_NE(a.ppn(kPage), b.ppn(kPage))
+        << "same vaddr in different processes must get different frames";
+}
+
+TEST(AddrSpaceTest, DeterministicAcrossInstances)
+{
+    AddressSpaceManager m1(kPage), m2(kPage);
+    for (std::uint32_t v = 0; v < 64; ++v) {
+        EXPECT_EQ(m1.translate(0, VirtAddr(v * kPage)).value(),
+                  m2.translate(0, VirtAddr(v * kPage)).value());
+    }
+}
+
+TEST(AddrSpaceTest, TryTranslateDoesNotAllocate)
+{
+    AddressSpaceManager m(kPage);
+    EXPECT_FALSE(m.tryTranslate(0, VirtAddr(0x5000)).has_value());
+    EXPECT_EQ(m.framesAllocated(), 0u) << "no frame handed out";
+    m.translate(0, VirtAddr(0x5000));
+    auto pa = m.tryTranslate(0, VirtAddr(0x5123));
+    ASSERT_TRUE(pa.has_value());
+    EXPECT_EQ(pa->value() % kPage, 0x123u);
+}
+
+TEST(AddrSpaceTest, SharedSegmentSameFrames)
+{
+    AddressSpaceManager m(kPage);
+    SegmentId seg = m.createSegment(4);
+    m.attachSegment(0, seg, 0x100);
+    m.attachSegment(1, seg, 0x200);
+    for (std::uint32_t i = 0; i < 4; ++i) {
+        PhysAddr a = m.translate(0, VirtAddr((0x100 + i) * kPage + 8));
+        PhysAddr b = m.translate(1, VirtAddr((0x200 + i) * kPage + 8));
+        EXPECT_EQ(a.value(), b.value())
+            << "shared segment page " << i << " must alias";
+    }
+}
+
+TEST(AddrSpaceTest, SynonymWithinOneProcess)
+{
+    AddressSpaceManager m(kPage);
+    SegmentId seg = m.createSegment(1);
+    m.attachSegment(0, seg, 0x10);
+    m.attachSegment(0, seg, 0x80);
+    PhysAddr a = m.translate(0, VirtAddr(0x10 * kPage + 4));
+    PhysAddr b = m.translate(0, VirtAddr(0x80 * kPage + 4));
+    EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(AddrSpaceTest, SegmentFramesAccessor)
+{
+    AddressSpaceManager m(kPage);
+    SegmentId seg = m.createSegment(3);
+    EXPECT_EQ(m.segmentFrames(seg).size(), 3u);
+}
+
+TEST(AddrSpaceTest, FrameZeroNeverAllocated)
+{
+    AddressSpaceManager m(kPage, 8); // tiny memory to force wrap
+    for (std::uint32_t v = 0; v < 50; ++v) {
+        PhysAddr pa = m.translate(0, VirtAddr(v * kPage));
+        EXPECT_NE(pa.ppn(kPage), 0u);
+        EXPECT_LT(pa.ppn(kPage), 8u);
+    }
+}
+
+TEST(AddrSpaceTest, PageColoringMatchesVirtualColor)
+{
+    AddressSpaceManager m(kPage);
+    for (Vpn v = 0; v < 64; ++v) {
+        PhysAddr pa = m.translate(0, VirtAddr(v * kPage));
+        EXPECT_EQ(pa.ppn(kPage) % AddressSpaceManager::numColors,
+                  v % AddressSpaceManager::numColors)
+            << "frame color must match the virtual page color";
+    }
+}
+
+TEST(AddrSpaceTest, SegmentFramesColoredFromBase)
+{
+    AddressSpaceManager m(kPage);
+    SegmentId seg = m.createSegment(16, /*color_base_vpn=*/0x40003);
+    const auto &frames = m.segmentFrames(seg);
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+        EXPECT_EQ(frames[i] % AddressSpaceManager::numColors,
+                  (0x40003 + i) % AddressSpaceManager::numColors);
+    }
+}
+
+TEST(AddrSpaceTest, ProcessCount)
+{
+    AddressSpaceManager m(kPage);
+    m.translate(0, VirtAddr(0));
+    m.translate(5, VirtAddr(0));
+    EXPECT_EQ(m.processCount(), 2u);
+}
+
+} // namespace
+} // namespace vrc

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Unit tests for the strong address types.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <type_traits>
+#include <unordered_set>
+
+#include "base/addr.hh"
+
+namespace vrc
+{
+namespace
+{
+
+TEST(AddrTest, DefaultIsZero)
+{
+    VirtAddr v;
+    PhysAddr p;
+    EXPECT_EQ(v.value(), 0u);
+    EXPECT_EQ(p.value(), 0u);
+}
+
+TEST(AddrTest, ValueRoundTrip)
+{
+    VirtAddr v(0xdeadbeef);
+    EXPECT_EQ(v.value(), 0xdeadbeefu);
+}
+
+TEST(AddrTest, TypesAreDistinct)
+{
+    static_assert(!std::is_convertible_v<VirtAddr, PhysAddr>);
+    static_assert(!std::is_convertible_v<PhysAddr, VirtAddr>);
+    static_assert(!std::is_convertible_v<std::uint32_t, VirtAddr>);
+}
+
+TEST(AddrTest, Comparisons)
+{
+    EXPECT_LT(VirtAddr(1), VirtAddr(2));
+    EXPECT_EQ(VirtAddr(7), VirtAddr(7));
+    EXPECT_NE(PhysAddr(1), PhysAddr(2));
+    EXPECT_GE(PhysAddr(9), PhysAddr(9));
+}
+
+TEST(AddrTest, Arithmetic)
+{
+    VirtAddr v(0x1000);
+    EXPECT_EQ((v + 0x10).value(), 0x1010u);
+    EXPECT_EQ((v & 0xff00).value(), 0x1000u);
+}
+
+TEST(AddrTest, BitsExtraction)
+{
+    VirtAddr v(0xabcd1234);
+    EXPECT_EQ(v.bits(0, 4), 0x4u);
+    EXPECT_EQ(v.bits(8, 8), 0x12u);
+    EXPECT_EQ(v.bits(0, 32), 0xabcd1234u);
+    EXPECT_EQ(v.bits(28, 4), 0xau);
+}
+
+TEST(AddrTest, PageOffset)
+{
+    VirtAddr v(0x12345);
+    EXPECT_EQ(v.pageOffset(4096), 0x345u);
+    EXPECT_EQ(v.pageOffset(1024), 0x345u & 1023u);
+}
+
+TEST(AddrTest, VpnPpn)
+{
+    VirtAddr v(0x12345);
+    EXPECT_EQ(v.vpn(4096), 0x12u);
+    PhysAddr p(0x87654);
+    EXPECT_EQ(p.ppn(4096), 0x87u);
+}
+
+TEST(AddrTest, MakeAddrComposition)
+{
+    VirtAddr v = makeVirtAddr(0x12, 0x345, 4096);
+    EXPECT_EQ(v.value(), 0x12345u);
+    PhysAddr p = makePhysAddr(3, 7, 4096);
+    EXPECT_EQ(p.value(), 3u * 4096 + 7);
+}
+
+TEST(AddrTest, RoundTripVpnOffset)
+{
+    for (std::uint32_t raw : {0u, 1u, 4095u, 4096u, 0xffffffffu}) {
+        VirtAddr v(raw);
+        EXPECT_EQ(makeVirtAddr(v.vpn(4096), v.pageOffset(4096), 4096), v);
+    }
+}
+
+TEST(AddrTest, Streaming)
+{
+    std::ostringstream os;
+    os << VirtAddr(0x10) << " " << PhysAddr(0x20);
+    EXPECT_EQ(os.str(), "V:0x10 P:0x20");
+}
+
+TEST(AddrTest, Hashable)
+{
+    std::unordered_set<VirtAddr> set;
+    set.insert(VirtAddr(1));
+    set.insert(VirtAddr(1));
+    set.insert(VirtAddr(2));
+    EXPECT_EQ(set.size(), 2u);
+}
+
+} // namespace
+} // namespace vrc

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Unit tests for bit utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/bitops.hh"
+
+namespace vrc
+{
+namespace
+{
+
+TEST(BitopsTest, IsPowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(1ull << 40));
+    EXPECT_FALSE(isPowerOfTwo((1ull << 40) + 1));
+}
+
+TEST(BitopsTest, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4), 2u);
+    EXPECT_EQ(floorLog2(4096), 12u);
+    EXPECT_EQ(floorLog2(4097), 12u);
+}
+
+TEST(BitopsTest, Log2Exact)
+{
+    EXPECT_EQ(log2Exact(16), 4u);
+    EXPECT_EQ(log2Exact(1ull << 31), 31u);
+}
+
+TEST(BitopsTest, CeilPowerOfTwo)
+{
+    EXPECT_EQ(ceilPowerOfTwo(1), 1ull);
+    EXPECT_EQ(ceilPowerOfTwo(3), 4ull);
+    EXPECT_EQ(ceilPowerOfTwo(4), 4ull);
+    EXPECT_EQ(ceilPowerOfTwo(5), 8ull);
+}
+
+TEST(BitopsTest, LowMask)
+{
+    EXPECT_EQ(lowMask(0), 0ull);
+    EXPECT_EQ(lowMask(4), 0xfull);
+    EXPECT_EQ(lowMask(64), ~0ull);
+}
+
+TEST(BitopsTest, ConstexprUsable)
+{
+    static_assert(isPowerOfTwo(64));
+    static_assert(floorLog2(64) == 6);
+    static_assert(lowMask(3) == 7);
+}
+
+} // namespace
+} // namespace vrc

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for the optional bus-contention model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+
+namespace vrc
+{
+namespace
+{
+
+MachineConfig
+contentionConfig(std::uint32_t page_size)
+{
+    MachineConfig mc = makeMachineConfig(HierarchyKind::VirtualReal,
+                                         4 * 1024, 64 * 1024,
+                                         page_size);
+    mc.busTiming.enabled = true;
+    return mc;
+}
+
+TEST(BusContentionTest, DisabledModelKeepsClocksAtZero)
+{
+    WorkloadProfile p = scaled(popsProfile(), 0.005);
+    TraceBundle b = generateTrace(p);
+    MachineConfig mc = contentionConfig(p.pageSize);
+    mc.busTiming.enabled = false;
+    MpSimulator sim(mc, p);
+    sim.run(b.records);
+    EXPECT_DOUBLE_EQ(sim.busBusyTime(), 0.0);
+    EXPECT_DOUBLE_EQ(sim.cpuClock(0), 0.0);
+}
+
+TEST(BusContentionTest, BusyTimeMatchesTransactionCounts)
+{
+    WorkloadProfile p = scaled(popsProfile(), 0.005);
+    TraceBundle b = generateTrace(p);
+    MachineConfig mc = contentionConfig(p.pageSize);
+    MpSimulator sim(mc, p);
+    sim.run(b.records);
+    const auto &bs = sim.bus().stats();
+    double expect = static_cast<double>(bs.value("read-miss")) *
+            mc.busTiming.readMissService +
+        static_cast<double>(bs.value("invalidate")) *
+            mc.busTiming.invalidateService +
+        static_cast<double>(bs.value("read-modified-write")) *
+            (mc.busTiming.readMissService +
+             mc.busTiming.invalidateService) +
+        static_cast<double>(bs.value("update")) *
+            mc.busTiming.updateService;
+    EXPECT_NEAR(sim.busBusyTime(), expect, 1e-6);
+}
+
+TEST(BusContentionTest, ClocksAdvanceAndUtilizationBounded)
+{
+    WorkloadProfile p = scaled(popsProfile(), 0.01);
+    TraceBundle b = generateTrace(p);
+    MachineConfig mc = contentionConfig(p.pageSize);
+    MpSimulator sim(mc, p);
+    sim.run(b.records);
+    for (CpuId c = 0; c < sim.cpuCount(); ++c)
+        EXPECT_GT(sim.cpuClock(c), 0.0);
+    EXPECT_GT(sim.busUtilization(), 0.0);
+    EXPECT_LE(sim.busUtilization(), 1.0 + 1e-9)
+        << "a single bus cannot be more than fully utilized";
+    EXPECT_GE(sim.busWaitTime(), 0.0);
+}
+
+TEST(BusContentionTest, MoreCpusMeanMoreContention)
+{
+    // The queueing share of time must grow with processor count: the
+    // same per-CPU workload multiplies bus demand.
+    double prev_wait_per_ref = -1.0;
+    for (std::uint32_t cpus : {2u, 4u, 8u}) {
+        WorkloadProfile p = scaled(popsProfile(), 0.01);
+        p.numCpus = cpus;
+        TraceBundle b = generateTrace(p);
+        MachineConfig mc = contentionConfig(p.pageSize);
+        MpSimulator sim(mc, p);
+        sim.run(b.records);
+        double wait_per_ref = sim.busWaitTime() /
+            static_cast<double>(sim.refsProcessed());
+        EXPECT_GT(wait_per_ref, prev_wait_per_ref)
+            << cpus << " cpus";
+        prev_wait_per_ref = wait_per_ref;
+    }
+}
+
+TEST(BusContentionTest, DeterministicAccounting)
+{
+    WorkloadProfile p = scaled(popsProfile(), 0.005);
+    TraceBundle b = generateTrace(p);
+    MachineConfig mc = contentionConfig(p.pageSize);
+    MpSimulator s1(mc, p), s2(mc, p);
+    s1.run(b.records);
+    s2.run(b.records);
+    EXPECT_DOUBLE_EQ(s1.busBusyTime(), s2.busBusyTime());
+    EXPECT_DOUBLE_EQ(s1.busWaitTime(), s2.busWaitTime());
+    EXPECT_DOUBLE_EQ(s1.cpuClock(0), s2.cpuClock(0));
+}
+
+} // namespace
+} // namespace vrc

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Unit tests for the shared snooping bus.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "coherence/bus.hh"
+
+namespace vrc
+{
+namespace
+{
+
+/** Scripted snooper recording what it sees. */
+class FakeSnooper : public Snooper
+{
+  public:
+    SnoopResult next;
+    std::vector<BusTransaction> seen;
+
+    SnoopResult
+    snoop(const BusTransaction &tx) override
+    {
+        seen.push_back(tx);
+        return next;
+    }
+};
+
+TEST(BusTest, AttachAssignsSequentialIds)
+{
+    SharedBus bus;
+    FakeSnooper a, b;
+    EXPECT_EQ(bus.attach(&a), 0u);
+    EXPECT_EQ(bus.attach(&b), 1u);
+    EXPECT_EQ(bus.agentCount(), 2u);
+}
+
+TEST(BusTest, BroadcastSkipsSource)
+{
+    SharedBus bus;
+    FakeSnooper a, b, c;
+    bus.attach(&a);
+    bus.attach(&b);
+    bus.attach(&c);
+    bus.broadcast({BusOp::ReadMiss, PhysAddr(0x100), 1});
+    EXPECT_EQ(a.seen.size(), 1u);
+    EXPECT_EQ(b.seen.size(), 0u) << "source must not snoop itself";
+    EXPECT_EQ(c.seen.size(), 1u);
+}
+
+TEST(BusTest, ResultsAreMerged)
+{
+    SharedBus bus;
+    FakeSnooper a, b;
+    bus.attach(&a);
+    bus.attach(&b);
+    a.next = {true, false};
+    b.next = {false, true};
+    BusResult r = bus.broadcast({BusOp::ReadMiss, PhysAddr(0x100), 2});
+    // source id 2 is not attached: everyone snoops
+    EXPECT_TRUE(r.shared);
+    EXPECT_TRUE(r.suppliedByCache);
+}
+
+TEST(BusTest, MemorySuppliesWhenNoCacheDoes)
+{
+    SharedBus bus;
+    FakeSnooper a;
+    bus.attach(&a);
+    bus.broadcast({BusOp::ReadMiss, PhysAddr(0x100), 5});
+    EXPECT_EQ(bus.stats().value("memory_supplies"), 1u);
+    bus.broadcast({BusOp::Invalidate, PhysAddr(0x100), 5});
+    EXPECT_EQ(bus.stats().value("memory_supplies"), 1u)
+        << "invalidations never read memory";
+}
+
+TEST(BusTest, TransactionCounters)
+{
+    SharedBus bus;
+    FakeSnooper a, b;
+    bus.attach(&a);
+    bus.attach(&b);
+    bus.broadcast({BusOp::ReadMiss, PhysAddr(0x0), 0});
+    bus.broadcast({BusOp::Invalidate, PhysAddr(0x0), 0});
+    bus.broadcast({BusOp::ReadModWrite, PhysAddr(0x0), 1});
+    EXPECT_EQ(bus.transactions(), 3u);
+    EXPECT_EQ(bus.transactionsFrom(0), 2u);
+    EXPECT_EQ(bus.transactionsFrom(1), 1u);
+    EXPECT_EQ(bus.stats().value("read-miss"), 1u);
+    EXPECT_EQ(bus.stats().value("invalidate"), 1u);
+    EXPECT_EQ(bus.stats().value("read-modified-write"), 1u);
+}
+
+TEST(BusTest, TransactionPayloadDelivered)
+{
+    SharedBus bus;
+    FakeSnooper a;
+    bus.attach(&a);
+    bus.broadcast({BusOp::Invalidate, PhysAddr(0xabc0), 3});
+    ASSERT_EQ(a.seen.size(), 1u);
+    EXPECT_EQ(a.seen[0].op, BusOp::Invalidate);
+    EXPECT_EQ(a.seen[0].blockAddr.value(), 0xabc0u);
+    EXPECT_EQ(a.seen[0].source, 3u);
+}
+
+TEST(BusTest, BusOpNames)
+{
+    EXPECT_STREQ(busOpName(BusOp::ReadMiss), "read-miss");
+    EXPECT_STREQ(busOpName(BusOp::Invalidate), "invalidate");
+    EXPECT_STREQ(busOpName(BusOp::ReadModWrite), "read-modified-write");
+}
+
+TEST(BusTest, SnoopResultMerge)
+{
+    SnoopResult a{false, true};
+    a.merge(SnoopResult{true, false});
+    EXPECT_TRUE(a.sharedAck);
+    EXPECT_TRUE(a.suppliedData);
+}
+
+} // namespace
+} // namespace vrc

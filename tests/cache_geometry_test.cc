@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Unit tests for cache geometry arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache_geometry.hh"
+
+namespace vrc
+{
+namespace
+{
+
+TEST(CacheGeometryTest, DirectMappedDerivedValues)
+{
+    CacheGeometry g(16 * 1024, 16, 1);
+    EXPECT_EQ(g.numBlocks(), 1024u);
+    EXPECT_EQ(g.numSets(), 1024u);
+    EXPECT_EQ(g.blockShift(), 4u);
+}
+
+TEST(CacheGeometryTest, SetAssociativeDerivedValues)
+{
+    CacheGeometry g(16 * 1024, 16, 4);
+    EXPECT_EQ(g.numBlocks(), 1024u);
+    EXPECT_EQ(g.numSets(), 256u);
+}
+
+TEST(CacheGeometryTest, BlockAlignment)
+{
+    CacheGeometry g(1024, 32, 1);
+    EXPECT_EQ(g.blockAddr(0x1234), 0x1220u);
+    EXPECT_EQ(g.blockNumber(0x1234), 0x1234u >> 5);
+}
+
+TEST(CacheGeometryTest, SetIndexWraps)
+{
+    CacheGeometry g(1024, 16, 1); // 64 sets
+    EXPECT_EQ(g.setIndex(0x0), 0u);
+    EXPECT_EQ(g.setIndex(16), 1u);
+    EXPECT_EQ(g.setIndex(1024), 0u) << "indexing wraps at cache size";
+}
+
+TEST(CacheGeometryTest, TagDistinguishesConflictingBlocks)
+{
+    CacheGeometry g(1024, 16, 1);
+    EXPECT_EQ(g.setIndex(0x0), g.setIndex(0x400));
+    EXPECT_NE(g.tag(0x0), g.tag(0x400));
+}
+
+TEST(CacheGeometryTest, RebuildAddrRoundTrip)
+{
+    CacheGeometry g(8 * 1024, 64, 2);
+    for (std::uint32_t addr : {0u, 0x40u, 0x12345u & ~63u, 0xffffffc0u}) {
+        EXPECT_EQ(g.rebuildAddr(g.tag(addr), g.setIndex(addr)),
+                  g.blockAddr(addr));
+    }
+}
+
+TEST(CacheGeometryTest, FullyAssociativeSingleSet)
+{
+    CacheGeometry g(1024, 16, 64);
+    EXPECT_EQ(g.numSets(), 1u);
+    EXPECT_EQ(g.setIndex(0xabcd), 0u);
+}
+
+TEST(CacheGeometryTest, Equality)
+{
+    EXPECT_EQ(CacheGeometry(1024, 16, 1), CacheGeometry(1024, 16, 1));
+    EXPECT_FALSE(CacheGeometry(1024, 16, 1) == CacheGeometry(1024, 16, 2));
+}
+
+TEST(CacheGeometryDeathTest, RejectsNonPowerOfTwoSize)
+{
+    EXPECT_DEATH(CacheGeometry(1000, 16, 1), "power of 2");
+}
+
+TEST(CacheGeometryDeathTest, RejectsExcessAssociativity)
+{
+    EXPECT_DEATH(CacheGeometry(64, 16, 8), "associativity");
+}
+
+} // namespace
+} // namespace vrc

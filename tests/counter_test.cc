@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Unit tests for counters and stat groups.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "base/counter.hh"
+
+namespace vrc
+{
+namespace
+{
+
+TEST(CounterTest, StartsAtZero)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(CounterTest, IncrementForms)
+{
+    Counter c;
+    ++c;
+    c++;
+    c += 5;
+    EXPECT_EQ(c.value(), 7u);
+}
+
+TEST(CounterTest, Reset)
+{
+    Counter c;
+    c += 3;
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(StatGroupTest, CounterCreatedOnDemand)
+{
+    StatGroup g("test");
+    g.counter("a")++;
+    EXPECT_EQ(g.value("a"), 1u);
+    EXPECT_EQ(g.value("missing"), 0u);
+}
+
+TEST(StatGroupTest, ReferencesAreStable)
+{
+    StatGroup g("test");
+    Counter &a = g.counter("a");
+    for (char c = 'b'; c <= 'z'; ++c)
+        g.counter(std::string(1, c));
+    a += 7;
+    EXPECT_EQ(g.value("a"), 7u);
+}
+
+TEST(StatGroupTest, ResetZeroesEverything)
+{
+    StatGroup g("test");
+    g.counter("x") += 2;
+    g.counter("y") += 3;
+    g.reset();
+    EXPECT_EQ(g.value("x"), 0u);
+    EXPECT_EQ(g.value("y"), 0u);
+}
+
+TEST(StatGroupTest, PrintFormat)
+{
+    StatGroup g("grp");
+    g.counter("hits") += 4;
+    std::ostringstream os;
+    g.print(os);
+    EXPECT_EQ(os.str(), "grp.hits = 4\n");
+}
+
+} // namespace
+} // namespace vrc

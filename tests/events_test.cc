@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the event-tracing facility: exact operation sequences for
+ * scripted scenarios, and consistency between events and counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "coherence/bus.hh"
+#include "core/vr_hierarchy.hh"
+#include "sim/experiment.hh"
+#include "vm/addr_space.hh"
+
+namespace vrc
+{
+namespace
+{
+
+constexpr std::uint32_t kPage = 4096;
+
+class EventsTest : public ::testing::Test
+{
+  protected:
+    EventsTest() : spaces(kPage)
+    {
+        h = std::make_unique<VrHierarchy>(params, spaces, bus, true);
+        h->setObserver(&rec);
+        spaces.pageTable(0).map(0x10, 5);
+        spaces.pageTable(0).map(0x31, 5); // synonym (different V set)
+        spaces.pageTable(0).map(0x30, 5); // synonym (same V set, dm)
+    }
+
+    AccessOutcome
+    read(std::uint32_t va)
+    {
+        return h->access({RefType::Read, VirtAddr(va), 0});
+    }
+
+    AccessOutcome
+    write(std::uint32_t va)
+    {
+        return h->access({RefType::Write, VirtAddr(va), 0});
+    }
+
+    HierarchyParams params{{8 * 1024, 16, 1, ReplPolicy::LRU},
+                           {64 * 1024, 16, 1, ReplPolicy::LRU},
+                           kPage};
+    AddressSpaceManager spaces;
+    SharedBus bus;
+    std::unique_ptr<VrHierarchy> h;
+    RecordingObserver rec;
+};
+
+TEST_F(EventsTest, MissThenHitSequence)
+{
+    read(0x10000);
+    read(0x10000);
+    ASSERT_EQ(rec.events().size(), 2u);
+    EXPECT_EQ(rec.events()[0].kind, EventKind::Miss);
+    EXPECT_EQ(rec.events()[1].kind, EventKind::L1Hit);
+    EXPECT_EQ(rec.events()[0].vaddr, 0x10000u);
+    EXPECT_EQ(rec.events()[0].paddr, 5u * kPage);
+    EXPECT_EQ(rec.events()[1].refIndex, 2u);
+}
+
+TEST_F(EventsTest, SynonymMoveEmitted)
+{
+    read(0x10100);
+    read(0x31100);
+    EXPECT_EQ(rec.count(EventKind::SynonymMove), 1u);
+    EXPECT_EQ(rec.events().back().kind, EventKind::SynonymMove);
+    EXPECT_EQ(rec.events().back().vaddr, 0x31100u);
+}
+
+TEST_F(EventsTest, WritebackCancelSequence)
+{
+    write(0x10100); // dirty
+    read(0x30100);  // same-set synonym: park then cancel
+    // Expect: Miss, WritebackParked, WritebackCancel in order.
+    std::vector<EventKind> kinds;
+    for (const auto &e : rec.events())
+        kinds.push_back(e.kind);
+    auto find = [&](EventKind k) {
+        return std::find(kinds.begin(), kinds.end(), k);
+    };
+    auto parked = find(EventKind::WritebackParked);
+    auto cancel = find(EventKind::WritebackCancel);
+    ASSERT_NE(parked, kinds.end());
+    ASSERT_NE(cancel, kinds.end());
+    EXPECT_LT(parked - kinds.begin(), cancel - kinds.begin());
+    EXPECT_EQ(rec.count(EventKind::WritebackComplete), 0u);
+}
+
+TEST_F(EventsTest, ContextSwitchAndSwappedWriteback)
+{
+    write(0x10000);
+    h->contextSwitch(1);
+    spaces.pageTable(1).map(0x10, 9);
+    read(0x10000); // new frame: replaces the swapped dirty block
+    EXPECT_EQ(rec.count(EventKind::ContextSwitch), 1u);
+    EXPECT_EQ(rec.count(EventKind::SwappedWriteback), 1u);
+    EXPECT_EQ(rec.count(EventKind::WritebackParked), 1u);
+}
+
+TEST_F(EventsTest, EventsMatchCounters)
+{
+    WorkloadProfile p = scaled(popsProfile(), 0.005);
+    TraceBundle bundle = generateTrace(p);
+    MachineConfig mc = makeMachineConfig(HierarchyKind::VirtualReal,
+                                         8 * 1024, 64 * 1024,
+                                         p.pageSize);
+    MpSimulator sim(mc, p);
+    RecordingObserver all;
+    for (CpuId c = 0; c < sim.cpuCount(); ++c)
+        sim.hierarchy(c).setObserver(&all);
+    sim.run(bundle.records);
+
+    EXPECT_EQ(all.count(EventKind::L1Hit),
+              sim.totalCounter("l1_hits"));
+    EXPECT_EQ(all.count(EventKind::Miss), sim.totalCounter("misses"));
+    EXPECT_EQ(all.count(EventKind::L2Hit),
+              sim.totalCounter("l2_hits"));
+    EXPECT_EQ(all.count(EventKind::SynonymMove),
+              sim.totalCounter("synonym_moves"));
+    EXPECT_EQ(all.count(EventKind::WritebackParked),
+              sim.totalCounter("writebacks"));
+    EXPECT_EQ(all.count(EventKind::InclusionInvalidation),
+              sim.totalCounter("inclusion_invalidations"));
+}
+
+TEST_F(EventsTest, DetachStopsEvents)
+{
+    read(0x10000);
+    std::size_t n = rec.events().size();
+    h->setObserver(nullptr);
+    read(0x10000);
+    EXPECT_EQ(rec.events().size(), n);
+}
+
+TEST_F(EventsTest, CallbackObserverForwards)
+{
+    int calls = 0;
+    CallbackObserver cb([&](const HierarchyEvent &) { ++calls; });
+    h->setObserver(&cb);
+    read(0x10000);
+    EXPECT_GT(calls, 0);
+}
+
+TEST_F(EventsTest, EventKindNamesComplete)
+{
+    for (int k = 0; k <= static_cast<int>(EventKind::ContextSwitch);
+         ++k) {
+        EXPECT_STRNE(eventKindName(static_cast<EventKind>(k)), "?");
+    }
+}
+
+} // namespace
+} // namespace vrc

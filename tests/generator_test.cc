@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Tests for the synthetic trace generator: determinism, reference mix,
+ * procedure-call write bursts, context switches, address regions and
+ * synonym structure.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "trace/generator.hh"
+#include "trace/trace_stats.hh"
+#include "vm/addr_space.hh"
+
+namespace vrc
+{
+namespace
+{
+
+WorkloadProfile
+tinyProfile()
+{
+    WorkloadProfile p = popsProfile();
+    p.totalRefs = 60'000;
+    p.contextSwitches = 6;
+    p.seed = 99;
+    return p;
+}
+
+TEST(GeneratorTest, Deterministic)
+{
+    auto a = generateTrace(tinyProfile());
+    auto b = generateTrace(tinyProfile());
+    ASSERT_EQ(a.records.size(), b.records.size());
+    EXPECT_EQ(a.records, b.records);
+}
+
+TEST(GeneratorTest, SeedChangesTrace)
+{
+    WorkloadProfile p = tinyProfile();
+    auto a = generateTrace(p);
+    p.seed += 1;
+    auto b = generateTrace(p);
+    EXPECT_NE(a.records, b.records);
+}
+
+TEST(GeneratorTest, RefCountNearTarget)
+{
+    auto bundle = generateTrace(tinyProfile());
+    auto c = characterize(bundle.records);
+    EXPECT_NEAR(static_cast<double>(c.totalRefs), 60'000.0, 600.0);
+}
+
+TEST(GeneratorTest, MixMatchesProfile)
+{
+    WorkloadProfile p = tinyProfile();
+    auto bundle = generateTrace(p);
+    auto c = characterize(bundle.records);
+    double total = static_cast<double>(c.totalRefs);
+    EXPECT_NEAR(c.instrCount / total, p.instrFrac, 0.03);
+    EXPECT_NEAR(c.dataReads / total, p.readFrac, 0.03);
+    EXPECT_NEAR(c.dataWrites / total, p.writeFrac, 0.03);
+}
+
+TEST(GeneratorTest, ContextSwitchCount)
+{
+    auto bundle = generateTrace(tinyProfile());
+    auto c = characterize(bundle.records);
+    EXPECT_EQ(c.contextSwitches, 6u);
+    EXPECT_EQ(bundle.stats.contextSwitches, 6u);
+}
+
+TEST(GeneratorTest, AllCpusParticipateEvenly)
+{
+    auto bundle = generateTrace(tinyProfile());
+    auto c = characterize(bundle.records);
+    ASSERT_EQ(c.numCpus, 4u);
+    for (auto refs : c.refsPerCpu)
+        EXPECT_NEAR(static_cast<double>(refs), 15'000.0, 200.0);
+}
+
+TEST(GeneratorTest, CallBurstsInRange)
+{
+    WorkloadProfile p = tinyProfile();
+    auto bundle = generateTrace(p);
+    const Histogram &h = bundle.stats.callWrites;
+    EXPECT_GT(bundle.stats.totalCalls, 50u);
+    // The bulk of calls write 6..12 words (Table 1's shape).
+    std::uint64_t in_range = 0;
+    for (std::uint64_t k = p.callWritesMin; k <= p.callWritesMax; ++k)
+        in_range += h.count(k);
+    EXPECT_GT(in_range, bundle.stats.totalCalls * 95 / 100);
+}
+
+TEST(GeneratorTest, CallWritesAreSubstantialShareOfWrites)
+{
+    auto bundle = generateTrace(tinyProfile());
+    // pops: the paper reports ~30% of writes due to procedure calls.
+    double share = static_cast<double>(bundle.stats.callWriteCount) /
+        static_cast<double>(bundle.stats.totalWrites);
+    EXPECT_GT(share, 0.15);
+    EXPECT_LT(share, 0.55);
+}
+
+TEST(GeneratorTest, InstructionAddressesInTextRegion)
+{
+    WorkloadProfile p = tinyProfile();
+    auto bundle = generateTrace(p);
+    std::uint32_t text_end =
+        VirtualLayout::textBase + p.procCount * p.procStride;
+    for (const TraceRecord &r : bundle.records) {
+        if (r.type != RefType::Instr)
+            continue;
+        EXPECT_GE(r.vaddr, VirtualLayout::textBase);
+        EXPECT_LT(r.vaddr, text_end);
+    }
+}
+
+TEST(GeneratorTest, PidsMatchCpuAssignment)
+{
+    WorkloadProfile p = tinyProfile();
+    auto bundle = generateTrace(p);
+    for (const TraceRecord &r : bundle.records) {
+        ProcessId lo = r.cpu * p.processesPerCpu;
+        EXPECT_GE(r.pid, lo);
+        EXPECT_LT(r.pid, lo + p.processesPerCpu);
+    }
+}
+
+TEST(GeneratorTest, SharedRegionTouchedByAllCpus)
+{
+    WorkloadProfile p = tinyProfile();
+    auto bundle = generateTrace(p);
+    std::uint32_t shared_end =
+        VirtualLayout::sharedBase + p.sharedPages * p.pageSize;
+    std::unordered_set<unsigned> cpus_sharing;
+    for (const TraceRecord &r : bundle.records) {
+        if (r.isData() && r.vaddr >= VirtualLayout::sharedBase &&
+            r.vaddr < shared_end) {
+            cpus_sharing.insert(r.cpu);
+        }
+    }
+    EXPECT_EQ(cpus_sharing.size(), 4u);
+}
+
+TEST(GeneratorTest, AliasReferencesProduceSynonyms)
+{
+    WorkloadProfile p = tinyProfile();
+    auto bundle = generateTrace(p);
+    AddressSpaceManager spaces(p.pageSize);
+    setupAddressSpaces(p, spaces);
+    // Find a data ref in the alias region and confirm it maps to a
+    // shared-segment frame also reachable via the canonical base.
+    bool found = false;
+    for (const TraceRecord &r : bundle.records) {
+        if (!r.isData() || r.vaddr < VirtualLayout::aliasRegionBase ||
+            r.vaddr >= VirtualLayout::stackBase) {
+            continue;
+        }
+        PhysAddr via_alias = spaces.translate(r.pid, r.va());
+        std::uint32_t offset = r.vaddr -
+            VirtualLayout::aliasBase(r.pid, p.sharedPages, p.pageSize);
+        PhysAddr via_canonical = spaces.translate(
+            r.pid, VirtAddr(VirtualLayout::sharedBase + offset));
+        EXPECT_EQ(via_alias.value(), via_canonical.value());
+        found = true;
+        break;
+    }
+    EXPECT_TRUE(found) << "no alias references generated";
+}
+
+TEST(GeneratorTest, SetupAddressSpacesSharesTextAcrossProcesses)
+{
+    WorkloadProfile p = tinyProfile();
+    AddressSpaceManager spaces(p.pageSize);
+    setupAddressSpaces(p, spaces);
+    PhysAddr a =
+        spaces.translate(0, VirtAddr(VirtualLayout::textBase));
+    PhysAddr b =
+        spaces.translate(5, VirtAddr(VirtualLayout::textBase));
+    EXPECT_EQ(a.value(), b.value()) << "shared text segment";
+}
+
+TEST(GeneratorTest, ScaledProfileShrinks)
+{
+    WorkloadProfile p = popsProfile();
+    WorkloadProfile s = scaled(p, 0.01);
+    EXPECT_NEAR(static_cast<double>(s.totalRefs),
+                p.totalRefs * 0.01, 1.0);
+    auto bundle = generateTrace(s);
+    auto c = characterize(bundle.records);
+    EXPECT_LT(c.totalRefs, 40'000u);
+}
+
+TEST(GeneratorTest, PaperProfilesMatchTable5Shapes)
+{
+    for (const auto &p : paperProfiles()) {
+        SCOPED_TRACE(p.name);
+        EXPECT_NEAR(p.instrFrac + p.readFrac + p.writeFrac, 1.0, 0.01);
+    }
+    EXPECT_EQ(thorProfile().numCpus, 4u);
+    EXPECT_EQ(popsProfile().numCpus, 4u);
+    EXPECT_EQ(abaqusProfile().numCpus, 2u);
+    EXPECT_EQ(thorProfile().contextSwitches, 21u);
+    EXPECT_EQ(popsProfile().contextSwitches, 7u);
+    EXPECT_EQ(abaqusProfile().contextSwitches, 292u);
+}
+
+TEST(GeneratorTest, ProfileByName)
+{
+    EXPECT_EQ(profileByName("pops").name, "pops");
+    EXPECT_EQ(profileByName("thor").name, "thor");
+    EXPECT_EQ(profileByName("abaqus").name, "abaqus");
+}
+
+TEST(GeneratorDeathTest, UnknownProfileName)
+{
+    EXPECT_EXIT(profileByName("nope"), ::testing::ExitedWithCode(1),
+                "unknown workload profile");
+}
+
+} // namespace
+} // namespace vrc

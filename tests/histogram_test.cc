@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Unit tests for the overflow-bucket histogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/histogram.hh"
+
+namespace vrc
+{
+namespace
+{
+
+TEST(HistogramTest, EmptyHistogram)
+{
+    Histogram h(10);
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    for (std::uint64_t v = 1; v <= 10; ++v)
+        EXPECT_EQ(h.count(v), 0u);
+}
+
+TEST(HistogramTest, BasicBuckets)
+{
+    Histogram h(10);
+    h.record(1);
+    h.record(1);
+    h.record(5);
+    EXPECT_EQ(h.count(1), 2u);
+    EXPECT_EQ(h.count(5), 1u);
+    EXPECT_EQ(h.count(2), 0u);
+    EXPECT_EQ(h.samples(), 3u);
+}
+
+TEST(HistogramTest, OverflowBucketAbsorbsLargeValues)
+{
+    Histogram h(10);
+    h.record(10);
+    h.record(11);
+    h.record(1000);
+    EXPECT_EQ(h.overflowCount(), 3u);
+    EXPECT_EQ(h.count(10), 3u);
+    EXPECT_EQ(h.count(9), 0u);
+}
+
+TEST(HistogramTest, SumKeepsExactValues)
+{
+    Histogram h(4);
+    h.record(100);
+    h.record(2);
+    EXPECT_EQ(h.sum(), 102u);
+    EXPECT_DOUBLE_EQ(h.mean(), 51.0);
+}
+
+TEST(HistogramTest, ZeroClampsToOne)
+{
+    Histogram h(4);
+    h.record(0);
+    EXPECT_EQ(h.count(1), 1u);
+    EXPECT_EQ(h.sum(), 1u);
+}
+
+TEST(HistogramTest, Clear)
+{
+    Histogram h(4);
+    h.record(2);
+    h.record(9);
+    h.clear();
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_EQ(h.count(2), 0u);
+    EXPECT_EQ(h.overflowCount(), 0u);
+}
+
+TEST(HistogramTest, SingleBucketEverythingOverflows)
+{
+    Histogram h(1);
+    h.record(1);
+    h.record(7);
+    EXPECT_EQ(h.overflowCount(), 2u);
+}
+
+} // namespace
+} // namespace vrc

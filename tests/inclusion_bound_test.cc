@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tests for the paper's Section 2 inclusion-feasibility bound:
+ *
+ *     A2 >= size(1)/pagesize * B2/B1
+ *
+ * Under the "replace a childless line" rule, a second-level cache at
+ * least that associative can always find a victim without level-1
+ * children on a uniprocessor (the number of level-1 blocks that can
+ * map into one level-2 set is bounded by exactly that expression), so
+ * forced inclusion invalidations never happen. Below the bound they
+ * do. The write buffer briefly keeps evicted blocks linked, so the
+ * tests leave a margin of one buffer entry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+
+namespace vrc
+{
+namespace
+{
+
+TraceBundle
+uniprocessorBundle()
+{
+    WorkloadProfile p = scaled(popsProfile(), 0.05);
+    p.numCpus = 1;
+    p.contextSwitches = 0;
+    p.processesPerCpu = 1;
+    return generateTrace(p);
+}
+
+std::uint64_t
+forcedReplacements(const TraceBundle &bundle, std::uint32_t l1_size,
+                   std::uint32_t l2_size, std::uint32_t a2,
+                   std::uint32_t b2)
+{
+    MachineConfig mc = makeMachineConfig(HierarchyKind::VirtualReal,
+                                         l1_size, l2_size,
+                                         bundle.profile.pageSize);
+    mc.hierarchy.l2.assoc = a2;
+    mc.hierarchy.l2.blockBytes = b2;
+    mc.hierarchy.writeBufferDepth = 1;
+    mc.hierarchy.writeBufferDrainLatency = 1;
+    MpSimulator sim(mc, bundle.profile);
+    sim.run(bundle.records);
+    sim.checkInvariants();
+    return sim.totalCounter("forced_r_replacements");
+}
+
+TEST(InclusionBoundTest, MetBoundNeverForcesB1EqualsB2)
+{
+    // 8K V-cache, 4K pages, B2 == B1: bound = 2. Use A2 = 4 (bound
+    // times two: headroom for the single write-buffer entry).
+    const TraceBundle bundle = uniprocessorBundle();
+    EXPECT_EQ(forcedReplacements(bundle, 8 * 1024, 64 * 1024, 4, 16),
+              0u);
+}
+
+TEST(InclusionBoundTest, MetBoundNeverForcesLargerL2Blocks)
+{
+    // 16K V-cache, 4K pages, B2 = 2*B1: bound = 4 * 2 = 8. A2 = 16.
+    const TraceBundle bundle = uniprocessorBundle();
+    EXPECT_EQ(
+        forcedReplacements(bundle, 16 * 1024, 256 * 1024, 16, 32),
+        0u);
+}
+
+TEST(InclusionBoundTest, BelowBoundForcesInvalidations)
+{
+    // 16K V-cache, bound = 4, but a direct-mapped L2: forced
+    // replacements must appear under any real workload.
+    const TraceBundle bundle = uniprocessorBundle();
+    EXPECT_GT(forcedReplacements(bundle, 16 * 1024, 64 * 1024, 1, 16),
+              0u);
+}
+
+TEST(InclusionBoundTest, RelaxedRuleKeepsHierarchyCorrect)
+{
+    // Even far below the bound, the relaxed rule (invalidate the
+    // children) keeps every invariant intact -- that is its point.
+    const TraceBundle bundle = uniprocessorBundle();
+    MachineConfig mc = makeMachineConfig(HierarchyKind::VirtualReal,
+                                         16 * 1024, 32 * 1024,
+                                         bundle.profile.pageSize);
+    mc.invariantPeriod = 1'000;
+    MpSimulator sim(mc, bundle.profile);
+    sim.run(bundle.records);
+    sim.checkInvariants();
+    EXPECT_GT(sim.totalCounter("inclusion_invalidations"), 0u);
+    EXPECT_GT(sim.h1(), 0.5);
+}
+
+} // namespace
+} // namespace vrc

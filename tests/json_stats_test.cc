@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Tests for the JSON stats export.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/json_stats.hh"
+
+namespace vrc
+{
+namespace
+{
+
+TEST(JsonStatsTest, SummarySerializesKeyFields)
+{
+    SimSummary s;
+    s.kind = HierarchyKind::VirtualReal;
+    s.l1Size = 16384;
+    s.l2Size = 262144;
+    s.h1 = 0.95;
+    s.h2 = 0.5;
+    s.refs = 1000;
+    s.l1MsgsPerCpu = {10, 20};
+    std::string j = toJson(s);
+    EXPECT_NE(j.find("\"kind\":\"VR\""), std::string::npos);
+    EXPECT_NE(j.find("\"l1_size\":16384"), std::string::npos);
+    EXPECT_NE(j.find("\"h1\":0.95"), std::string::npos);
+    EXPECT_NE(j.find("\"l1_msgs_per_cpu\":[10,20]"), std::string::npos);
+    EXPECT_EQ(j.front(), '{');
+    EXPECT_EQ(j.back(), '}');
+}
+
+TEST(JsonStatsTest, SimulatorSerializesPerCpuCounters)
+{
+    WorkloadProfile p = scaled(popsProfile(), 0.003);
+    TraceBundle bundle = generateTrace(p);
+    MachineConfig mc = makeMachineConfig(HierarchyKind::VirtualReal,
+                                         8 * 1024, 64 * 1024,
+                                         p.pageSize);
+    MpSimulator sim(mc, p);
+    sim.run(bundle.records);
+    std::string j = toJson(sim);
+    EXPECT_NE(j.find("\"cpus\":4"), std::string::npos);
+    EXPECT_NE(j.find("\"per_cpu\":["), std::string::npos);
+    EXPECT_NE(j.find("\"l1_hits\":"), std::string::npos);
+    EXPECT_NE(j.find("\"bus\":{"), std::string::npos);
+    // Balanced braces/brackets (cheap well-formedness check).
+    int depth = 0;
+    bool in_string = false;
+    for (char c : j) {
+        if (c == '"')
+            in_string = !in_string;
+        if (in_string)
+            continue;
+        if (c == '{' || c == '[')
+            ++depth;
+        if (c == '}' || c == ']')
+            --depth;
+        EXPECT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+}
+
+TEST(JsonStatsTest, SummaryEmptyMsgsArray)
+{
+    SimSummary s;
+    std::string j = toJson(s);
+    EXPECT_NE(j.find("\"l1_msgs_per_cpu\":[]"), std::string::npos);
+}
+
+} // namespace
+} // namespace vrc

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Tests for the error-reporting helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/log.hh"
+#include "base/version.hh"
+
+namespace vrc
+{
+namespace
+{
+
+TEST(LogDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom ", 42), "panic: boom 42");
+}
+
+TEST(LogDeathTest, FatalExitsCleanly)
+{
+    EXPECT_EXIT(fatal("bad config: ", "x"),
+                ::testing::ExitedWithCode(1), "fatal: bad config: x");
+}
+
+TEST(LogDeathTest, PanicIfNotTriggersOnFalse)
+{
+    EXPECT_DEATH(panicIfNot(false, "invariant"), "panic: invariant");
+}
+
+TEST(LogTest, PanicIfNotPassesOnTrue)
+{
+    panicIfNot(true, "never shown");
+    SUCCEED();
+}
+
+TEST(LogTest, WarnDoesNotTerminate)
+{
+    ::testing::internal::CaptureStderr();
+    warn("heads up: ", 7);
+    std::string err = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("warn: heads up: 7"), std::string::npos);
+}
+
+TEST(VersionTest, Consistent)
+{
+    std::string expect = std::to_string(versionMajor) + "." +
+        std::to_string(versionMinor) + "." +
+        std::to_string(versionPatch);
+    EXPECT_EQ(expect, versionString);
+}
+
+} // namespace
+} // namespace vrc

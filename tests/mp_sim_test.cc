@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the multiprocessor simulator driver.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/mp_sim.hh"
+#include "trace/generator.hh"
+
+namespace vrc
+{
+namespace
+{
+
+WorkloadProfile
+tinyProfile()
+{
+    WorkloadProfile p = thorProfile();
+    p.totalRefs = 40'000;
+    p.contextSwitches = 4;
+    return p;
+}
+
+MachineConfig
+vrConfig()
+{
+    MachineConfig mc;
+    mc.kind = HierarchyKind::VirtualReal;
+    mc.hierarchy.l1.sizeBytes = 8 * 1024;
+    mc.hierarchy.l2.sizeBytes = 64 * 1024;
+    return mc;
+}
+
+TEST(MpSimTest, BuildsOneHierarchyPerCpu)
+{
+    MpSimulator sim(vrConfig(), tinyProfile());
+    EXPECT_EQ(sim.cpuCount(), 4u);
+    EXPECT_EQ(sim.bus().agentCount(), 4u);
+}
+
+TEST(MpSimTest, DispatchesByCpu)
+{
+    MpSimulator sim(vrConfig(), tinyProfile());
+    sim.step(makeRef(2, RefType::Read, 4, VirtAddr(0x2000'0000)));
+    EXPECT_EQ(sim.hierarchy(2).stats().value("refs"), 1u);
+    EXPECT_EQ(sim.hierarchy(0).stats().value("refs"), 0u);
+    EXPECT_EQ(sim.refsProcessed(), 1u);
+}
+
+TEST(MpSimTest, ContextSwitchRecordSwitches)
+{
+    MpSimulator sim(vrConfig(), tinyProfile());
+    sim.step(makeRef(0, RefType::Read, 0, VirtAddr(0x2000'0000)));
+    sim.step(makeContextSwitch(0, 1));
+    EXPECT_EQ(sim.hierarchy(0).stats().value("context_switches"), 1u);
+    EXPECT_EQ(sim.refsProcessed(), 1u) << "switches are not refs";
+}
+
+TEST(MpSimTest, RunsFullTraceWithInvariants)
+{
+    auto bundle = generateTrace(tinyProfile());
+    MachineConfig mc = vrConfig();
+    mc.invariantPeriod = 1000;
+    MpSimulator sim(mc, bundle.profile);
+    sim.run(bundle.records);
+    sim.checkInvariants();
+    EXPECT_GT(sim.refsProcessed(), 39'000u);
+    EXPECT_GT(sim.h1(), 0.5);
+    EXPECT_LT(sim.h1(), 1.0);
+    EXPECT_GT(sim.h2(), 0.0);
+    EXPECT_LE(sim.h2(), 1.0);
+}
+
+TEST(MpSimTest, DeterministicAcrossRuns)
+{
+    auto bundle = generateTrace(tinyProfile());
+    MpSimulator a(vrConfig(), bundle.profile);
+    MpSimulator b(vrConfig(), bundle.profile);
+    a.run(bundle.records);
+    b.run(bundle.records);
+    EXPECT_DOUBLE_EQ(a.h1(), b.h1());
+    EXPECT_DOUBLE_EQ(a.h2(), b.h2());
+    EXPECT_EQ(a.bus().transactions(), b.bus().transactions());
+    EXPECT_EQ(a.totalCounter("synonym_hits"),
+              b.totalCounter("synonym_hits"));
+}
+
+TEST(MpSimTest, PerTypeRatiosAggregated)
+{
+    auto bundle = generateTrace(tinyProfile());
+    MpSimulator sim(vrConfig(), bundle.profile);
+    sim.run(bundle.records);
+    double instr = sim.h1ForType(RefType::Instr);
+    double reads = sim.h1ForType(RefType::Read);
+    double writes = sim.h1ForType(RefType::Write);
+    EXPECT_GT(instr, 0.5);
+    EXPECT_GT(reads, 0.2);
+    EXPECT_GT(writes, 0.2);
+    EXPECT_LE(instr, 1.0);
+    EXPECT_LE(reads, 1.0);
+    EXPECT_LE(writes, 1.0);
+}
+
+TEST(MpSimTest, SharingGeneratesCoherenceTraffic)
+{
+    auto bundle = generateTrace(tinyProfile());
+    MpSimulator sim(vrConfig(), bundle.profile);
+    sim.run(bundle.records);
+    EXPECT_GT(sim.bus().stats().value("invalidate") +
+                  sim.bus().stats().value("read-modified-write"),
+              0u)
+        << "shared writes must appear on the bus";
+    EXPECT_GT(sim.totalCounter("fills_from_cache"), 0u)
+        << "cache-to-cache transfers must occur";
+}
+
+TEST(MpSimTest, SynonymsOccurInGeneratedWorkload)
+{
+    auto bundle = generateTrace(tinyProfile());
+    MpSimulator sim(vrConfig(), bundle.profile);
+    sim.run(bundle.records);
+    EXPECT_GT(sim.totalCounter("synonym_hits"), 0u)
+        << "alias mappings must exercise the synonym machinery";
+}
+
+TEST(MpSimDeathTest, UnknownCpuRejected)
+{
+    MpSimulator sim(vrConfig(), tinyProfile());
+    EXPECT_DEATH(sim.step(makeRef(9, RefType::Read, 0, VirtAddr(0))),
+                 "unknown CPU");
+}
+
+} // namespace
+} // namespace vrc

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Unit tests for the per-process page table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vm/page_table.hh"
+
+namespace vrc
+{
+namespace
+{
+
+TEST(PageTableTest, LookupUnmapped)
+{
+    PageTable pt;
+    EXPECT_FALSE(pt.lookup(5).has_value());
+    EXPECT_FALSE(pt.isMapped(5));
+}
+
+TEST(PageTableTest, MapAndLookup)
+{
+    PageTable pt;
+    EXPECT_FALSE(pt.map(3, 17));
+    auto ppn = pt.lookup(3);
+    ASSERT_TRUE(ppn.has_value());
+    EXPECT_EQ(*ppn, 17u);
+    EXPECT_TRUE(pt.isMapped(3));
+}
+
+TEST(PageTableTest, RemapReturnsTrueAndOverwrites)
+{
+    PageTable pt;
+    pt.map(3, 17);
+    EXPECT_TRUE(pt.map(3, 99));
+    EXPECT_EQ(*pt.lookup(3), 99u);
+    EXPECT_EQ(pt.size(), 1u);
+}
+
+TEST(PageTableTest, Unmap)
+{
+    PageTable pt;
+    pt.map(1, 2);
+    EXPECT_TRUE(pt.unmap(1));
+    EXPECT_FALSE(pt.unmap(1));
+    EXPECT_FALSE(pt.lookup(1).has_value());
+}
+
+TEST(PageTableTest, SeveralMappingsCoexist)
+{
+    PageTable pt;
+    for (Vpn v = 0; v < 100; ++v)
+        pt.map(v, v + 1000);
+    EXPECT_EQ(pt.size(), 100u);
+    for (Vpn v = 0; v < 100; ++v)
+        EXPECT_EQ(*pt.lookup(v), v + 1000);
+}
+
+TEST(PageTableTest, SynonymsWithinOneSpace)
+{
+    // Two virtual pages can map to the same frame.
+    PageTable pt;
+    pt.map(1, 7);
+    pt.map(2, 7);
+    EXPECT_EQ(*pt.lookup(1), *pt.lookup(2));
+}
+
+TEST(PageTableTest, Clear)
+{
+    PageTable pt;
+    pt.map(1, 2);
+    pt.clear();
+    EXPECT_EQ(pt.size(), 0u);
+}
+
+} // namespace
+} // namespace vrc

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Parameterized property tests: for every organization, geometry and
+ * workload combination, the hierarchy invariants hold throughout a
+ * trace replay, hit ratios stay in bounds, and simulation results are
+ * deterministic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <string>
+
+#include "sim/experiment.hh"
+
+namespace vrc
+{
+namespace
+{
+
+struct PropertyCase
+{
+    HierarchyKind kind;
+    std::uint32_t l1Size;
+    std::uint32_t l2Size;
+    std::uint32_t l1Assoc;
+    std::uint32_t l2Assoc;
+    std::uint32_t l2BlockFactor; ///< B2 = factor * B1
+    bool split;
+    const char *workload;
+};
+
+std::string
+caseName(const ::testing::TestParamInfo<PropertyCase> &info)
+{
+    const PropertyCase &c = info.param;
+    std::string n = hierarchyKindName(c.kind);
+    for (char &ch : n) {
+        if (!isalnum(static_cast<unsigned char>(ch)))
+            ch = '_';
+    }
+    n += "_" + std::to_string(c.l1Size / 1024) + "k" +
+        std::to_string(c.l1Assoc) + "w_" +
+        std::to_string(c.l2Size / 1024) + "k" +
+        std::to_string(c.l2Assoc) + "w_b" +
+        std::to_string(c.l2BlockFactor) + (c.split ? "_split_" : "_") +
+        c.workload;
+    return n;
+}
+
+const TraceBundle &
+cachedBundle(const std::string &workload)
+{
+    static std::map<std::string, TraceBundle> cache;
+    auto it = cache.find(workload);
+    if (it == cache.end()) {
+        WorkloadProfile p = scaled(profileByName(workload), 0.008);
+        it = cache.emplace(workload, generateTrace(p)).first;
+    }
+    return it->second;
+}
+
+class HierarchyPropertyTest
+    : public ::testing::TestWithParam<PropertyCase>
+{
+};
+
+TEST_P(HierarchyPropertyTest, InvariantsHoldThroughoutReplay)
+{
+    const PropertyCase &c = GetParam();
+    const TraceBundle &bundle = cachedBundle(c.workload);
+
+    MachineConfig mc = makeMachineConfig(c.kind, c.l1Size, c.l2Size,
+                                         bundle.profile.pageSize,
+                                         c.split);
+    mc.hierarchy.l1.assoc = c.l1Assoc;
+    mc.hierarchy.l2.assoc = c.l2Assoc;
+    mc.hierarchy.l2.blockBytes =
+        mc.hierarchy.l1.blockBytes * c.l2BlockFactor;
+    mc.invariantPeriod = 500;
+
+    MpSimulator sim(mc, bundle.profile);
+    sim.run(bundle.records);
+    sim.checkInvariants();
+
+    // Hit ratios stay in their mathematical bounds.
+    EXPECT_GE(sim.h1(), 0.0);
+    EXPECT_LT(sim.h1(), 1.0);
+    EXPECT_GE(sim.h2(), 0.0);
+    EXPECT_LE(sim.h2(), 1.0);
+
+    // Conservation: every reference is a hit at exactly one place.
+    std::uint64_t refs = sim.totalCounter("refs");
+    std::uint64_t l1 = sim.totalCounter("l1_hits");
+    std::uint64_t l2 = sim.totalCounter("l2_hits");
+    std::uint64_t syn = sim.totalCounter("synonym_hits");
+    std::uint64_t miss = sim.totalCounter("misses");
+    EXPECT_EQ(refs, l1 + l2 + syn + miss);
+}
+
+TEST_P(HierarchyPropertyTest, Deterministic)
+{
+    const PropertyCase &c = GetParam();
+    const TraceBundle &bundle = cachedBundle(c.workload);
+    MachineConfig mc = makeMachineConfig(c.kind, c.l1Size, c.l2Size,
+                                         bundle.profile.pageSize,
+                                         c.split);
+    mc.hierarchy.l1.assoc = c.l1Assoc;
+    mc.hierarchy.l2.assoc = c.l2Assoc;
+    mc.hierarchy.l2.blockBytes =
+        mc.hierarchy.l1.blockBytes * c.l2BlockFactor;
+
+    MpSimulator a(mc, bundle.profile);
+    MpSimulator b(mc, bundle.profile);
+    a.run(bundle.records);
+    b.run(bundle.records);
+    EXPECT_EQ(a.totalCounter("l1_hits"), b.totalCounter("l1_hits"));
+    EXPECT_EQ(a.totalCounter("misses"), b.totalCounter("misses"));
+    EXPECT_EQ(a.bus().transactions(), b.bus().transactions());
+    EXPECT_EQ(a.totalCounter("memory_writes"),
+              b.totalCounter("memory_writes"));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, HierarchyPropertyTest,
+    ::testing::Values(
+        // The paper's direct-mapped configurations.
+        PropertyCase{HierarchyKind::VirtualReal, 4096, 65536, 1, 1, 1,
+                     false, "pops"},
+        PropertyCase{HierarchyKind::VirtualReal, 16384, 262144, 1, 1, 1,
+                     false, "thor"},
+        PropertyCase{HierarchyKind::VirtualReal, 4096, 65536, 1, 1, 1,
+                     false, "abaqus"},
+        // Small level-1 caches (Table 7 territory).
+        PropertyCase{HierarchyKind::VirtualReal, 512, 65536, 1, 1, 1,
+                     false, "pops"},
+        PropertyCase{HierarchyKind::VirtualReal, 1024, 65536, 1, 1, 1,
+                     false, "abaqus"},
+        // Associativity.
+        PropertyCase{HierarchyKind::VirtualReal, 4096, 65536, 2, 2, 1,
+                     false, "pops"},
+        PropertyCase{HierarchyKind::VirtualReal, 8192, 65536, 4, 2, 1,
+                     false, "abaqus"},
+        // Larger level-2 blocks (subentries per line).
+        PropertyCase{HierarchyKind::VirtualReal, 4096, 65536, 1, 2, 2,
+                     false, "pops"},
+        PropertyCase{HierarchyKind::VirtualReal, 4096, 131072, 2, 4, 4,
+                     false, "thor"},
+        // Split I/D.
+        PropertyCase{HierarchyKind::VirtualReal, 8192, 65536, 1, 1, 1,
+                     true, "pops"},
+        PropertyCase{HierarchyKind::VirtualReal, 8192, 131072, 2, 2, 2,
+                     true, "abaqus"},
+        // R-R baselines.
+        PropertyCase{HierarchyKind::RealRealIncl, 4096, 65536, 1, 1, 1,
+                     false, "pops"},
+        PropertyCase{HierarchyKind::RealRealIncl, 8192, 131072, 2, 2, 2,
+                     false, "abaqus"},
+        PropertyCase{HierarchyKind::RealRealIncl, 8192, 65536, 1, 1, 1,
+                     true, "thor"},
+        PropertyCase{HierarchyKind::RealRealNoIncl, 4096, 65536, 1, 1,
+                     1, false, "pops"},
+        PropertyCase{HierarchyKind::RealRealNoIncl, 8192, 131072, 2, 2,
+                     2, false, "abaqus"},
+        PropertyCase{HierarchyKind::RealRealNoIncl, 8192, 65536, 1, 1,
+                     1, true, "thor"}),
+    caseName);
+
+} // namespace
+} // namespace vrc

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Unit tests for the R-cache: subentries, v-pointer bits and the relaxed
+ * inclusion replacement rule.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/rcache.hh"
+
+namespace vrc
+{
+namespace
+{
+
+constexpr std::uint32_t kPage = 4096;
+constexpr std::uint32_t kL1Size = 16 * 1024;
+constexpr std::uint32_t kL1Block = 16;
+
+TEST(RCacheTest, LookupMissOnEmpty)
+{
+    RCache rc({64 * 1024, 16, 1}, kL1Block, kL1Size, kPage);
+    EXPECT_FALSE(rc.lookup(PhysAddr(0x100)).has_value());
+}
+
+TEST(RCacheTest, InstallCreatesSubentries)
+{
+    RCache rc({64 * 1024, 64, 1}, kL1Block, kL1Size, kPage);
+    EXPECT_EQ(rc.subCount(), 4u);
+    auto [slot, forced] = rc.victimFor(PhysAddr(0x1000));
+    EXPECT_FALSE(forced);
+    auto &line = rc.install(slot, PhysAddr(0x1000),
+                            CoherenceState::Private);
+    EXPECT_EQ(line.meta.subs.size(), 4u);
+    EXPECT_EQ(line.meta.state, CoherenceState::Private);
+    EXPECT_TRUE(line.meta.noChildren());
+}
+
+TEST(RCacheTest, SubIndexSelectsSubBlock)
+{
+    RCache rc({64 * 1024, 64, 1}, kL1Block, kL1Size, kPage);
+    EXPECT_EQ(rc.subIndex(PhysAddr(0x1000)), 0u);
+    EXPECT_EQ(rc.subIndex(PhysAddr(0x1010)), 1u);
+    EXPECT_EQ(rc.subIndex(PhysAddr(0x1030)), 3u);
+    EXPECT_EQ(rc.subIndex(PhysAddr(0x1040)), 0u) << "next line wraps";
+}
+
+TEST(RCacheTest, SubBlockAddr)
+{
+    RCache rc({64 * 1024, 64, 1}, kL1Block, kL1Size, kPage);
+    auto [slot, forced] = rc.victimFor(PhysAddr(0x1000));
+    rc.install(slot, PhysAddr(0x1000), CoherenceState::Shared);
+    EXPECT_EQ(rc.subBlockAddr(slot, 2), 0x1020u);
+}
+
+TEST(RCacheTest, VPointerBits)
+{
+    RCache rc({256 * 1024, 16, 1}, kL1Block, kL1Size, kPage);
+    // v-pointer = low log2(16K/4K) = 2 bits of the VPN.
+    EXPECT_EQ(rc.vPointerBits(0x7000), (0x7000u / kPage) & 3u);
+    EXPECT_EQ(rc.vPointerBits(0x13000), (0x13000u / kPage) & 3u);
+}
+
+TEST(RCacheTest, RelaxedVictimPrefersChildlessLine)
+{
+    RCache rc({512, 16, 2}, kL1Block, kL1Size, kPage); // 16 sets x 2
+    PhysAddr a(0x0), b(0x200); // same set, different tags
+    auto [sa, fa] = rc.victimFor(a);
+    rc.install(sa, a, CoherenceState::Private);
+    auto [sb, fb] = rc.victimFor(b);
+    rc.install(sb, b, CoherenceState::Private);
+
+    // Mark `a` as having a child; `b` stays childless.
+    rc.sub(*rc.probe(a), a).inclusion = true;
+    auto [victim, forced] = rc.victimFor(PhysAddr(0x400));
+    EXPECT_FALSE(forced);
+    EXPECT_EQ(rc.lineAddr(victim), 0x200u)
+        << "relaxed rule must pick the line without level-1 children";
+}
+
+TEST(RCacheTest, RelaxedVictimForcedWhenAllHaveChildren)
+{
+    RCache rc({512, 16, 2}, kL1Block, kL1Size, kPage);
+    PhysAddr a(0x0), b(0x200);
+    auto [sa, fa] = rc.victimFor(a);
+    rc.install(sa, a, CoherenceState::Private);
+    auto [sb, fb] = rc.victimFor(b);
+    rc.install(sb, b, CoherenceState::Private);
+    rc.sub(*rc.probe(a), a).inclusion = true;
+    rc.sub(*rc.probe(b), b).buffer = true;
+
+    auto [victim, forced] = rc.victimFor(PhysAddr(0x400));
+    EXPECT_TRUE(forced) << "no childless line exists";
+    EXPECT_TRUE(rc.line(victim).valid);
+}
+
+TEST(RCacheTest, BufferBitCountsAsChild)
+{
+    RLineMeta meta;
+    meta.subs.assign(2, RSubentry{});
+    EXPECT_TRUE(meta.noChildren());
+    meta.subs[1].buffer = true;
+    EXPECT_FALSE(meta.noChildren());
+}
+
+TEST(RCacheTest, ProbeDoesNotTouchRecency)
+{
+    RCache rc({512, 16, 2}, kL1Block, kL1Size, kPage);
+    PhysAddr a(0x0), b(0x200);
+    auto [sa, fa] = rc.victimFor(a);
+    rc.install(sa, a, CoherenceState::Private);
+    auto [sb, fb] = rc.victimFor(b);
+    rc.install(sb, b, CoherenceState::Private);
+    // `a` is older. A probe must not refresh it.
+    rc.probe(a);
+    auto [victim, forced] = rc.victimFor(PhysAddr(0x400));
+    EXPECT_EQ(rc.lineAddr(victim), 0x0u);
+    // A lookup does refresh.
+    rc.lookup(a);
+    auto [victim2, forced2] = rc.victimFor(PhysAddr(0x400));
+    EXPECT_EQ(rc.lineAddr(victim2), 0x200u);
+}
+
+TEST(RCacheDeathTest, BlockSizeMismatchRejected)
+{
+    EXPECT_DEATH(RCache({64 * 1024, 16, 1}, 64, kL1Size, kPage),
+                 "multiple");
+}
+
+} // namespace
+} // namespace vrc

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG wrapper.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "base/rng.hh"
+
+namespace vrc
+{
+namespace
+{
+
+TEST(RngTest, SameSeedSameSequence)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.below(1000), b.below(1000));
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.below(1u << 30) == b.below(1u << 30) ? 1 : 0;
+    EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, BelowRespectsBound)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(RngTest, BelowOneAlwaysZero)
+{
+    Rng r(7);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(RngTest, RangeInclusive)
+{
+    Rng r(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        auto v = r.range(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng r(11);
+    double sum = 0;
+    for (int i = 0; i < 1000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 1000.0, 0.5, 0.05);
+}
+
+TEST(RngTest, ChanceExtremes)
+{
+    Rng r(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(RngTest, ChanceRoughlyCalibrated)
+{
+    Rng r(17);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += r.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, WeightedRespectsWeights)
+{
+    Rng r(19);
+    std::vector<double> w{0.0, 10.0, 0.0};
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(r.weighted(w), 1u);
+}
+
+TEST(RngTest, WeightedProportions)
+{
+    Rng r(23);
+    std::vector<double> w{1.0, 3.0};
+    int c1 = 0;
+    for (int i = 0; i < 10000; ++i)
+        c1 += r.weighted(w) == 1 ? 1 : 0;
+    EXPECT_NEAR(c1 / 10000.0, 0.75, 0.03);
+}
+
+TEST(RngTest, GeometricBounded)
+{
+    Rng r(29);
+    for (int i = 0; i < 1000; ++i) {
+        auto v = r.geometric(0.5, 8);
+        EXPECT_GE(v, 1u);
+        EXPECT_LE(v, 8u);
+    }
+}
+
+TEST(RngTest, ForkIndependence)
+{
+    Rng parent(31);
+    Rng c1 = parent.fork();
+    Rng c2 = parent.fork();
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += c1.below(1u << 30) == c2.below(1u << 30) ? 1 : 0;
+    EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, ForkDeterministic)
+{
+    Rng p1(37), p2(37);
+    Rng c1 = p1.fork();
+    Rng c2 = p2.fork();
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(c1.below(1000), c2.below(1000));
+}
+
+} // namespace
+} // namespace vrc

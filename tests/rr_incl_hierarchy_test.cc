@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Scenario tests for the R-R (inclusion) baseline: the shared engine
+ * with a physically-addressed level 1.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "coherence/bus.hh"
+#include "core/vr_hierarchy.hh"
+#include "vm/addr_space.hh"
+
+namespace vrc
+{
+namespace
+{
+
+constexpr std::uint32_t kPage = 4096;
+
+class RrInclHierarchyTest : public ::testing::Test
+{
+  protected:
+    RrInclHierarchyTest() : spaces(kPage) {}
+
+    void
+    build(unsigned cpus = 2)
+    {
+        for (unsigned i = 0; i < cpus; ++i) {
+            h.push_back(std::make_unique<VrHierarchy>(
+                params, spaces, bus, /*l1_virtual=*/false));
+        }
+    }
+
+    void
+    map(ProcessId pid, Vpn vpn, Ppn ppn)
+    {
+        spaces.pageTable(pid).map(vpn, ppn);
+    }
+
+    AccessOutcome
+    read(unsigned cpu, ProcessId pid, std::uint32_t va)
+    {
+        return h[cpu]->access({RefType::Read, VirtAddr(va), pid});
+    }
+
+    AccessOutcome
+    write(unsigned cpu, ProcessId pid, std::uint32_t va)
+    {
+        return h[cpu]->access({RefType::Write, VirtAddr(va), pid});
+    }
+
+    HierarchyParams params{{8 * 1024, 16, 1, ReplPolicy::LRU},
+                           {64 * 1024, 16, 1, ReplPolicy::LRU},
+                           kPage};
+    AddressSpaceManager spaces;
+    SharedBus bus;
+    std::vector<std::unique_ptr<VrHierarchy>> h;
+};
+
+TEST_F(RrInclHierarchyTest, ModeFlagReported)
+{
+    build(1);
+    EXPECT_FALSE(h[0]->l1Virtual());
+}
+
+TEST_F(RrInclHierarchyTest, TranslatesBeforeL1)
+{
+    build(1);
+    map(0, 0x10, 5);
+    read(0, 0, 0x10000);
+    std::uint64_t lookups = h[0]->tlb().hits() + h[0]->tlb().misses();
+    read(0, 0, 0x10000); // even an L1 hit needs the translation first
+    EXPECT_EQ(h[0]->tlb().hits() + h[0]->tlb().misses(), lookups + 1);
+}
+
+TEST_F(RrInclHierarchyTest, SynonymsAreInvisible)
+{
+    build(1);
+    map(0, 0x10, 5);
+    map(0, 0x31, 5); // virtual synonym
+    EXPECT_EQ(read(0, 0, 0x10100), AccessOutcome::Miss);
+    // Physical tags: the second virtual name is simply the same block.
+    EXPECT_EQ(read(0, 0, 0x31100), AccessOutcome::L1Hit);
+    EXPECT_EQ(h[0]->stats().value("synonym_hits"), 0u);
+    h[0]->checkInvariants();
+}
+
+TEST_F(RrInclHierarchyTest, ContextSwitchKeepsL1Contents)
+{
+    build(1);
+    map(0, 0x10, 5);
+    read(0, 0, 0x10000);
+    h[0]->contextSwitch(1);
+    map(1, 0x10, 5); // same frame mapped into the new process
+    EXPECT_EQ(read(0, 1, 0x10000), AccessOutcome::L1Hit)
+        << "physical tags survive the switch";
+    h[0]->checkInvariants();
+}
+
+TEST_F(RrInclHierarchyTest, CoherenceShieldingStillWorks)
+{
+    build(2);
+    map(0, 0x10, 5);
+    map(1, 0x10, 5);
+    read(0, 0, 0x10000);
+    read(1, 1, 0x10000);
+    EXPECT_EQ(h[0]->stats().value("l1_coherence_msgs"), 0u)
+        << "inclusion filters foreign reads of clean data";
+    write(1, 1, 0x10000);
+    EXPECT_EQ(h[0]->stats().value("l1_coherence_msgs"), 1u)
+        << "the invalidation percolates exactly once";
+    EXPECT_FALSE(
+        h[0]->vcache().lookup(VirtAddr(5 * kPage)).has_value());
+    h[0]->checkInvariants();
+    h[1]->checkInvariants();
+}
+
+TEST_F(RrInclHierarchyTest, DirtyEvictionAndPullbackViaBuffer)
+{
+    build(1);
+    map(0, 0x10, 5);
+    map(0, 0x12, 5 + 2); // conflicting L1 block (same pa set parity)
+    write(0, 0, 0x10000);
+    // pa 0x5000 and 0x7000 collide in an 8K L1 (mod 0x2000).
+    EXPECT_EQ(read(0, 0, 0x12000), AccessOutcome::Miss);
+    EXPECT_EQ(h[0]->writeBuffer().size(), 1u);
+    EXPECT_EQ(read(0, 0, 0x10000), AccessOutcome::SynonymHit)
+        << "pull-back from the write buffer (cancelled write-back)";
+    EXPECT_EQ(h[0]->stats().value("writeback_cancels"), 1u);
+    h[0]->checkInvariants();
+}
+
+TEST_F(RrInclHierarchyTest, InclusionInvariantHolds)
+{
+    build(1);
+    for (Vpn v = 0; v < 64; ++v)
+        map(0, 0x100 + v, 0x10 + v * 3);
+    for (Vpn v = 0; v < 64; ++v) {
+        read(0, 0, (0x100 + v) * kPage + 0x40);
+        write(0, 0, (0x100 + v) * kPage + 0x80);
+    }
+    h[0]->checkInvariants();
+}
+
+} // namespace
+} // namespace vrc

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Scenario tests for the non-inclusive R-R baseline: level 1 survives
+ * level-2 evictions, and every foreign bus transaction probes level 1.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "coherence/bus.hh"
+#include "core/rr_hierarchy.hh"
+#include "vm/addr_space.hh"
+
+namespace vrc
+{
+namespace
+{
+
+constexpr std::uint32_t kPage = 4096;
+
+class RrNoInclTest : public ::testing::Test
+{
+  protected:
+    RrNoInclTest() : spaces(kPage) {}
+
+    void
+    build(unsigned cpus = 2)
+    {
+        for (unsigned i = 0; i < cpus; ++i) {
+            h.push_back(std::make_unique<RrNoInclHierarchy>(
+                params, spaces, bus));
+        }
+    }
+
+    void
+    map(ProcessId pid, Vpn vpn, Ppn ppn)
+    {
+        spaces.pageTable(pid).map(vpn, ppn);
+    }
+
+    AccessOutcome
+    read(unsigned cpu, ProcessId pid, std::uint32_t va)
+    {
+        return h[cpu]->access({RefType::Read, VirtAddr(va), pid});
+    }
+
+    AccessOutcome
+    write(unsigned cpu, ProcessId pid, std::uint32_t va)
+    {
+        return h[cpu]->access({RefType::Write, VirtAddr(va), pid});
+    }
+
+    HierarchyParams params{{8 * 1024, 16, 1, ReplPolicy::LRU},
+                           {32 * 1024, 16, 1, ReplPolicy::LRU},
+                           kPage};
+    AddressSpaceManager spaces;
+    SharedBus bus;
+    std::vector<std::unique_ptr<RrNoInclHierarchy>> h;
+};
+
+TEST_F(RrNoInclTest, ColdMissThenHit)
+{
+    build(1);
+    map(0, 0x10, 5);
+    EXPECT_EQ(read(0, 0, 0x10000), AccessOutcome::Miss);
+    EXPECT_EQ(read(0, 0, 0x10000), AccessOutcome::L1Hit);
+    h[0]->checkInvariants();
+}
+
+TEST_F(RrNoInclTest, L1SurvivesL2Eviction)
+{
+    // Any two blocks sharing a direct-mapped L2 set also share the
+    // (smaller) L1 set, so give L1 two ways to let both coexist there.
+    params.l1.assoc = 2;
+    build(1);
+    // ppn 5 and ppn 13 collide in the 32K L2 (0x5000 vs 0xD000 mod
+    // 0x8000); the 2-way L1 keeps both.
+    map(0, 0x10, 5);
+    map(0, 0x31, 13);
+    read(0, 0, 0x10000);
+    EXPECT_EQ(read(0, 0, 0x31000), AccessOutcome::Miss)
+        << "conflicts in L2, evicting the first line there";
+    EXPECT_FALSE(h[0]->l2().find(0x5000).has_value())
+        << "L2 replaced the first line";
+    EXPECT_EQ(read(0, 0, 0x10000), AccessOutcome::L1Hit)
+        << "without inclusion the L1 copy survives";
+    h[0]->checkInvariants();
+}
+
+TEST_F(RrNoInclTest, EveryForeignTransactionProbesL1)
+{
+    build(2);
+    map(0, 0x10, 5);
+    map(1, 0x20, 6);
+    // CPU1 issues two unrelated misses; CPU0's L1 is probed each time.
+    read(1, 1, 0x20000);
+    write(1, 1, 0x20100);
+    EXPECT_EQ(h[0]->stats().value("l1_probes"),
+              h[0]->stats().value("l1_coherence_msgs"));
+    EXPECT_GE(h[0]->stats().value("l1_probes"), 2u)
+        << "no filtering: every foreign transaction disturbs L1";
+    h[0]->checkInvariants();
+}
+
+TEST_F(RrNoInclTest, ForeignReadFlushesDirtyL1)
+{
+    build(2);
+    map(0, 0x10, 5);
+    map(1, 0x10, 5);
+    write(0, 0, 0x10000);
+    EXPECT_EQ(read(1, 1, 0x10000), AccessOutcome::Miss);
+    EXPECT_EQ(h[0]->stats().value("l1_flushes"), 1u);
+    EXPECT_EQ(h[1]->stats().value("fills_from_cache"), 1u);
+    auto hit = h[0]->l1().find(0x5000);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_FALSE(h[0]->l1().line(*hit).meta.dirty);
+    EXPECT_EQ(h[0]->l1().line(*hit).meta.state, CoherenceState::Shared);
+    h[0]->checkInvariants();
+}
+
+TEST_F(RrNoInclTest, ForeignWriteInvalidatesL1)
+{
+    build(2);
+    map(0, 0x10, 5);
+    map(1, 0x10, 5);
+    read(0, 0, 0x10000);
+    write(1, 1, 0x10000);
+    EXPECT_FALSE(h[0]->l1().find(0x5000).has_value());
+    EXPECT_FALSE(h[0]->l2().find(0x5000).has_value());
+    h[0]->checkInvariants();
+}
+
+TEST_F(RrNoInclTest, WriteHitSharedUpgradesViaBus)
+{
+    build(2);
+    map(0, 0x10, 5);
+    map(1, 0x10, 5);
+    read(0, 0, 0x10000);
+    read(1, 1, 0x10000);
+    std::uint64_t txs = bus.transactions();
+    EXPECT_EQ(write(0, 0, 0x10000), AccessOutcome::L1Hit);
+    EXPECT_EQ(bus.transactions(), txs + 1);
+    EXPECT_FALSE(h[1]->l1().find(0x5000).has_value());
+    h[0]->checkInvariants();
+}
+
+TEST_F(RrNoInclTest, DirtyVictimPullbackFromBuffer)
+{
+    build(1);
+    map(0, 0x10, 5);
+    map(0, 0x12, 7); // 0x5000 vs 0x7000 collide in the 8K L1
+    write(0, 0, 0x10000);
+    read(0, 0, 0x12000);
+    EXPECT_EQ(h[0]->writeBuffer().size(), 1u);
+    EXPECT_EQ(read(0, 0, 0x10000), AccessOutcome::L2Hit)
+        << "pull-back costs one L2-level access";
+    EXPECT_EQ(h[0]->stats().value("buffer_pullbacks"), 1u);
+    EXPECT_TRUE(h[0]->writeBuffer().empty());
+    h[0]->checkInvariants();
+}
+
+TEST_F(RrNoInclTest, OrphanWritebackBypassesL2)
+{
+    params.l1.assoc = 2;
+    build(1);
+    map(0, 0x10, 5);
+    map(0, 0x31, 13); // L2 conflict for ppn 5
+    map(0, 0x12, 7);  // L1 conflict for ppn 5
+    write(0, 0, 0x10000); // dirty in L1 and present in L2
+    read(0, 0, 0x31000);  // evicts 0x5000 from L2 only
+    read(0, 0, 0x12000);  // evicts dirty 0x5000 from L1 -> buffer
+    // Drain: the L2 no longer has the line, so the data goes to memory.
+    for (int i = 0; i < 100; ++i)
+        read(0, 0, 0x12000);
+    EXPECT_TRUE(h[0]->writeBuffer().empty());
+    EXPECT_EQ(h[0]->stats().value("writebacks_bypassing_l2"), 1u);
+    EXPECT_GE(h[0]->stats().value("memory_writes"), 1u);
+    h[0]->checkInvariants();
+}
+
+TEST_F(RrNoInclTest, ContextSwitchIsFree)
+{
+    build(1);
+    map(0, 0x10, 5);
+    read(0, 0, 0x10000);
+    h[0]->contextSwitch(1);
+    map(1, 0x10, 5);
+    EXPECT_EQ(read(0, 1, 0x10000), AccessOutcome::L1Hit);
+}
+
+TEST_F(RrNoInclTest, ForeignReadFlushesBufferedBlock)
+{
+    build(2);
+    map(0, 0x10, 5);
+    map(0, 0x12, 7);
+    map(1, 0x10, 5);
+    write(0, 0, 0x10000);
+    read(0, 0, 0x12000); // dirty victim into buffer
+    EXPECT_EQ(read(1, 1, 0x10000), AccessOutcome::Miss);
+    EXPECT_EQ(h[0]->stats().value("buffer_flushes"), 1u);
+    EXPECT_TRUE(h[0]->writeBuffer().empty());
+    h[0]->checkInvariants();
+}
+
+} // namespace
+} // namespace vrc

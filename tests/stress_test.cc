@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Randomized stress tests: small machines driven by adversarial random
+ * access patterns (dense synonym webs, random context switches, random
+ * DMA) with invariants checked continuously. Unlike the property tests,
+ * nothing here is workload-shaped -- the point is to hit corner-case
+ * interleavings the generator never produces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "base/rng.hh"
+#include "coherence/dma.hh"
+#include "core/rr_hierarchy.hh"
+#include "core/vr_hierarchy.hh"
+#include "vm/addr_space.hh"
+
+namespace vrc
+{
+namespace
+{
+
+constexpr std::uint32_t kPage = 4096;
+
+struct StressCase
+{
+    std::uint64_t seed;
+    std::uint32_t l1Assoc;
+    std::uint32_t l2BlockFactor;
+    bool split;
+    CoherencePolicy protocol;
+};
+
+std::string
+stressName(const ::testing::TestParamInfo<StressCase> &info)
+{
+    const StressCase &c = info.param;
+    return "seed" + std::to_string(c.seed) + "_w" +
+        std::to_string(c.l1Assoc) + "_b" +
+        std::to_string(c.l2BlockFactor) + (c.split ? "_split" : "") +
+        (c.protocol == CoherencePolicy::WriteUpdate ? "_upd" : "_inv");
+}
+
+class StressTest : public ::testing::TestWithParam<StressCase>
+{
+};
+
+TEST_P(StressTest, RandomSoupKeepsInvariants)
+{
+    const StressCase &c = GetParam();
+    AddressSpaceManager spaces(kPage, 1 << 12);
+    SharedBus bus;
+
+    HierarchyParams params;
+    params.l1 = {2 * 1024, 16, c.l1Assoc, ReplPolicy::LRU};
+    params.l2 = {8 * 1024, 16 * c.l2BlockFactor, 2, ReplPolicy::LRU};
+    params.splitL1 = c.split;
+    params.protocol = c.protocol;
+    params.writeBufferDepth = 2;
+    params.writeBufferDrainLatency = 7;
+
+    // Tiny caches + a tiny hot footprint = constant evictions,
+    // synonyms, inclusion pressure and coherence collisions.
+    std::vector<std::unique_ptr<CacheHierarchy>> cpus;
+    cpus.push_back(
+        std::make_unique<VrHierarchy>(params, spaces, bus, true));
+    cpus.push_back(
+        std::make_unique<VrHierarchy>(params, spaces, bus, true));
+    cpus.push_back(
+        std::make_unique<VrHierarchy>(params, spaces, bus, false));
+    cpus.push_back(
+        std::make_unique<RrNoInclHierarchy>(params, spaces, bus));
+    DmaDevice dma(bus, params.l2.blockBytes);
+
+    // A dense synonym web: 8 frames, each reachable through 4 virtual
+    // pages in each of 3 processes.
+    Rng rng(c.seed);
+    std::vector<Ppn> frames;
+    for (int f = 0; f < 8; ++f)
+        frames.push_back(static_cast<Ppn>(16 + f));
+    std::vector<std::uint32_t> vpns;
+    for (ProcessId pid = 0; pid < 3; ++pid) {
+        for (int f = 0; f < 8; ++f) {
+            for (int alias = 0; alias < 4; ++alias) {
+                Vpn vpn = 0x100 + static_cast<Vpn>(rng.below(64));
+                spaces.pageTable(pid).map(vpn, frames[f]);
+                vpns.push_back(vpn);
+            }
+        }
+    }
+
+    for (int step = 0; step < 30'000; ++step) {
+        unsigned cpu = static_cast<unsigned>(rng.below(cpus.size()));
+        double act = rng.uniform();
+        if (act < 0.02) {
+            cpus[cpu]->contextSwitch(
+                static_cast<ProcessId>(rng.below(3)));
+        } else if (act < 0.04) {
+            PhysAddr pa(frames[rng.below(frames.size())] * kPage +
+                        static_cast<std::uint32_t>(rng.below(kPage)));
+            if (rng.chance(0.5))
+                dma.read(pa, 32);
+            else
+                dma.write(pa, 32);
+        } else {
+            Vpn vpn = vpns[rng.below(vpns.size())];
+            std::uint32_t va = vpn * kPage +
+                (static_cast<std::uint32_t>(rng.below(64)) * 16);
+            RefType type = act < 0.40 ? RefType::Write
+                : act < 0.70         ? RefType::Read
+                                     : RefType::Instr;
+            cpus[cpu]->access(
+                {type, VirtAddr(va),
+                 static_cast<ProcessId>(rng.below(3))});
+        }
+        if (step % 256 == 0) {
+            for (auto &h : cpus)
+                h->checkInvariants();
+        }
+    }
+    for (auto &h : cpus)
+        h->checkInvariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Soup, StressTest,
+    ::testing::Values(
+        StressCase{1, 1, 1, false, CoherencePolicy::WriteInvalidate},
+        StressCase{2, 2, 1, false, CoherencePolicy::WriteInvalidate},
+        StressCase{3, 1, 2, false, CoherencePolicy::WriteInvalidate},
+        StressCase{4, 2, 2, true, CoherencePolicy::WriteInvalidate},
+        StressCase{5, 1, 1, false, CoherencePolicy::WriteUpdate},
+        StressCase{6, 2, 2, true, CoherencePolicy::WriteUpdate},
+        StressCase{7, 4, 4, false, CoherencePolicy::WriteInvalidate},
+        StressCase{8, 4, 2, true, CoherencePolicy::WriteUpdate}),
+    stressName);
+
+} // namespace
+} // namespace vrc

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Scenario tests for level-2 lines larger than level-1 blocks
+ * (B2 > B1): one R-cache line then carries several subentries, each
+ * tracking its own level-1 child (Figure 3's "one subentry per V-cache
+ * block").
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "coherence/bus.hh"
+#include "core/vr_hierarchy.hh"
+#include "vm/addr_space.hh"
+
+namespace vrc
+{
+namespace
+{
+
+constexpr std::uint32_t kPage = 4096;
+
+class SubBlockTest : public ::testing::Test
+{
+  protected:
+    SubBlockTest() : spaces(kPage)
+    {
+        params.l2.blockBytes = 64;  // four 16-byte sub-blocks per line
+    }
+
+    void
+    build(unsigned cpus = 2)
+    {
+        for (unsigned i = 0; i < cpus; ++i) {
+            h.push_back(std::make_unique<VrHierarchy>(params, spaces,
+                                                      bus, true));
+        }
+    }
+
+    void
+    map(ProcessId pid, Vpn vpn, Ppn ppn)
+    {
+        spaces.pageTable(pid).map(vpn, ppn);
+    }
+
+    AccessOutcome
+    read(unsigned cpu, ProcessId pid, std::uint32_t va)
+    {
+        return h[cpu]->access({RefType::Read, VirtAddr(va), pid});
+    }
+
+    AccessOutcome
+    write(unsigned cpu, ProcessId pid, std::uint32_t va)
+    {
+        return h[cpu]->access({RefType::Write, VirtAddr(va), pid});
+    }
+
+    HierarchyParams params{{8 * 1024, 16, 1, ReplPolicy::LRU},
+                           {64 * 1024, 64, 1, ReplPolicy::LRU},
+                           kPage};
+    AddressSpaceManager spaces;
+    SharedBus bus;
+    std::vector<std::unique_ptr<VrHierarchy>> h;
+};
+
+TEST_F(SubBlockTest, SubBlocksMissIndependently)
+{
+    build(1);
+    map(0, 0x10, 5);
+    EXPECT_EQ(read(0, 0, 0x10000), AccessOutcome::Miss);
+    // The next 16B block shares the 64B R-line but is a fresh L1 block:
+    // level 2 already holds it -> L2 hit, not a bus miss.
+    EXPECT_EQ(read(0, 0, 0x10010), AccessOutcome::L2Hit);
+    EXPECT_EQ(read(0, 0, 0x10020), AccessOutcome::L2Hit);
+    EXPECT_EQ(h[0]->stats().value("misses"), 1u)
+        << "one bus fetch served four sub-blocks (spatial prefetch)";
+    h[0]->checkInvariants();
+}
+
+TEST_F(SubBlockTest, SubentriesTrackChildrenIndependently)
+{
+    build(1);
+    map(0, 0x10, 5);
+    read(0, 0, 0x10000);
+    read(0, 0, 0x10010);
+    auto rref = h[0]->rcache().probe(PhysAddr(5 * kPage));
+    ASSERT_TRUE(rref.has_value());
+    EXPECT_TRUE(h[0]->rcache().sub(*rref, PhysAddr(5 * kPage)).inclusion);
+    EXPECT_TRUE(
+        h[0]->rcache().sub(*rref, PhysAddr(5 * kPage + 16)).inclusion);
+    EXPECT_FALSE(
+        h[0]->rcache().sub(*rref, PhysAddr(5 * kPage + 32)).inclusion)
+        << "untouched sub-block has no child";
+    h[0]->checkInvariants();
+}
+
+TEST_F(SubBlockTest, ForeignReadFlushesOnlyDirtySubBlocks)
+{
+    build(2);
+    map(0, 0x10, 5);
+    map(1, 0x10, 5);
+    write(0, 0, 0x10000); // dirty sub 0
+    read(0, 0, 0x10010);  // clean sub 1
+    read(1, 1, 0x10000);  // foreign read of the whole line
+    EXPECT_EQ(h[0]->stats().value("l1_flushes"), 1u)
+        << "only the dirty sub-block percolates a flush";
+    // Both copies remain valid in CPU0.
+    EXPECT_EQ(read(0, 0, 0x10000), AccessOutcome::L1Hit);
+    EXPECT_EQ(read(0, 0, 0x10010), AccessOutcome::L1Hit);
+    h[0]->checkInvariants();
+    h[1]->checkInvariants();
+}
+
+TEST_F(SubBlockTest, ForeignWriteInvalidatesAllChildren)
+{
+    build(2);
+    map(0, 0x10, 5);
+    map(1, 0x10, 5);
+    read(0, 0, 0x10000);
+    read(0, 0, 0x10010);
+    write(1, 1, 0x10020); // foreign write anywhere in the 64B line
+    EXPECT_FALSE(h[0]->vcache().lookup(VirtAddr(0x10000)).has_value());
+    EXPECT_FALSE(h[0]->vcache().lookup(VirtAddr(0x10010)).has_value());
+    EXPECT_EQ(h[0]->stats().value("l1_invalidations"), 2u);
+    h[0]->checkInvariants();
+}
+
+TEST_F(SubBlockTest, RLineEvictionKillsEveryChild)
+{
+    // Force an R-line replacement while two of its children live in
+    // different V-cache sets: both must be invalidated.
+    params.l2.sizeBytes = 16 * 1024;
+    build(1);
+    map(0, 0x10, 1);
+    map(0, 0x31, 5); // ppn 1 and 5 conflict in a 16K L2 (mod 4 pages)
+    read(0, 0, 0x10100);
+    read(0, 0, 0x10110); // second child of the same R line
+    EXPECT_EQ(read(0, 0, 0x31100), AccessOutcome::Miss);
+    EXPECT_EQ(h[0]->stats().value("inclusion_invalidations"), 2u);
+    EXPECT_FALSE(h[0]->vcache().lookup(VirtAddr(0x10100)).has_value());
+    EXPECT_FALSE(h[0]->vcache().lookup(VirtAddr(0x10110)).has_value());
+    h[0]->checkInvariants();
+}
+
+TEST_F(SubBlockTest, SynonymPerSubBlock)
+{
+    build(1);
+    map(0, 0x10, 5);
+    map(0, 0x31, 5);
+    read(0, 0, 0x10010);
+    // Same physical sub-block under the other virtual name: synonym.
+    EXPECT_EQ(read(0, 0, 0x31010), AccessOutcome::SynonymHit);
+    // A *different* sub-block of the same line is a plain L2 hit.
+    EXPECT_EQ(read(0, 0, 0x31020), AccessOutcome::L2Hit);
+    h[0]->checkInvariants();
+}
+
+TEST_F(SubBlockTest, BufferBitPerSubBlock)
+{
+    build(1);
+    map(0, 0x10, 5);
+    map(0, 0x30, 5 + 2); // L1-conflicting block (same V set parity)
+    write(0, 0, 0x10000);
+    read(0, 0, 0x30000); // evicts the dirty sub-0 block into the buffer
+    auto rref = h[0]->rcache().probe(PhysAddr(5 * kPage));
+    ASSERT_TRUE(rref.has_value());
+    EXPECT_TRUE(h[0]->rcache().sub(*rref, PhysAddr(5 * kPage)).buffer);
+    EXPECT_FALSE(
+        h[0]->rcache().sub(*rref, PhysAddr(5 * kPage + 16)).buffer);
+    h[0]->checkInvariants();
+}
+
+} // namespace
+} // namespace vrc

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Unit tests for the text table formatter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/table.hh"
+
+namespace vrc
+{
+namespace
+{
+
+TEST(TextTableTest, AlignsColumns)
+{
+    TextTable t;
+    t.row().cell("a").cell("bbb");
+    t.row().cell("cc").cell("d");
+    std::string out = t.str();
+    EXPECT_NE(out.find(" a | bbb\n"), std::string::npos);
+    EXPECT_NE(out.find("cc |   d\n"), std::string::npos);
+}
+
+TEST(TextTableTest, NumericCells)
+{
+    TextTable t;
+    t.row().cell(std::uint64_t{42}).cell(0.12345, 3).cell(-7);
+    std::string out = t.str();
+    EXPECT_NE(out.find("42"), std::string::npos);
+    EXPECT_NE(out.find("0.123"), std::string::npos);
+    EXPECT_NE(out.find("-7"), std::string::npos);
+}
+
+TEST(TextTableTest, SeparatorRow)
+{
+    TextTable t;
+    t.row().cell("head");
+    t.separator();
+    t.row().cell("body");
+    std::string out = t.str();
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TextTableTest, CellWithoutRowStartsOne)
+{
+    TextTable t;
+    t.cell("auto");
+    EXPECT_NE(t.str().find("auto"), std::string::npos);
+}
+
+TEST(TextTableTest, StreamOperator)
+{
+    TextTable t;
+    t.row().cell("x");
+    std::ostringstream os;
+    os << t;
+    EXPECT_EQ(os.str(), "x\n");
+}
+
+} // namespace
+} // namespace vrc

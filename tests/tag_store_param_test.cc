@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Parameterized sweeps over tag-store geometry and replacement policy:
+ * basic invariants must hold for every combination.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "cache/tag_store.hh"
+
+namespace vrc
+{
+namespace
+{
+
+struct StoreCase
+{
+    std::uint32_t size;
+    std::uint32_t block;
+    std::uint32_t assoc;
+    ReplPolicy policy;
+};
+
+std::string
+storeCaseName(const ::testing::TestParamInfo<StoreCase> &info)
+{
+    const StoreCase &c = info.param;
+    return std::to_string(c.size) + "B_b" + std::to_string(c.block) +
+        "_w" + std::to_string(c.assoc) + "_" +
+        replPolicyName(c.policy);
+}
+
+class TagStoreParamTest : public ::testing::TestWithParam<StoreCase>
+{
+};
+
+TEST_P(TagStoreParamTest, FillFindInvalidateCycle)
+{
+    const StoreCase &c = GetParam();
+    TagStore<int> store(CacheGeometry(c.size, c.block, c.assoc),
+                        c.policy, 99);
+    // Fill the entire store with distinct blocks.
+    std::uint32_t blocks = c.size / c.block;
+    for (std::uint32_t i = 0; i < blocks; ++i) {
+        std::uint32_t addr = i * c.block;
+        LineRef slot = store.victim(addr);
+        EXPECT_FALSE(store.line(slot).valid)
+            << "cold fill must use empty ways";
+        store.fill(slot, addr).meta = static_cast<int>(i);
+    }
+    EXPECT_EQ(store.validCount(), blocks);
+    // Everything present and payloads correct.
+    for (std::uint32_t i = 0; i < blocks; ++i) {
+        auto ref = store.find(i * c.block);
+        ASSERT_TRUE(ref.has_value()) << "block " << i;
+        EXPECT_EQ(store.line(*ref).meta, static_cast<int>(i));
+        EXPECT_EQ(store.lineAddr(*ref), i * c.block);
+    }
+    // Invalidate half; the rest must survive.
+    for (std::uint32_t i = 0; i < blocks; i += 2)
+        store.invalidate(*store.find(i * c.block));
+    for (std::uint32_t i = 0; i < blocks; ++i) {
+        EXPECT_EQ(store.find(i * c.block).has_value(), i % 2 == 1)
+            << "block " << i;
+    }
+}
+
+TEST_P(TagStoreParamTest, VictimsAlwaysComeFromTheRightSet)
+{
+    const StoreCase &c = GetParam();
+    TagStore<int> store(CacheGeometry(c.size, c.block, c.assoc),
+                        c.policy, 7);
+    CacheGeometry g(c.size, c.block, c.assoc);
+    // Overfill each set by 3x; every victim must belong to the set.
+    std::uint32_t rounds = 3 * c.assoc;
+    for (std::uint32_t r = 0; r < rounds; ++r) {
+        for (std::uint32_t set = 0; set < g.numSets(); ++set) {
+            std::uint32_t addr =
+                (set + (r + 1) * g.numSets()) * c.block;
+            ASSERT_EQ(g.setIndex(addr), set);
+            LineRef slot = store.victim(addr);
+            EXPECT_EQ(slot.set, set);
+            EXPECT_LT(slot.way, c.assoc);
+            store.fill(slot, addr);
+        }
+    }
+    EXPECT_EQ(store.validCount(), g.numBlocks());
+}
+
+TEST_P(TagStoreParamTest, NoDuplicateTagsPerSet)
+{
+    const StoreCase &c = GetParam();
+    TagStore<int> store(CacheGeometry(c.size, c.block, c.assoc),
+                        c.policy, 13);
+    Rng rng(31);
+    for (int i = 0; i < 2000; ++i) {
+        std::uint32_t addr =
+            static_cast<std::uint32_t>(rng.below(64)) * c.block;
+        if (!store.find(addr)) {
+            LineRef slot = store.victim(addr);
+            store.fill(slot, addr);
+        }
+    }
+    CacheGeometry g(c.size, c.block, c.assoc);
+    for (std::uint32_t set = 0; set < g.numSets(); ++set) {
+        std::set<std::uint32_t> tags;
+        store.forEachWay(set, [&](LineRef, TagStore<int>::Line &l) {
+            if (l.valid) {
+                EXPECT_TRUE(tags.insert(l.tag).second)
+                    << "duplicate tag in set " << set;
+            }
+        });
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, TagStoreParamTest,
+    ::testing::Values(StoreCase{512, 16, 1, ReplPolicy::LRU},
+                      StoreCase{512, 16, 2, ReplPolicy::LRU},
+                      StoreCase{1024, 32, 4, ReplPolicy::LRU},
+                      StoreCase{1024, 16, 1, ReplPolicy::FIFO},
+                      StoreCase{2048, 64, 2, ReplPolicy::FIFO},
+                      StoreCase{512, 16, 2, ReplPolicy::Random},
+                      StoreCase{4096, 16, 8, ReplPolicy::Random},
+                      StoreCase{1024, 16, 64, ReplPolicy::LRU}),
+    storeCaseName);
+
+} // namespace
+} // namespace vrc

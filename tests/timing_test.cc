@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit tests for the Section-4 access-time model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/timing.hh"
+
+namespace vrc
+{
+namespace
+{
+
+TEST(TimingTest, PerfectL1IsT1)
+{
+    TimingParams p;
+    EXPECT_DOUBLE_EQ(avgAccessTime(1.0, 0.0, p), 1.0);
+    EXPECT_DOUBLE_EQ(avgAccessTimeTwoTerm(1.0, 0.0, p), 1.0);
+}
+
+TEST(TimingTest, AllMissesCostMemory)
+{
+    TimingParams p;
+    EXPECT_DOUBLE_EQ(avgAccessTime(0.0, 0.0, p), p.tm);
+}
+
+TEST(TimingTest, FullEquationMatchesHandComputation)
+{
+    TimingParams p{1.0, 4.0, 12.0, 0.0};
+    double h1 = 0.9, h2 = 0.5;
+    double expect = 0.9 * 1.0 + 0.1 * 0.5 * 4.0 + 0.1 * 0.5 * 12.0;
+    EXPECT_DOUBLE_EQ(avgAccessTime(h1, h2, p), expect);
+}
+
+TEST(TimingTest, TwoTermDropsMissTerm)
+{
+    TimingParams p;
+    double h1 = 0.9, h2 = 0.5;
+    EXPECT_DOUBLE_EQ(avgAccessTime(h1, h2, p) -
+                         avgAccessTimeTwoTerm(h1, h2, p),
+                     (1 - h1) * (1 - h2) * p.tm);
+}
+
+TEST(TimingTest, SlowdownScalesOnlyT1)
+{
+    TimingParams p;
+    p.l1SlowdownPct = 10.0;
+    EXPECT_DOUBLE_EQ(p.effectiveT1(), 1.1);
+    double h1 = 0.9, h2 = 0.5;
+    EXPECT_DOUBLE_EQ(avgAccessTimeTwoTerm(h1, h2, p),
+                     0.9 * 1.1 + 0.1 * 0.5 * 4.0);
+}
+
+TEST(TimingTest, AccessTimeMonotoneInSlowdown)
+{
+    TimingParams p;
+    double prev = 0.0;
+    for (double pct = 0; pct <= 10; pct += 2) {
+        p.l1SlowdownPct = pct;
+        double t = avgAccessTimeTwoTerm(0.95, 0.6, p);
+        EXPECT_GT(t, prev);
+        prev = t;
+    }
+}
+
+TEST(TimingTest, CrossoverZeroWhenIdenticalRatios)
+{
+    TimingParams p;
+    // Equal hit ratios: V-R and R-R tie at zero slowdown.
+    EXPECT_NEAR(crossoverSlowdownPct(0.95, 0.6, 0.95, 0.6, p), 0.0,
+                1e-12);
+}
+
+TEST(TimingTest, CrossoverPositiveWhenRrHasBetterH1)
+{
+    TimingParams p;
+    // abaqus-like: the R-R keeps a better h1 because nothing flushes.
+    double x = crossoverSlowdownPct(0.888, 0.585, 0.908, 0.498, p);
+    EXPECT_GT(x, 0.0);
+    // The paper's Figure 6 reads the crossover at roughly 6%.
+    EXPECT_LT(x, 20.0);
+    // At the crossover the two-term times agree.
+    TimingParams at = p;
+    at.l1SlowdownPct = x;
+    EXPECT_NEAR(avgAccessTimeTwoTerm(0.908, 0.498, at),
+                avgAccessTimeTwoTerm(0.888, 0.585, p), 1e-9);
+}
+
+TEST(TimingTest, CrossoverNegativeWhenVrAlreadyWins)
+{
+    TimingParams p;
+    // Consistent ratios (equal global miss fraction 0.021): V-R keeps
+    // the better h1, so it wins even with no translation penalty.
+    double x = crossoverSlowdownPct(0.93, 0.7, 0.90, 0.79, p);
+    EXPECT_LT(x, 0.0) << "V-R faster even with no translation penalty";
+}
+
+TEST(TimingTest, PaperFigure6Crossover)
+{
+    // Using the paper's own Table 6 abaqus numbers at 16K/256K, the
+    // crossover should land in the couple-to-ten-percent band the
+    // paper reports ("6% or more").
+    TimingParams p;
+    double x = crossoverSlowdownPct(0.888, 0.585, 0.908, 0.498, p);
+    EXPECT_GT(x, 1.0);
+    EXPECT_LT(x, 12.0);
+}
+
+} // namespace
+} // namespace vrc

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests for OS page remapping with machine-wide TLB shootdown: the
+ * paper's claim that TLB coherence can be handled at the second level,
+ * with the V-caches untouched except through their R-cache filters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/vr_hierarchy.hh"
+#include "sim/experiment.hh"
+
+namespace vrc
+{
+namespace
+{
+
+class TlbShootdownTest : public ::testing::Test
+{
+  protected:
+    TlbShootdownTest()
+    {
+        profile = scaled(popsProfile(), 0.002);
+        profile.numCpus = 2;
+        mc = makeMachineConfig(HierarchyKind::VirtualReal, 8 * 1024,
+                               64 * 1024, profile.pageSize);
+    }
+
+    WorkloadProfile profile;
+    MachineConfig mc;
+};
+
+TEST_F(TlbShootdownTest, RemapMovesTheMapping)
+{
+    MpSimulator sim(mc, profile);
+    sim.spaces().pageTable(0).map(0x10, 5);
+    sim.step(makeRef(0, RefType::Write, 0, VirtAddr(0x10000)));
+    sim.remapPage(0, 0x10, 9);
+    auto pa = sim.spaces().tryTranslate(0, VirtAddr(0x10000));
+    ASSERT_TRUE(pa.has_value());
+    EXPECT_EQ(pa->ppn(4096), 9u);
+}
+
+TEST_F(TlbShootdownTest, DirtyDataFlushedToMemoryOnReclaim)
+{
+    MpSimulator sim(mc, profile);
+    sim.spaces().pageTable(0).map(0x10, 5);
+    sim.step(makeRef(0, RefType::Write, 0, VirtAddr(0x10000)));
+    std::uint64_t mem_writes = sim.totalCounter("memory_writes");
+    sim.remapPage(0, 0x10, 9);
+    EXPECT_GT(sim.totalCounter("memory_writes"), mem_writes)
+        << "the dirty block must reach memory before frame reuse";
+    // No stale copies survive anywhere.
+    auto &h = dynamic_cast<VrHierarchy &>(sim.hierarchy(0));
+    EXPECT_FALSE(h.rcache().probe(PhysAddr(5 * 4096)).has_value());
+    EXPECT_FALSE(h.vcache().lookup(VirtAddr(0x10000)).has_value());
+    sim.checkInvariants();
+}
+
+TEST_F(TlbShootdownTest, NextAccessUsesTheNewFrame)
+{
+    MpSimulator sim(mc, profile);
+    sim.spaces().pageTable(0).map(0x10, 5);
+    sim.step(makeRef(0, RefType::Read, 0, VirtAddr(0x10000)));
+    sim.remapPage(0, 0x10, 9);
+    sim.step(makeRef(0, RefType::Read, 0, VirtAddr(0x10000)));
+    auto &h = dynamic_cast<VrHierarchy &>(sim.hierarchy(0));
+    auto hit = h.vcache().lookup(VirtAddr(0x10000));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(h.vcache().line(*hit).meta.physBlockAddr, 9u * 4096)
+        << "stale TLB translation would have kept frame 5";
+    sim.checkInvariants();
+}
+
+TEST_F(TlbShootdownTest, ShootdownHitsEveryCpu)
+{
+    MpSimulator sim(mc, profile);
+    sim.spaces().pageTable(0).map(0x10, 5);
+    // Both CPUs cache the translation.
+    sim.step(makeRef(0, RefType::Read, 0, VirtAddr(0x10000)));
+    sim.step(makeRef(1, RefType::Read, 0, VirtAddr(0x10000)));
+    sim.remapPage(0, 0x10, 9);
+    EXPECT_EQ(sim.totalCounter("tlb_shootdowns"), 2u);
+}
+
+TEST_F(TlbShootdownTest, UnrelatedTranslationsSurvive)
+{
+    MpSimulator sim(mc, profile);
+    sim.spaces().pageTable(0).map(0x10, 5);
+    sim.spaces().pageTable(0).map(0x11, 6);
+    sim.step(makeRef(0, RefType::Read, 0, VirtAddr(0x10000)));
+    sim.step(makeRef(0, RefType::Read, 0, VirtAddr(0x11000)));
+    sim.remapPage(0, 0x10, 9);
+    auto &h = dynamic_cast<VrHierarchy &>(sim.hierarchy(0));
+    EXPECT_TRUE(h.tlb().probe(0, 0x11))
+        << "only the remapped page's entry is shot down";
+    EXPECT_FALSE(h.tlb().probe(0, 0x10));
+}
+
+TEST_F(TlbShootdownTest, CleanCopiesShieldedDuringReclaim)
+{
+    // A clean V-cache copy is invalidated through the R-cache filter
+    // (one message), not by sweeping the V-cache.
+    MpSimulator sim(mc, profile);
+    sim.spaces().pageTable(0).map(0x10, 5);
+    sim.step(makeRef(0, RefType::Read, 0, VirtAddr(0x10000)));
+    sim.remapPage(0, 0x10, 9);
+    auto &h = sim.hierarchy(0);
+    EXPECT_EQ(h.stats().value("l1_invalidations"), 1u);
+    sim.checkInvariants();
+}
+
+} // namespace
+} // namespace vrc

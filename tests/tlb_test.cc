@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit tests for the second-level TLB.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vm/addr_space.hh"
+#include "vm/tlb.hh"
+
+namespace vrc
+{
+namespace
+{
+
+constexpr std::uint32_t kPage = 4096;
+
+class TlbTest : public ::testing::Test
+{
+  protected:
+    AddressSpaceManager spaces{kPage};
+};
+
+TEST_F(TlbTest, MissThenHit)
+{
+    Tlb tlb(16, 2);
+    Ppn p1 = tlb.translate(0, 5, spaces);
+    EXPECT_EQ(tlb.misses(), 1u);
+    EXPECT_EQ(tlb.hits(), 0u);
+    Ppn p2 = tlb.translate(0, 5, spaces);
+    EXPECT_EQ(p1, p2);
+    EXPECT_EQ(tlb.hits(), 1u);
+}
+
+TEST_F(TlbTest, AgreesWithPageTables)
+{
+    Tlb tlb(16, 2);
+    Ppn via_tlb = tlb.translate(3, 9, spaces);
+    auto direct = spaces.tryTranslate(3, VirtAddr(9 * kPage));
+    ASSERT_TRUE(direct.has_value());
+    EXPECT_EQ(via_tlb, direct->ppn(kPage));
+}
+
+TEST_F(TlbTest, ProcessesDoNotAlias)
+{
+    Tlb tlb(16, 2);
+    Ppn a = tlb.translate(0, 5, spaces);
+    Ppn b = tlb.translate(1, 5, spaces);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(tlb.misses(), 2u) << "different pid must not hit";
+}
+
+TEST_F(TlbTest, ProbeDoesNotFill)
+{
+    Tlb tlb(16, 2);
+    EXPECT_FALSE(tlb.probe(0, 7));
+    tlb.translate(0, 7, spaces);
+    EXPECT_TRUE(tlb.probe(0, 7));
+}
+
+TEST_F(TlbTest, LruEvictionWithinSet)
+{
+    Tlb tlb(4, 2); // 2 sets x 2 ways; vpns 0,2,4 share set 0
+    tlb.translate(0, 0, spaces);
+    tlb.translate(0, 2, spaces);
+    tlb.translate(0, 0, spaces); // touch 0: vpn2 becomes LRU
+    tlb.translate(0, 4, spaces); // evicts vpn2
+    EXPECT_TRUE(tlb.probe(0, 0));
+    EXPECT_FALSE(tlb.probe(0, 2));
+    EXPECT_TRUE(tlb.probe(0, 4));
+}
+
+TEST_F(TlbTest, InvalidateProcess)
+{
+    Tlb tlb(16, 2);
+    tlb.translate(0, 1, spaces);
+    tlb.translate(1, 1, spaces);
+    tlb.invalidateProcess(0);
+    EXPECT_FALSE(tlb.probe(0, 1));
+    EXPECT_TRUE(tlb.probe(1, 1));
+}
+
+TEST_F(TlbTest, Flush)
+{
+    Tlb tlb(16, 2);
+    tlb.translate(0, 1, spaces);
+    tlb.translate(1, 2, spaces);
+    tlb.flush();
+    EXPECT_FALSE(tlb.probe(0, 1));
+    EXPECT_FALSE(tlb.probe(1, 2));
+}
+
+TEST_F(TlbTest, SharedMappingsTranslateConsistently)
+{
+    SegmentId seg = spaces.createSegment(1);
+    spaces.attachSegment(0, seg, 0x10);
+    spaces.attachSegment(1, seg, 0x20);
+    Tlb tlb(16, 2);
+    EXPECT_EQ(tlb.translate(0, 0x10, spaces),
+              tlb.translate(1, 0x20, spaces));
+}
+
+TEST_F(TlbTest, GeometryAccessors)
+{
+    Tlb tlb(64, 4);
+    EXPECT_EQ(tlb.numEntries(), 64u);
+    EXPECT_EQ(tlb.associativity(), 4u);
+}
+
+} // namespace
+} // namespace vrc

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Unit tests for trace characterization (Table 5 machinery).
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/trace_stats.hh"
+
+namespace vrc
+{
+namespace
+{
+
+TEST(TraceStatsTest, EmptyTrace)
+{
+    auto c = characterize({});
+    EXPECT_EQ(c.totalRefs, 0u);
+    EXPECT_EQ(c.numCpus, 0u);
+    EXPECT_EQ(c.processCount, 0u);
+}
+
+TEST(TraceStatsTest, CountsByType)
+{
+    std::vector<TraceRecord> t{
+        makeRef(0, RefType::Instr, 0, VirtAddr(0)),
+        makeRef(0, RefType::Instr, 0, VirtAddr(4)),
+        makeRef(0, RefType::Read, 0, VirtAddr(8)),
+        makeRef(1, RefType::Write, 1, VirtAddr(12)),
+        makeContextSwitch(0, 2),
+    };
+    auto c = characterize(t);
+    EXPECT_EQ(c.instrCount, 2u);
+    EXPECT_EQ(c.dataReads, 1u);
+    EXPECT_EQ(c.dataWrites, 1u);
+    EXPECT_EQ(c.contextSwitches, 1u);
+    EXPECT_EQ(c.totalRefs, 4u) << "switches are not memory refs";
+}
+
+TEST(TraceStatsTest, PerCpuCounts)
+{
+    std::vector<TraceRecord> t{
+        makeRef(0, RefType::Read, 0, VirtAddr(0)),
+        makeRef(2, RefType::Read, 0, VirtAddr(0)),
+        makeRef(2, RefType::Write, 0, VirtAddr(0)),
+    };
+    auto c = characterize(t);
+    EXPECT_EQ(c.numCpus, 3u) << "cpu ids 0..2 seen (1 idle)";
+    ASSERT_EQ(c.refsPerCpu.size(), 3u);
+    EXPECT_EQ(c.refsPerCpu[0], 1u);
+    EXPECT_EQ(c.refsPerCpu[1], 0u);
+    EXPECT_EQ(c.refsPerCpu[2], 2u);
+}
+
+TEST(TraceStatsTest, ProcessCountIncludesSwitchTargets)
+{
+    std::vector<TraceRecord> t{
+        makeRef(0, RefType::Read, 7, VirtAddr(0)),
+        makeContextSwitch(0, 9),
+    };
+    auto c = characterize(t);
+    EXPECT_EQ(c.processCount, 2u);
+}
+
+} // namespace
+} // namespace vrc

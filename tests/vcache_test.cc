@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit tests for the V-cache tag store behaviour (swapped-valid bit,
+ * r-pointer maintenance, retag).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/vcache.hh"
+
+namespace vrc
+{
+namespace
+{
+
+constexpr std::uint32_t kPage = 4096;
+constexpr std::uint32_t kL2Size = 256 * 1024;
+
+CacheParams
+smallParams()
+{
+    return {4 * 1024, 16, 1, ReplPolicy::LRU};
+}
+
+TEST(VCacheTest, MissOnEmpty)
+{
+    VCache vc(smallParams(), kPage, kL2Size);
+    EXPECT_FALSE(vc.lookup(VirtAddr(0x1000)).has_value());
+}
+
+TEST(VCacheTest, InstallThenHit)
+{
+    VCache vc(smallParams(), kPage, kL2Size);
+    VirtAddr va(0x1230);
+    LineRef slot = vc.victimFor(va);
+    vc.install(slot, va, 0x55550, false);
+    auto hit = vc.lookup(va);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_FALSE(vc.line(*hit).meta.dirty);
+    EXPECT_EQ(vc.line(*hit).meta.physBlockAddr, 0x55550u);
+}
+
+TEST(VCacheTest, RPointerBitsComputed)
+{
+    VCache vc(smallParams(), kPage, kL2Size);
+    // r-pointer = low log2(256K/4K) = 6 bits of the PPN.
+    std::uint32_t pa = 0x7b000; // ppn 0x7b
+    EXPECT_EQ(vc.rPointerBits(pa), 0x7bu & 63u);
+    VirtAddr va(0x2000);
+    LineRef slot = vc.victimFor(va);
+    auto &line = vc.install(slot, va, pa, false);
+    EXPECT_EQ(line.meta.rPointer, vc.rPointerBits(pa));
+}
+
+TEST(VCacheTest, SwappedBlockDoesNotHit)
+{
+    VCache vc(smallParams(), kPage, kL2Size);
+    VirtAddr va(0x1000);
+    vc.install(vc.victimFor(va), va, 0x9990, true);
+    vc.markAllSwapped();
+    EXPECT_FALSE(vc.lookup(va).has_value())
+        << "swapped-valid blocks are invisible to lookups";
+    // ...but the content is still occupied for synonym/victim purposes.
+    auto occ = vc.findOccupied(0x1000);
+    ASSERT_TRUE(occ.has_value());
+    EXPECT_TRUE(vc.line(*occ).meta.swappedValid);
+    EXPECT_TRUE(vc.line(*occ).meta.dirty) << "dirty survives the switch";
+}
+
+TEST(VCacheTest, MarkAllSwappedSkipsEmptyLines)
+{
+    VCache vc(smallParams(), kPage, kL2Size);
+    vc.markAllSwapped();
+    EXPECT_EQ(vc.tags().validCount(), 0u);
+}
+
+TEST(VCacheTest, RetagClearsSwappedAndPreservesState)
+{
+    VCache vc(smallParams(), kPage, kL2Size);
+    VirtAddr old_va(0x1000);
+    vc.install(vc.victimFor(old_va), old_va, 0x9990, true);
+    vc.markAllSwapped();
+    auto occ = vc.findOccupied(0x1000);
+    ASSERT_TRUE(occ.has_value());
+    // New virtual address in the same set (same index bits).
+    VirtAddr new_va(0x1000 + 4 * 1024);
+    ASSERT_EQ(vc.setIndex(new_va), occ->set);
+    vc.retag(*occ, new_va);
+    auto hit = vc.lookup(new_va);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_TRUE(vc.line(*hit).meta.dirty);
+    EXPECT_EQ(vc.line(*hit).meta.physBlockAddr, 0x9990u);
+    EXPECT_FALSE(vc.lookup(old_va).has_value());
+}
+
+TEST(VCacheTest, InstallClearsSwapped)
+{
+    VCache vc(smallParams(), kPage, kL2Size);
+    VirtAddr va(0x1000);
+    vc.install(vc.victimFor(va), va, 0x9990, false);
+    vc.markAllSwapped();
+    LineRef slot = vc.victimFor(va);
+    vc.install(slot, va, 0x9990, false);
+    EXPECT_TRUE(vc.lookup(va).has_value());
+}
+
+TEST(VCacheTest, ConflictingBlocksShareSetDirectMapped)
+{
+    VCache vc(smallParams(), kPage, kL2Size);
+    VirtAddr a(0x1000), b(0x1000 + 4 * 1024);
+    EXPECT_EQ(vc.setIndex(a), vc.setIndex(b));
+    vc.install(vc.victimFor(a), a, 0x100, false);
+    LineRef slot = vc.victimFor(b);
+    EXPECT_TRUE(vc.line(slot).valid) << "victim is the conflicting block";
+}
+
+TEST(VCacheTest, LineVAddrRoundTrip)
+{
+    VCache vc(smallParams(), kPage, kL2Size);
+    VirtAddr va(0xabc0);
+    LineRef slot = vc.victimFor(va);
+    vc.install(slot, va, 0x100, false);
+    EXPECT_EQ(vc.lineVAddr(slot), 0xabc0u);
+}
+
+TEST(VCacheDeathTest, RetagAcrossSetsRejected)
+{
+    VCache vc(smallParams(), kPage, kL2Size);
+    VirtAddr va(0x1000);
+    LineRef slot = vc.victimFor(va);
+    vc.install(slot, va, 0x100, false);
+    EXPECT_DEATH(vc.retag(slot, VirtAddr(0x2010)), "within the set");
+}
+
+} // namespace
+} // namespace vrc

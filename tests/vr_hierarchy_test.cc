@@ -1,0 +1,489 @@
+/**
+ * @file
+ * Scenario tests for the V-R hierarchy: the Section 3 algorithm,
+ * synonym handling, swapped-valid context switching, inclusion
+ * maintenance and coherence shielding.
+ *
+ * Page mappings are installed explicitly so each scenario controls
+ * exactly which virtual addresses are synonyms.
+ */
+
+#include <gtest/gtest.h>
+
+#include "coherence/bus.hh"
+#include "core/vr_hierarchy.hh"
+#include "vm/addr_space.hh"
+
+namespace vrc
+{
+namespace
+{
+
+constexpr std::uint32_t kPage = 4096;
+
+/** Two-CPU V-R machine with explicit page mappings. */
+class VrHierarchyTest : public ::testing::Test
+{
+  protected:
+    VrHierarchyTest() : spaces(kPage) {}
+
+    /** Build hierarchies after the test adjusted `params`. */
+    void
+    build(unsigned cpus = 2)
+    {
+        for (unsigned i = 0; i < cpus; ++i) {
+            h.push_back(std::make_unique<VrHierarchy>(params, spaces,
+                                                      bus, true));
+        }
+    }
+
+    /** Map vpn -> ppn for a process. */
+    void
+    map(ProcessId pid, Vpn vpn, Ppn ppn)
+    {
+        spaces.pageTable(pid).map(vpn, ppn);
+    }
+
+    AccessOutcome
+    read(unsigned cpu, ProcessId pid, std::uint32_t va)
+    {
+        return h[cpu]->access({RefType::Read, VirtAddr(va), pid});
+    }
+
+    AccessOutcome
+    write(unsigned cpu, ProcessId pid, std::uint32_t va)
+    {
+        return h[cpu]->access({RefType::Write, VirtAddr(va), pid});
+    }
+
+    AccessOutcome
+    ifetch(unsigned cpu, ProcessId pid, std::uint32_t va)
+    {
+        return h[cpu]->access({RefType::Instr, VirtAddr(va), pid});
+    }
+
+    void
+    checkAll()
+    {
+        for (auto &x : h)
+            x->checkInvariants();
+    }
+
+    HierarchyParams params{{8 * 1024, 16, 1, ReplPolicy::LRU},
+                           {64 * 1024, 16, 1, ReplPolicy::LRU},
+                           kPage};
+    AddressSpaceManager spaces;
+    SharedBus bus;
+    std::vector<std::unique_ptr<VrHierarchy>> h;
+};
+
+TEST_F(VrHierarchyTest, ColdMissThenHit)
+{
+    build();
+    map(0, 0x10, 5);
+    EXPECT_EQ(read(0, 0, 0x10000), AccessOutcome::Miss);
+    EXPECT_EQ(read(0, 0, 0x10000), AccessOutcome::L1Hit);
+    EXPECT_EQ(read(0, 0, 0x10008), AccessOutcome::L1Hit)
+        << "same 16B block";
+    EXPECT_EQ(read(0, 0, 0x10010), AccessOutcome::Miss)
+        << "next block is separate";
+    EXPECT_EQ(h[0]->stats().value("l1_hits"), 2u);
+    EXPECT_EQ(h[0]->stats().value("misses"), 2u);
+    checkAll();
+}
+
+TEST_F(VrHierarchyTest, L2HitAfterL1Conflict)
+{
+    build();
+    map(0, 0x10, 5);
+    map(0, 0x12, 6); // same V set parity (even vpn), conflicting in L1
+    EXPECT_EQ(read(0, 0, 0x10000), AccessOutcome::Miss);
+    EXPECT_EQ(read(0, 0, 0x12000), AccessOutcome::Miss)
+        << "different physical block: L2 miss too";
+    // 0x10000 was evicted from L1 (same set) but lives in L2.
+    EXPECT_EQ(read(0, 0, 0x10000), AccessOutcome::L2Hit);
+    checkAll();
+}
+
+TEST_F(VrHierarchyTest, WriteMissTakesOwnership)
+{
+    build();
+    map(0, 0x10, 5);
+    EXPECT_EQ(write(0, 0, 0x10000), AccessOutcome::Miss);
+    auto hit = h[0]->vcache().lookup(VirtAddr(0x10000));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_TRUE(h[0]->vcache().line(*hit).meta.dirty);
+    auto rref = h[0]->rcache().probe(PhysAddr(5 * kPage));
+    ASSERT_TRUE(rref.has_value());
+    EXPECT_EQ(h[0]->rcache().line(*rref).meta.state,
+              CoherenceState::Private);
+    EXPECT_TRUE(
+        h[0]->rcache().sub(*rref, PhysAddr(5 * kPage)).vdirty);
+    checkAll();
+}
+
+TEST_F(VrHierarchyTest, WriteHitOnCleanPrivateNeedsNoBus)
+{
+    build();
+    map(0, 0x10, 5);
+    read(0, 0, 0x10000);
+    std::uint64_t txs = bus.transactions();
+    EXPECT_EQ(write(0, 0, 0x10000), AccessOutcome::L1Hit);
+    EXPECT_EQ(bus.transactions(), txs) << "private block: silent upgrade";
+    checkAll();
+}
+
+TEST_F(VrHierarchyTest, WriteHitOnSharedInvalidatesOthers)
+{
+    build();
+    map(0, 0x10, 5);
+    map(1, 0x10, 5); // same frame on both CPUs (processes 0 and 1)
+    read(0, 0, 0x10000);
+    read(1, 1, 0x10000); // now shared in both hierarchies
+    std::uint64_t txs = bus.transactions();
+    EXPECT_EQ(write(0, 0, 0x10000), AccessOutcome::L1Hit);
+    EXPECT_EQ(bus.transactions(), txs + 1) << "one invalidation";
+    // CPU1 lost both levels.
+    EXPECT_FALSE(h[1]->vcache().lookup(VirtAddr(0x10000)).has_value());
+    EXPECT_FALSE(h[1]->rcache().probe(PhysAddr(5 * kPage)).has_value());
+    EXPECT_EQ(h[1]->stats().value("l1_invalidations"), 1u);
+    EXPECT_EQ(h[1]->stats().value("l1_coherence_msgs"), 1u);
+    checkAll();
+}
+
+TEST_F(VrHierarchyTest, ReadSharingSetsSharedState)
+{
+    build();
+    map(0, 0x10, 5);
+    map(1, 0x10, 5);
+    read(0, 0, 0x10000);
+    read(1, 1, 0x10000);
+    auto r0 = h[0]->rcache().probe(PhysAddr(5 * kPage));
+    auto r1 = h[1]->rcache().probe(PhysAddr(5 * kPage));
+    ASSERT_TRUE(r0 && r1);
+    EXPECT_EQ(h[0]->rcache().line(*r0).meta.state,
+              CoherenceState::Shared);
+    EXPECT_EQ(h[1]->rcache().line(*r1).meta.state,
+              CoherenceState::Shared);
+    checkAll();
+}
+
+TEST_F(VrHierarchyTest, SynonymMoveAcrossSets)
+{
+    build();
+    // vpn 0x10 (even) and 0x31 (odd) name the same frame: with an 8K
+    // direct-mapped V-cache the set index includes vpn bit 0, so the
+    // two synonyms live in different sets.
+    map(0, 0x10, 5);
+    map(0, 0x31, 5);
+    EXPECT_EQ(read(0, 0, 0x10100), AccessOutcome::Miss);
+    EXPECT_EQ(read(0, 0, 0x31100), AccessOutcome::SynonymHit);
+    EXPECT_EQ(h[0]->stats().value("synonym_moves"), 1u);
+    // The old virtual name is gone; the new one hits.
+    EXPECT_FALSE(h[0]->vcache().lookup(VirtAddr(0x10100)).has_value());
+    EXPECT_EQ(read(0, 0, 0x31100), AccessOutcome::L1Hit);
+    // Exactly one level-1 copy exists.
+    checkAll();
+}
+
+TEST_F(VrHierarchyTest, SynonymMovePreservesDirtyData)
+{
+    build();
+    map(0, 0x10, 5);
+    map(0, 0x31, 5);
+    write(0, 0, 0x10100);
+    EXPECT_EQ(read(0, 0, 0x31100), AccessOutcome::SynonymHit);
+    auto hit = h[0]->vcache().lookup(VirtAddr(0x31100));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_TRUE(h[0]->vcache().line(*hit).meta.dirty)
+        << "the moved block must keep the modified data";
+    checkAll();
+}
+
+TEST_F(VrHierarchyTest, SynonymSamesetRetagWithAssociativity)
+{
+    params.l1.assoc = 2;
+    build();
+    // Both vpns even: same set; 2-way so the victim is the empty way
+    // and the synonym is found in the other way -> pure re-tag.
+    map(0, 0x10, 5);
+    map(0, 0x30, 5);
+    EXPECT_EQ(read(0, 0, 0x10100), AccessOutcome::Miss);
+    EXPECT_EQ(read(0, 0, 0x30100), AccessOutcome::SynonymHit);
+    EXPECT_EQ(h[0]->stats().value("synonym_sameset"), 1u);
+    EXPECT_EQ(h[0]->stats().value("synonym_moves"), 0u);
+    EXPECT_FALSE(h[0]->vcache().lookup(VirtAddr(0x10100)).has_value());
+    EXPECT_EQ(read(0, 0, 0x30100), AccessOutcome::L1Hit);
+    checkAll();
+}
+
+TEST_F(VrHierarchyTest, DirtySynonymVictimCancelsWriteback)
+{
+    build();
+    // Direct-mapped: vpn 0x10 and 0x30 (same parity) collide in the
+    // same V-cache slot. The dirty copy is parked in the write buffer
+    // by the replacement, then pulled back when the R-cache finds the
+    // buffer bit set -- the paper's "sameset, cancel the write-back".
+    map(0, 0x10, 5);
+    map(0, 0x30, 5);
+    write(0, 0, 0x10100);
+    EXPECT_EQ(read(0, 0, 0x30100), AccessOutcome::SynonymHit);
+    EXPECT_EQ(h[0]->stats().value("writeback_cancels"), 1u);
+    EXPECT_EQ(h[0]->stats().value("synonym_from_buffer"), 1u);
+    EXPECT_TRUE(h[0]->writeBuffer().empty());
+    auto hit = h[0]->vcache().lookup(VirtAddr(0x30100));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_TRUE(h[0]->vcache().line(*hit).meta.dirty);
+    checkAll();
+}
+
+TEST_F(VrHierarchyTest, CleanSynonymVictimIsPlainL2Hit)
+{
+    build();
+    map(0, 0x10, 5);
+    map(0, 0x30, 5);
+    read(0, 0, 0x10100); // clean copy
+    EXPECT_EQ(read(0, 0, 0x30100), AccessOutcome::L2Hit)
+        << "clean replaced block re-fetches as an ordinary L2 hit";
+    checkAll();
+}
+
+TEST_F(VrHierarchyTest, ContextSwitchInvalidatesWithoutWriteback)
+{
+    build();
+    map(0, 0x10, 5);
+    write(0, 0, 0x10000);
+    std::uint64_t wb_before = h[0]->writeBuffer().pushes();
+    h[0]->contextSwitch(1);
+    EXPECT_EQ(h[0]->writeBuffer().pushes(), wb_before)
+        << "no write-back at switch time";
+    EXPECT_FALSE(h[0]->vcache().lookup(VirtAddr(0x10000)).has_value())
+        << "swapped blocks do not hit";
+    checkAll();
+}
+
+TEST_F(VrHierarchyTest, SwappedDirtyBlockWritesBackOnReplacement)
+{
+    build();
+    map(0, 0x10, 5);
+    map(1, 0x10, 9); // new process, same vaddr, different frame
+    write(0, 0, 0x10000);
+    h[0]->contextSwitch(1);
+    EXPECT_EQ(read(0, 1, 0x10000), AccessOutcome::Miss)
+        << "different frame: genuine miss";
+    EXPECT_EQ(h[0]->stats().value("swapped_writebacks"), 1u);
+    EXPECT_EQ(h[0]->writeBuffer().size(), 1u);
+    checkAll();
+    // The drain folds the data into the R-cache.
+    for (int i = 0; i < 100; ++i)
+        read(0, 1, 0x10000);
+    EXPECT_TRUE(h[0]->writeBuffer().empty());
+    auto rref = h[0]->rcache().probe(PhysAddr(5 * kPage));
+    ASSERT_TRUE(rref.has_value());
+    EXPECT_TRUE(h[0]->rcache().line(*rref).meta.rdirty);
+    checkAll();
+}
+
+TEST_F(VrHierarchyTest, SwitchBackRevalidatesViaSynonymPath)
+{
+    build();
+    map(0, 0x10, 5);
+    write(0, 0, 0x10000);
+    h[0]->contextSwitch(1);
+    h[0]->contextSwitch(0);
+    // Same process again: the physical identity check revalidates the
+    // swapped block in place at synonym cost, keeping it dirty.
+    EXPECT_EQ(read(0, 0, 0x10000), AccessOutcome::SynonymHit);
+    auto hit = h[0]->vcache().lookup(VirtAddr(0x10000));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_TRUE(h[0]->vcache().line(*hit).meta.dirty);
+    // The replacement parked a write-back, but the synonym pull-back
+    // canceled it: no data ever moved to level 2.
+    EXPECT_EQ(h[0]->stats().value("writeback_cancels"), 1u);
+    EXPECT_TRUE(h[0]->writeBuffer().empty());
+    EXPECT_EQ(h[0]->stats().value("writeback_completions"), 0u);
+    checkAll();
+}
+
+TEST_F(VrHierarchyTest, SharedTextSurvivesSwitchAsL2Hit)
+{
+    build();
+    map(0, 0x10, 5);
+    map(1, 0x10, 5); // shared text at the same vaddr in both processes
+    ifetch(0, 0, 0x10000);
+    h[0]->contextSwitch(1);
+    // The clean swapped block is replaced and re-supplied from level 2:
+    // no memory traffic, cost of one L2 hit.
+    EXPECT_EQ(ifetch(0, 1, 0x10000), AccessOutcome::L2Hit);
+    EXPECT_EQ(h[0]->stats().value("fills_from_memory"), 1u)
+        << "only the original cold miss went to memory";
+    checkAll();
+}
+
+TEST_F(VrHierarchyTest, ShieldingCleanChildNoL1Message)
+{
+    build();
+    map(0, 0x10, 5);
+    map(1, 0x10, 5);
+    read(0, 0, 0x10000); // clean in CPU0's V-cache
+    read(1, 1, 0x10000); // foreign read-miss snoops CPU0
+    EXPECT_EQ(h[0]->stats().value("l1_coherence_msgs"), 0u)
+        << "the R-cache shields the V-cache for clean data";
+    // CPU0's copy still hits.
+    EXPECT_EQ(read(0, 0, 0x10000), AccessOutcome::L1Hit);
+    checkAll();
+}
+
+TEST_F(VrHierarchyTest, DirtyChildFlushedOnForeignRead)
+{
+    build();
+    map(0, 0x10, 5);
+    map(1, 0x10, 5);
+    write(0, 0, 0x10000);
+    EXPECT_EQ(read(1, 1, 0x10000), AccessOutcome::Miss);
+    EXPECT_EQ(h[0]->stats().value("l1_flushes"), 1u);
+    EXPECT_EQ(h[0]->stats().value("l1_coherence_msgs"), 1u);
+    EXPECT_EQ(h[1]->stats().value("fills_from_cache"), 1u);
+    // CPU0 keeps a clean copy, now shared.
+    auto hit = h[0]->vcache().lookup(VirtAddr(0x10000));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_FALSE(h[0]->vcache().line(*hit).meta.dirty);
+    auto rref = h[0]->rcache().probe(PhysAddr(5 * kPage));
+    EXPECT_EQ(h[0]->rcache().line(*rref).meta.state,
+              CoherenceState::Shared);
+    checkAll();
+}
+
+TEST_F(VrHierarchyTest, BufferedBlockFlushedOnForeignRead)
+{
+    build();
+    map(0, 0x10, 5);
+    map(0, 0x12, 6);
+    map(1, 0x10, 5);
+    write(0, 0, 0x10000);
+    read(0, 0, 0x12000); // evicts the dirty block into the buffer
+    ASSERT_EQ(h[0]->writeBuffer().size(), 1u);
+    EXPECT_EQ(read(1, 1, 0x10000), AccessOutcome::Miss);
+    EXPECT_EQ(h[0]->stats().value("buffer_flushes"), 1u);
+    EXPECT_TRUE(h[0]->writeBuffer().empty());
+    EXPECT_EQ(h[1]->stats().value("fills_from_cache"), 1u);
+    checkAll();
+}
+
+TEST_F(VrHierarchyTest, ForeignWriteInvalidatesBufferedBlock)
+{
+    build();
+    map(0, 0x10, 5);
+    map(0, 0x12, 6);
+    map(1, 0x10, 5);
+    write(0, 0, 0x10000);
+    read(0, 0, 0x12000); // dirty block into the buffer
+    EXPECT_EQ(write(1, 1, 0x10000), AccessOutcome::Miss);
+    EXPECT_TRUE(h[0]->writeBuffer().empty())
+        << "parked write-back invalidated by the foreign write";
+    EXPECT_GE(h[0]->stats().value("buffer_flushes") +
+                  h[0]->stats().value("buffer_invalidations"),
+              1u);
+    checkAll();
+}
+
+TEST_F(VrHierarchyTest, InclusionInvalidationOnForcedReplacement)
+{
+    // Small R-cache (16K) so two frames conflict there while landing in
+    // different V-cache sets: ppn 1 and ppn 5 share R sets (mod 4
+    // pages) and vpn 0x10/0x31 differ in V set parity.
+    params.l2.sizeBytes = 16 * 1024;
+    build(1);
+    map(0, 0x10, 1);
+    map(0, 0x31, 5);
+    read(0, 0, 0x10100);
+    EXPECT_EQ(read(0, 0, 0x31100), AccessOutcome::Miss);
+    EXPECT_EQ(h[0]->stats().value("inclusion_invalidations"), 1u);
+    EXPECT_EQ(h[0]->stats().value("forced_r_replacements"), 1u);
+    EXPECT_FALSE(h[0]->vcache().lookup(VirtAddr(0x10100)).has_value())
+        << "the level-1 child died with its parent";
+    checkAll();
+}
+
+TEST_F(VrHierarchyTest, SplitCachesMoveBlocksBetweenHalves)
+{
+    params.splitL1 = true;
+    build(1);
+    map(0, 0x10, 5);
+    EXPECT_EQ(ifetch(0, 0, 0x10000), AccessOutcome::Miss);
+    // Reading the same block as data finds it in the I-cache half and
+    // moves it across.
+    EXPECT_EQ(read(0, 0, 0x10000), AccessOutcome::SynonymHit);
+    EXPECT_EQ(h[0]->stats().value("synonym_moves"), 1u);
+    EXPECT_FALSE(h[0]->vcache(1).lookup(VirtAddr(0x10000)).has_value());
+    EXPECT_TRUE(h[0]->vcache(0).lookup(VirtAddr(0x10000)).has_value());
+    checkAll();
+}
+
+TEST_F(VrHierarchyTest, SplitCachesServeTypesIndependently)
+{
+    params.splitL1 = true;
+    build(1);
+    map(0, 0x10, 5);
+    map(0, 0x12, 6);
+    ifetch(0, 0, 0x10000);
+    read(0, 0, 0x12000);
+    EXPECT_EQ(ifetch(0, 0, 0x10000), AccessOutcome::L1Hit);
+    EXPECT_EQ(read(0, 0, 0x12000), AccessOutcome::L1Hit);
+    checkAll();
+}
+
+TEST_F(VrHierarchyTest, RmwSnoopSuppliesAndInvalidates)
+{
+    build();
+    map(0, 0x10, 5);
+    map(1, 0x10, 5);
+    write(0, 0, 0x10000); // dirty in CPU0
+    EXPECT_EQ(write(1, 1, 0x10000), AccessOutcome::Miss);
+    // CPU0 must have supplied the dirty data and dropped everything.
+    EXPECT_EQ(h[1]->stats().value("fills_from_cache"), 1u);
+    EXPECT_FALSE(h[0]->vcache().lookup(VirtAddr(0x10000)).has_value());
+    EXPECT_FALSE(h[0]->rcache().probe(PhysAddr(5 * kPage)).has_value());
+    checkAll();
+}
+
+TEST_F(VrHierarchyTest, StatsContractCountersExist)
+{
+    build();
+    map(0, 0x10, 5);
+    read(0, 0, 0x10000);
+    write(0, 0, 0x10000);
+    ifetch(0, 0, 0x10000);
+    const auto &s = h[0]->stats();
+    EXPECT_EQ(s.value("refs"), 3u);
+    EXPECT_EQ(s.value("refs_read"), 1u);
+    EXPECT_EQ(s.value("refs_write"), 1u);
+    EXPECT_EQ(s.value("refs_instr"), 1u);
+    EXPECT_EQ(s.value("l1_hits_write") + s.value("l1_hits_read") +
+                  s.value("l1_hits_instr"),
+              s.value("l1_hits"));
+}
+
+TEST_F(VrHierarchyTest, H1H2Accessors)
+{
+    build();
+    map(0, 0x10, 5);
+    read(0, 0, 0x10000);  // miss
+    read(0, 0, 0x10000);  // hit
+    EXPECT_DOUBLE_EQ(h[0]->h1(), 0.5);
+    EXPECT_DOUBLE_EQ(h[0]->h2(), 0.0) << "the single L1 miss missed L2";
+}
+
+TEST_F(VrHierarchyTest, TlbTranslatesOnlyOnMissPath)
+{
+    build();
+    map(0, 0x10, 5);
+    read(0, 0, 0x10000);
+    std::uint64_t lookups =
+        h[0]->tlb().hits() + h[0]->tlb().misses();
+    read(0, 0, 0x10000); // L1 hit: no translation needed
+    EXPECT_EQ(h[0]->tlb().hits() + h[0]->tlb().misses(), lookups);
+}
+
+} // namespace
+} // namespace vrc

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests for steady-state measurement: resetStats() after a warm-up
+ * window keeps cache contents but zeroes every counter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/timing.hh"
+#include "sim/experiment.hh"
+
+namespace vrc
+{
+namespace
+{
+
+TEST(WarmupTest, ResetZeroesCountersKeepsContents)
+{
+    WorkloadProfile p = scaled(popsProfile(), 0.01);
+    TraceBundle b = generateTrace(p);
+    MachineConfig mc = makeMachineConfig(HierarchyKind::VirtualReal,
+                                         8 * 1024, 128 * 1024,
+                                         p.pageSize);
+    MpSimulator sim(mc, p);
+    std::size_t half = b.records.size() / 2;
+    for (std::size_t i = 0; i < half; ++i)
+        sim.step(b.records[i]);
+    EXPECT_GT(sim.refsProcessed(), 0u);
+    sim.resetStats();
+    EXPECT_EQ(sim.refsProcessed(), 0u);
+    EXPECT_EQ(sim.totalCounter("l1_hits"), 0u);
+    EXPECT_EQ(sim.bus().transactions(), 0u);
+    EXPECT_DOUBLE_EQ(sim.cycles(), 0.0);
+
+    // Caches stayed warm: the steady-state h1 beats a cold run over
+    // the same suffix.
+    for (std::size_t i = half; i < b.records.size(); ++i)
+        sim.step(b.records[i]);
+    double warm_h1 = sim.h1();
+
+    MpSimulator cold(mc, p);
+    for (std::size_t i = half; i < b.records.size(); ++i)
+        cold.step(b.records[i]);
+    EXPECT_GT(warm_h1, cold.h1());
+    sim.checkInvariants();
+}
+
+TEST(WarmupTest, SteadyStateH1NotBelowWholeRun)
+{
+    // Cold-start misses depress the whole-run ratio; measuring after a
+    // warm-up window should not do worse.
+    WorkloadProfile p = scaled(popsProfile(), 0.01);
+    TraceBundle b = generateTrace(p);
+    MachineConfig mc = makeMachineConfig(HierarchyKind::VirtualReal,
+                                         16 * 1024, 256 * 1024,
+                                         p.pageSize);
+    MpSimulator whole(mc, p);
+    whole.run(b.records);
+
+    MpSimulator steady(mc, p);
+    std::size_t cut = b.records.size() / 4;
+    for (std::size_t i = 0; i < cut; ++i)
+        steady.step(b.records[i]);
+    steady.resetStats();
+    for (std::size_t i = cut; i < b.records.size(); ++i)
+        steady.step(b.records[i]);
+    EXPECT_GE(steady.h1() + 0.001, whole.h1());
+}
+
+TEST(WarmupTest, MeasuredTimingStillConsistentAfterReset)
+{
+    WorkloadProfile p = scaled(popsProfile(), 0.008);
+    TraceBundle b = generateTrace(p);
+    MachineConfig mc = makeMachineConfig(HierarchyKind::VirtualReal,
+                                         8 * 1024, 128 * 1024,
+                                         p.pageSize);
+    MpSimulator sim(mc, p);
+    std::size_t cut = b.records.size() / 3;
+    for (std::size_t i = 0; i < cut; ++i)
+        sim.step(b.records[i]);
+    sim.resetStats();
+    for (std::size_t i = cut; i < b.records.size(); ++i)
+        sim.step(b.records[i]);
+    EXPECT_NEAR(sim.measuredAccessTime(),
+                avgAccessTime(sim.h1(), sim.h2(), mc.timing), 1e-9);
+}
+
+} // namespace
+} // namespace vrc

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Simulation CLI.
+ *
+ * Runs one of the built-in workloads (or a saved binary trace) through
+ * a configurable machine and prints the full statistics: hit ratios by
+ * type and level, synonym/coherence/write-buffer activity, and the
+ * Section-4 access-time model.
+ *
+ * Usage:
+ *   vrc_sim --profile=pops [--trace=file.vrct] [--org=vr|rr|rr-noincl]
+ *           [--l1=16384] [--l2=262144] [--assoc1=1] [--assoc2=1]
+ *           [--block1=16] [--block2=16] [--split] [--scale=1.0]
+ *           [--check] [--per-cpu]
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "base/log.hh"
+#include "base/table.hh"
+#include "core/timing.hh"
+#include "sim/experiment.hh"
+#include "sim/json_stats.hh"
+#include "core/events.hh"
+#include "trace/profile_io.hh"
+#include "trace/trace_io.hh"
+
+using namespace vrc;
+
+namespace
+{
+
+[[noreturn]] void
+usage()
+{
+    std::cerr <<
+        "usage: vrc_sim --profile=<pops|thor|abaqus> [options]\n"
+        "  --profile-file=<path>  load a custom profile file instead\n"
+        "  --trace=<path>   replay a saved binary trace (the profile is\n"
+        "                   still required for the address-space layout)\n"
+        "  --org=<vr|rr|rr-noincl>  organization (default vr)\n"
+        "  --l1=<bytes> --l2=<bytes> cache sizes (default 16K/256K)\n"
+        "  --assoc1/--assoc2, --block1/--block2   geometry\n"
+        "  --split          split level 1 into I and D halves\n"
+        "  --scale=<f>      rescale the generated trace\n"
+        "  --check          verify invariants during the run\n"
+        "  --per-cpu        per-CPU statistics table\n"
+        "  --json           machine-readable JSON output only\n"
+        "  --events=<n>     print the first n hierarchy events\n"
+        "  --warmup=<f>     reset statistics after fraction f of the\n"
+        "                   trace (steady-state measurement)\n";
+    std::exit(2);
+}
+
+bool
+argValue(const char *arg, const char *name, std::string &out)
+{
+    std::size_t n = std::strlen(name);
+    if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
+        out = arg + n + 1;
+        return true;
+    }
+    return false;
+}
+
+HierarchyKind
+parseOrg(const std::string &s)
+{
+    if (s == "vr")
+        return HierarchyKind::VirtualReal;
+    if (s == "rr")
+        return HierarchyKind::RealRealIncl;
+    if (s == "rr-noincl")
+        return HierarchyKind::RealRealNoIncl;
+    fatal("unknown organization: ", s);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string profile_name, profile_file, trace_path, value;
+    HierarchyKind kind = HierarchyKind::VirtualReal;
+    std::uint32_t l1 = 16 * 1024, l2 = 256 * 1024;
+    std::uint32_t assoc1 = 1, assoc2 = 1, block1 = 16, block2 = 16;
+    bool split = false, check = false, per_cpu = false;
+    bool json = false;
+    std::uint64_t events = 0;
+    double warmup = 0.0;
+    double scale = 1.0;
+
+    for (int i = 1; i < argc; ++i) {
+        if (argValue(argv[i], "--profile-file", value))
+            profile_file = value;
+        else if (argValue(argv[i], "--profile", value))
+            profile_name = value;
+        else if (argValue(argv[i], "--trace", value))
+            trace_path = value;
+        else if (argValue(argv[i], "--org", value))
+            kind = parseOrg(value);
+        else if (argValue(argv[i], "--l1", value))
+            l1 = std::strtoul(value.c_str(), nullptr, 0);
+        else if (argValue(argv[i], "--l2", value))
+            l2 = std::strtoul(value.c_str(), nullptr, 0);
+        else if (argValue(argv[i], "--assoc1", value))
+            assoc1 = std::strtoul(value.c_str(), nullptr, 0);
+        else if (argValue(argv[i], "--assoc2", value))
+            assoc2 = std::strtoul(value.c_str(), nullptr, 0);
+        else if (argValue(argv[i], "--block1", value))
+            block1 = std::strtoul(value.c_str(), nullptr, 0);
+        else if (argValue(argv[i], "--block2", value))
+            block2 = std::strtoul(value.c_str(), nullptr, 0);
+        else if (argValue(argv[i], "--scale", value))
+            scale = std::atof(value.c_str());
+        else if (std::strcmp(argv[i], "--split") == 0)
+            split = true;
+        else if (std::strcmp(argv[i], "--check") == 0)
+            check = true;
+        else if (std::strcmp(argv[i], "--per-cpu") == 0)
+            per_cpu = true;
+        else if (std::strcmp(argv[i], "--json") == 0)
+            json = true;
+        else if (argValue(argv[i], "--events", value))
+            events = std::strtoull(value.c_str(), nullptr, 0);
+        else if (argValue(argv[i], "--warmup", value))
+            warmup = std::atof(value.c_str());
+        else
+            usage();
+    }
+    if (profile_name.empty() && profile_file.empty())
+        usage();
+
+    WorkloadProfile profile = profile_file.empty()
+        ? profileByName(profile_name)
+        : loadProfile(profile_file);
+    profile = scaled(profile, scale);
+    std::vector<TraceRecord> records;
+    if (!trace_path.empty()) {
+        records = loadTrace(trace_path);
+    } else {
+        records = generateTrace(profile).records;
+    }
+
+    MachineConfig mc =
+        makeMachineConfig(kind, l1, l2, profile.pageSize, split);
+    mc.hierarchy.l1.assoc = assoc1;
+    mc.hierarchy.l2.assoc = assoc2;
+    mc.hierarchy.l1.blockBytes = block1;
+    mc.hierarchy.l2.blockBytes = block2;
+    if (check)
+        mc.invariantPeriod = 10'000;
+
+    MpSimulator sim(mc, profile);
+
+    std::uint64_t printed = 0;
+    CallbackObserver printer([&](const HierarchyEvent &ev) {
+        if (printed++ >= events)
+            return;
+        std::cout << "[cpu" << ev.cpu << " @" << ev.refIndex << "] "
+                  << eventKindName(ev.kind) << " va=0x" << std::hex
+                  << ev.vaddr << " pa=0x" << ev.paddr << std::dec
+                  << "\n";
+    });
+    if (events > 0) {
+        for (CpuId c = 0; c < sim.cpuCount(); ++c)
+            sim.hierarchy(c).setObserver(&printer);
+    }
+
+    if (warmup > 0.0 && warmup < 1.0) {
+        std::size_t cut = static_cast<std::size_t>(
+            records.size() * warmup);
+        for (std::size_t i = 0; i < cut; ++i)
+            sim.step(records[i]);
+        sim.resetStats();
+        for (std::size_t i = cut; i < records.size(); ++i)
+            sim.step(records[i]);
+    } else {
+        sim.run(records);
+    }
+    if (check)
+        sim.checkInvariants();
+
+    if (json) {
+        std::cout << toJson(sim) << "\n";
+        return 0;
+    }
+
+    TextTable t;
+    t.row().cell("metric").cell("value");
+    t.separator();
+    t.row().cell("organization").cell(hierarchyKindName(kind));
+    t.row().cell("geometry").cell(
+        sizeLabel(l1, l2) + (split ? " split" : " unified"));
+    t.row().cell("references").cell(sim.refsProcessed());
+    t.row().cell("h1").cell(sim.h1(), 4);
+    t.row().cell("h2 (local)").cell(sim.h2(), 4);
+    t.row().cell("h1 instr").cell(sim.h1ForType(RefType::Instr), 4);
+    t.row().cell("h1 read").cell(sim.h1ForType(RefType::Read), 4);
+    t.row().cell("h1 write").cell(sim.h1ForType(RefType::Write), 4);
+    t.row().cell("synonym hits").cell(sim.totalCounter("synonym_hits"));
+    t.row().cell("synonym moves").cell(
+        sim.totalCounter("synonym_moves"));
+    t.row().cell("write-back cancels").cell(
+        sim.totalCounter("writeback_cancels"));
+    t.row().cell("swapped write-backs").cell(
+        sim.totalCounter("swapped_writebacks"));
+    t.row().cell("inclusion invalidations").cell(
+        sim.totalCounter("inclusion_invalidations"));
+    t.row().cell("L1 coherence messages").cell(
+        sim.totalCounter("l1_coherence_msgs"));
+    t.row().cell("bus transactions").cell(sim.bus().transactions());
+    t.row().cell("memory writes").cell(
+        sim.totalCounter("memory_writes"));
+    t.row().cell("write-buffer stalls").cell(
+        sim.totalCounter("wb_stalls"));
+    std::cout << t;
+
+    TimingParams tp;
+    std::cout << "\ntwo-term average access time (t2 = 4*t1): "
+              << avgAccessTimeTwoTerm(sim.h1(), sim.h2(), tp) << "\n";
+
+    if (per_cpu) {
+        TextTable pc;
+        pc.row()
+            .cell("cpu")
+            .cell("refs")
+            .cell("h1")
+            .cell("h2")
+            .cell("l1 msgs")
+            .cell("writebacks");
+        pc.separator();
+        for (CpuId c = 0; c < sim.cpuCount(); ++c) {
+            const auto &h = sim.hierarchy(c);
+            pc.row()
+                .cell(c)
+                .cell(h.stats().value("refs"))
+                .cell(h.h1(), 4)
+                .cell(h.h2(), 4)
+                .cell(h.stats().value("l1_coherence_msgs"))
+                .cell(h.stats().value("writebacks"));
+        }
+        std::cout << "\n" << pc;
+    }
+    return 0;
+}

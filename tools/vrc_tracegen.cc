@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Trace generation CLI.
+ *
+ * Generates a synthetic multiprocessor trace from one of the built-in
+ * workload profiles (optionally rescaled or reseeded) and writes it to
+ * a file in the binary or text format, or prints its characteristics.
+ *
+ * Usage:
+ *   vrc_tracegen --profile=pops [--scale=0.1] [--seed=N]
+ *                [--out=trace.vrct | --text-out=trace.txt] [--stats]
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "base/log.hh"
+#include "base/table.hh"
+#include "trace/generator.hh"
+#include "trace/profile_io.hh"
+#include "trace/trace_io.hh"
+#include "trace/trace_stats.hh"
+
+using namespace vrc;
+
+namespace
+{
+
+[[noreturn]] void
+usage()
+{
+    std::cerr <<
+        "usage: vrc_tracegen --profile=<pops|thor|abaqus> [options]\n"
+        "  --profile-file=<path>  load a custom profile file instead\n"
+        "  --scale=<f>      rescale trace length (default 1.0)\n"
+        "  --seed=<n>       override the profile's RNG seed\n"
+        "  --cpus=<n>       override the CPU count\n"
+        "  --out=<path>     write binary trace\n"
+        "  --text-out=<path> write text trace\n"
+        "  --stats          print Table-5-style characteristics\n"
+        "  --bursts         print the writes-per-call histogram\n";
+    std::exit(2);
+}
+
+bool
+argValue(const char *arg, const char *name, std::string &out)
+{
+    std::size_t n = std::strlen(name);
+    if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
+        out = arg + n + 1;
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string profile_name, profile_file, out_path, text_path, value;
+    double scale = 1.0;
+    bool print_stats = false, print_bursts = false;
+    std::uint64_t seed = 0;
+    bool seed_set = false;
+    std::uint32_t cpus = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        if (argValue(argv[i], "--profile-file", value)) {
+            profile_file = value;
+        } else if (argValue(argv[i], "--profile", value)) {
+            profile_name = value;
+        } else if (argValue(argv[i], "--scale", value)) {
+            scale = std::atof(value.c_str());
+        } else if (argValue(argv[i], "--seed", value)) {
+            seed = std::strtoull(value.c_str(), nullptr, 0);
+            seed_set = true;
+        } else if (argValue(argv[i], "--cpus", value)) {
+            cpus = static_cast<std::uint32_t>(
+                std::strtoul(value.c_str(), nullptr, 0));
+        } else if (argValue(argv[i], "--out", value)) {
+            out_path = value;
+        } else if (argValue(argv[i], "--text-out", value)) {
+            text_path = value;
+        } else if (std::strcmp(argv[i], "--stats") == 0) {
+            print_stats = true;
+        } else if (std::strcmp(argv[i], "--bursts") == 0) {
+            print_bursts = true;
+        } else {
+            usage();
+        }
+    }
+    if (profile_name.empty() && profile_file.empty())
+        usage();
+
+    WorkloadProfile p = profile_file.empty()
+        ? profileByName(profile_name)
+        : loadProfile(profile_file);
+    p = scaled(p, scale);
+    if (seed_set)
+        p.seed = seed;
+    if (cpus != 0)
+        p.numCpus = cpus;
+
+    TraceBundle bundle = generateTrace(p);
+    std::cerr << "generated " << bundle.records.size() << " records\n";
+
+    if (!out_path.empty()) {
+        saveTrace(out_path, bundle.records);
+        std::cerr << "wrote binary trace to " << out_path << "\n";
+    }
+    if (!text_path.empty()) {
+        std::ofstream os(text_path);
+        if (!os)
+            fatal("cannot open ", text_path);
+        writeTraceText(os, bundle.records);
+        std::cerr << "wrote text trace to " << text_path << "\n";
+    }
+
+    if (print_stats) {
+        auto c = characterize(bundle.records);
+        TextTable t;
+        t.row()
+            .cell("cpus")
+            .cell("total refs")
+            .cell("instr")
+            .cell("read")
+            .cell("write")
+            .cell("switches")
+            .cell("processes");
+        t.separator();
+        t.row()
+            .cell(c.numCpus)
+            .cell(c.totalRefs)
+            .cell(c.instrCount)
+            .cell(c.dataReads)
+            .cell(c.dataWrites)
+            .cell(c.contextSwitches)
+            .cell(c.processCount);
+        std::cout << t;
+    }
+    if (print_bursts) {
+        const Histogram &h = bundle.stats.callWrites;
+        TextTable t;
+        t.row().cell("writes/call").cell("count");
+        t.separator();
+        for (std::uint64_t k = 1; k < h.maxBucket(); ++k)
+            t.row().cell(k).cell(h.count(k));
+        t.row()
+            .cell(std::to_string(h.maxBucket()) + "+")
+            .cell(h.overflowCount());
+        std::cout << t;
+    }
+    return 0;
+}
