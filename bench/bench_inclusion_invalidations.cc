@@ -39,26 +39,60 @@ main(int argc, char **argv)
         {16 * 1024, 64 * 1024, 1}, // small ratio: more pressure
     };
 
+    // Custom geometries fall outside SimJob: drive the pool directly.
+    // Traces are generated serially first (profileTrace caches in a
+    // map that must not be mutated concurrently).
+    struct Cell
+    {
+        const char *name;
+        const TraceBundle *bundle;
+        Geometry geom;
+    };
+    std::vector<Cell> cells;
     for (const char *name : {"pops", "thor", "abaqus"}) {
         const TraceBundle &bundle = profileTrace(name, scale);
-        for (const auto &g : geoms) {
-            MachineConfig mc = makeMachineConfig(
-                HierarchyKind::VirtualReal, g.l1, g.l2,
-                bundle.profile.pageSize);
-            mc.hierarchy.l1.assoc = g.assoc;
-            mc.hierarchy.l2.assoc = g.assoc;
-            MpSimulator sim(mc, bundle.profile);
-            sim.run(bundle.records);
-            t.row()
-                .cell(name)
-                .cell(sizeLabel(g.l1, g.l2))
-                .cell(std::string())
-                .cell(std::uint64_t{g.assoc})
-                .cell(sim.totalCounter("inclusion_invalidations"))
-                .cell(sim.totalCounter("forced_r_replacements"))
-                .cell(sim.refsProcessed());
-        }
+        for (const auto &g : geoms)
+            cells.push_back({name, &bundle, g});
     }
+
+    struct CellResult
+    {
+        std::uint64_t inclusion = 0, forced = 0, refs = 0;
+    };
+    PerfTimer timer;
+    ParallelRunner pool;
+    std::vector<CellResult> results =
+        pool.map(cells.size(), [&](std::size_t i) {
+            const Cell &c = cells[i];
+            MachineConfig mc = makeMachineConfig(
+                HierarchyKind::VirtualReal, c.geom.l1, c.geom.l2,
+                c.bundle->profile.pageSize);
+            mc.hierarchy.l1.assoc = c.geom.assoc;
+            mc.hierarchy.l2.assoc = c.geom.assoc;
+            MpSimulator sim(mc, c.bundle->profile);
+            sim.run(c.bundle->records);
+            return CellResult{
+                sim.totalCounter("inclusion_invalidations"),
+                sim.totalCounter("forced_r_replacements"),
+                sim.refsProcessed()};
+        });
+
+    std::uint64_t total_refs = 0;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const Cell &c = cells[i];
+        const CellResult &r = results[i];
+        t.row()
+            .cell(c.name)
+            .cell(sizeLabel(c.geom.l1, c.geom.l2))
+            .cell(std::string())
+            .cell(std::uint64_t{c.geom.assoc})
+            .cell(r.inclusion)
+            .cell(r.forced)
+            .cell(r.refs);
+        total_refs += r.refs;
+    }
+    perfRecord("bench_inclusion_invalidations", "total",
+               timer.seconds(), total_refs);
     std::cout << t;
     std::cout << "\npaper: 21 inclusion invalidations for pops at "
                  "16K(2-way)/256K over ~3.3M references.\n";

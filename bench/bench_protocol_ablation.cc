@@ -22,6 +22,11 @@ main(int argc, char **argv)
            "(V-R, 16K/256K)",
            scale);
 
+    const CoherencePolicy policies[] = {CoherencePolicy::WriteInvalidate,
+                                        CoherencePolicy::WriteUpdate};
+
+    PerfTimer total;
+    std::uint64_t total_refs = 0;
     for (const char *name : {"thor", "pops", "abaqus"}) {
         const TraceBundle &bundle = profileTrace(name, scale);
         TextTable t;
@@ -34,25 +39,46 @@ main(int argc, char **argv)
             .cell("L1 msgs")
             .cell("memory writes");
         t.separator();
-        for (CoherencePolicy pol : {CoherencePolicy::WriteInvalidate,
-                                    CoherencePolicy::WriteUpdate}) {
+
+        // Protocol is not a SimJob knob: drive the pool directly, one
+        // worker per policy, collecting the printed counters.
+        struct Row
+        {
+            double h1 = 0.0;
+            std::uint64_t misses = 0, busTxs = 0, updates = 0;
+            std::uint64_t l1Msgs = 0, memWrites = 0, refs = 0;
+        };
+        ParallelRunner pool;
+        std::vector<Row> rows = pool.map(2, [&](std::size_t i) {
             MachineConfig mc = makeMachineConfig(
                 HierarchyKind::VirtualReal, 16 * 1024, 256 * 1024,
                 bundle.profile.pageSize);
-            mc.hierarchy.protocol = pol;
+            mc.hierarchy.protocol = policies[i];
             MpSimulator sim(mc, bundle.profile);
             sim.run(bundle.records);
+            return Row{sim.h1(),
+                       sim.totalCounter("misses"),
+                       sim.bus().transactions(),
+                       sim.bus().stats().value("update"),
+                       sim.totalCounter("l1_coherence_msgs"),
+                       sim.totalCounter("memory_writes"),
+                       sim.refsProcessed()};
+        });
+        for (std::size_t i = 0; i < rows.size(); ++i) {
             t.row()
-                .cell(coherencePolicyName(pol))
-                .cell(sim.h1(), 4)
-                .cell(sim.totalCounter("misses"))
-                .cell(sim.bus().transactions())
-                .cell(sim.bus().stats().value("update"))
-                .cell(sim.totalCounter("l1_coherence_msgs"))
-                .cell(sim.totalCounter("memory_writes"));
+                .cell(coherencePolicyName(policies[i]))
+                .cell(rows[i].h1, 4)
+                .cell(rows[i].misses)
+                .cell(rows[i].busTxs)
+                .cell(rows[i].updates)
+                .cell(rows[i].l1Msgs)
+                .cell(rows[i].memWrites);
+            total_refs += rows[i].refs;
         }
         std::cout << t << "\n";
     }
+    perfRecord("bench_protocol_ablation", "total", total.seconds(),
+               total_refs);
     std::cout << "expected shape: update raises h1 (no invalidation "
                  "misses) at the cost of one bus broadcast and one "
                  "memory write per shared write.\n";

@@ -15,6 +15,8 @@ main(int argc, char **argv)
     double scale = benchScaleFromArgs(argc, argv);
     banner("Table 7: hit ratios for small first-level caches", scale);
 
+    PerfTimer total;
+    std::uint64_t total_refs = 0;
     for (const char *name : {"thor", "pops", "abaqus"}) {
         const TraceBundle &bundle = profileTrace(name, scale);
         TextTable t;
@@ -23,15 +25,21 @@ main(int argc, char **argv)
             t.cell(sizeLabel(l1, l2));
         t.separator();
 
-        std::vector<SimSummary> vr, rr;
-        for (auto [l1, l2] : smallSizePairs()) {
-            vr.push_back(runSimulation(bundle,
-                                       HierarchyKind::VirtualReal, l1,
-                                       l2));
-            rr.push_back(runSimulation(bundle,
-                                       HierarchyKind::RealRealIncl, l1,
-                                       l2));
-        }
+        std::vector<SimJob> jobs;
+        for (auto [l1, l2] : smallSizePairs())
+            jobs.push_back({HierarchyKind::VirtualReal, l1, l2});
+        for (auto [l1, l2] : smallSizePairs())
+            jobs.push_back({HierarchyKind::RealRealIncl, l1, l2});
+
+        PerfTimer timer;
+        std::vector<SimSummary> res = runSimulations(bundle, jobs);
+        std::vector<SimSummary> vr(res.begin(), res.begin() + 3);
+        std::vector<SimSummary> rr(res.begin() + 3, res.end());
+        std::uint64_t refs = 0;
+        for (const auto &s : res)
+            refs += s.refs;
+        perfRecord("bench_table7", name, timer.seconds(), refs);
+        total_refs += refs;
         t.row().cell("h1VR");
         for (const auto &s : vr)
             t.cell(s.h1, 3);
@@ -48,5 +56,6 @@ main(int argc, char **argv)
     }
     std::cout << "expected shape (paper): h1VR ~= h1RR at all small "
                  "sizes, including abaqus.\n";
+    perfRecord("bench_table7", "total", total.seconds(), total_refs);
     return 0;
 }

@@ -28,10 +28,25 @@ runCoherenceTable(const std::string &table, const std::string &trace,
         HierarchyKind::VirtualReal, HierarchyKind::RealRealIncl,
         HierarchyKind::RealRealNoIncl};
 
-    for (auto [l1, l2] : paperSizePairs()) {
-        std::vector<SimSummary> res;
+    // All nine cells (three size pairs x three organizations) are
+    // independent: run them as one batch so the pool stays full.
+    std::vector<SimJob> jobs;
+    for (auto [l1, l2] : paperSizePairs())
         for (auto kind : kinds)
-            res.push_back(runSimulation(bundle, kind, l1, l2));
+            jobs.push_back({kind, l1, l2});
+
+    PerfTimer timer;
+    std::vector<SimSummary> all = runSimulations(bundle, jobs);
+    std::uint64_t refs = 0;
+    for (const auto &s : all)
+        refs += s.refs;
+    perfRecord(table, trace, timer.seconds(), refs);
+
+    std::size_t batch = 0;
+    for (auto [l1, l2] : paperSizePairs()) {
+        std::vector<SimSummary> res(all.begin() + batch,
+                                    all.begin() + batch + kinds.size());
+        batch += kinds.size();
 
         TextTable t;
         t.row().cell(sizeLabel(l1, l2) + "  cpu");

@@ -32,16 +32,31 @@ runAccessTimeFigure(const std::string &figure, const std::string &trace,
 {
     double scale = benchScaleFromArgs(argc, argv);
     bool csv = wantCsv(argc, argv);
+
+    const TraceBundle &bundle = profileTrace(trace, scale);
+    TimingParams tp; // t1 = 1, t2 = 4
+
+    // The measured inputs (one V-R and one R-R run per size pair) are
+    // shared by the CSV and table outputs: simulate them as one batch.
+    std::vector<SimJob> jobs;
+    for (auto [l1, l2] : paperSizePairs()) {
+        jobs.push_back({HierarchyKind::VirtualReal, l1, l2});
+        jobs.push_back({HierarchyKind::RealRealIncl, l1, l2});
+    }
+    PerfTimer timer;
+    std::vector<SimSummary> res = runSimulations(bundle, jobs);
+    std::uint64_t refs = 0;
+    for (const auto &s : res)
+        refs += s.refs;
+    perfRecord(figure, trace, timer.seconds(), refs);
+
     if (csv) {
         // Plot-friendly output: one row per (sizes, slowdown) point.
         std::cout << "trace,l1,l2,slowdown_pct,t_vr,t_rr\n";
-        const TraceBundle &bundle = profileTrace(trace, scale);
-        TimingParams tp;
+        std::size_t i = 0;
         for (auto [l1, l2] : paperSizePairs()) {
-            SimSummary vr = runSimulation(
-                bundle, HierarchyKind::VirtualReal, l1, l2);
-            SimSummary rr = runSimulation(
-                bundle, HierarchyKind::RealRealIncl, l1, l2);
+            const SimSummary &vr = res[i++];
+            const SimSummary &rr = res[i++];
             for (int pct = 0; pct <= 10; ++pct) {
                 TimingParams slowed = tp;
                 slowed.l1SlowdownPct = pct;
@@ -60,16 +75,10 @@ runAccessTimeFigure(const std::string &figure, const std::string &trace,
                trace + ", t2 = 4*t1)",
            scale);
 
-    const TraceBundle &bundle = profileTrace(trace, scale);
-    TimingParams tp; // t1 = 1, t2 = 4
-
+    std::size_t pair_index = 0;
     for (auto [l1, l2] : paperSizePairs()) {
-        SimSummary vr = runSimulation(bundle,
-                                      HierarchyKind::VirtualReal, l1,
-                                      l2);
-        SimSummary rr = runSimulation(bundle,
-                                      HierarchyKind::RealRealIncl, l1,
-                                      l2);
+        const SimSummary &vr = res[pair_index++];
+        const SimSummary &rr = res[pair_index++];
 
         TextTable t;
         t.row().cell("sizes " + sizeLabel(l1, l2) + "  slowdown%");

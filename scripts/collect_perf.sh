@@ -1,0 +1,97 @@
+#!/bin/sh
+# Measure the experiment engine's throughput and write BENCH_perf.json.
+#
+# Runs the simulation-heavy bench binaries twice -- once single-threaded
+# and once with the host's default worker count -- collecting the JSON
+# lines each binary emits via VRC_PERF_OUT, then assembles one report
+# with per-bench refs/sec, wall-clock per table, and the parallel
+# speedup on this host.
+#
+# Usage: scripts/collect_perf.sh [build-dir] [out-file] [bench-args...]
+#   e.g. scripts/collect_perf.sh build BENCH_perf.json --quick
+set -e
+BUILD=${1:-build}
+OUT=${2:-BENCH_perf.json}
+shift 2 2>/dev/null || shift $# 2>/dev/null || true
+ARGS="$*"
+
+BENCHES="bench_table6_hit_ratios bench_table7_small_caches \
+bench_table8_split_thor bench_table11_coherence_pops \
+bench_fig4_access_time bench_inclusion_invalidations \
+bench_protocol_ablation"
+
+JOBS_MAX=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+for jobs in 1 "$JOBS_MAX"; do
+    : > "$TMP/perf_$jobs.jsonl"
+    for b in $BENCHES; do
+        [ -x "$BUILD/bench/$b" ] || continue
+        echo "== $b (jobs=$jobs)" >&2
+        VRC_PERF_OUT="$TMP/perf_$jobs.jsonl" \
+            "$BUILD/bench/$b" $ARGS "--jobs=$jobs" > /dev/null
+    done
+done
+
+# Single-thread hot-path throughput (google-benchmark), if built.
+MICRO="$TMP/micro.json"
+if [ -x "$BUILD/bench/bench_micro_sim" ]; then
+    echo "== bench_micro_sim" >&2
+    "$BUILD/bench/bench_micro_sim" --benchmark_filter=Simulate \
+        --benchmark_format=json > "$MICRO" 2>/dev/null || : > "$MICRO"
+else
+    : > "$MICRO"
+fi
+
+python3 - "$TMP/perf_1.jsonl" "$TMP/perf_$JOBS_MAX.jsonl" "$MICRO" \
+    "$OUT" <<'EOF'
+import json, sys
+
+def load(path):
+    rows = {}
+    with open(path) as f:
+        for line in f:
+            r = json.loads(line)
+            rows[(r["bench"], r["section"])] = r
+    return rows
+
+serial, parallel = load(sys.argv[1]), load(sys.argv[2])
+report = {"host_cpus": None, "benches": []}
+speedups = []
+for key, s in serial.items():
+    p = parallel.get(key, s)
+    report["host_cpus"] = p["jobs"]
+    entry = {
+        "bench": key[0],
+        "section": key[1],
+        "refs": s["refs"],
+        "seconds_jobs1": s["seconds"],
+        "refs_per_sec_jobs1": s["refs_per_sec"],
+        "seconds_jobsN": p["seconds"],
+        "refs_per_sec_jobsN": p["refs_per_sec"],
+        "speedup": s["seconds"] / p["seconds"] if p["seconds"] else 0.0,
+    }
+    report["benches"].append(entry)
+    if key[1] == "total":
+        speedups.append(entry["speedup"])
+report["mean_total_speedup"] = (
+    sum(speedups) / len(speedups) if speedups else 0.0)
+
+try:
+    with open(sys.argv[3]) as f:
+        micro = json.load(f)
+    report["single_thread_refs_per_sec"] = {
+        b["name"]: b.get("items_per_second", 0.0)
+        for b in micro.get("benchmarks", [])
+    }
+except (json.JSONDecodeError, OSError):
+    pass
+
+with open(sys.argv[4], "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+print(f"wrote {sys.argv[4]}: mean speedup over "
+      f"{len(speedups)} benches = {report['mean_total_speedup']:.2f}x "
+      f"at {report['host_cpus']} jobs")
+EOF

@@ -38,6 +38,12 @@ class Counter
 /**
  * A map of named counters. Modules own one, register counters up front,
  * and the simulator aggregates groups for reporting.
+ *
+ * Registered-handle contract: counter() returns a reference that stays
+ * valid for the lifetime of the group (node-based map, no rehashing).
+ * Hot-path code must resolve its handles once at construction and
+ * increment through them; string-keyed lookups are for registration and
+ * reporting only.
  */
 class StatGroup
 {
@@ -47,6 +53,17 @@ class StatGroup
     /** Fetch (creating on first use) the counter called @p key. */
     Counter &
     counter(const std::string &key)
+    {
+        return _counters[key];
+    }
+
+    /**
+     * Register @p key and return its stable handle. Identical to
+     * counter(); the distinct name marks construction-time resolution
+     * for per-event increments (never call this inside a hot loop).
+     */
+    Counter &
+    handle(const std::string &key)
     {
         return _counters[key];
     }

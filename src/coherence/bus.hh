@@ -8,13 +8,27 @@
  * block is shared and whether another cache supplied the data (otherwise
  * memory does). The bus also keeps the per-CPU and per-operation
  * transaction counts the experiments report.
+ *
+ * Snoop filter: an agent whose second level tracks presence exactly
+ * (inclusion hierarchies, where the R-cache directory covers everything
+ * the agent could respond to) may attach as *filterable* and notify the
+ * bus whenever a second-level line is filled or dropped. broadcast()
+ * then skips filterable agents whose presence bit is clear -- the skipped
+ * probe is exactly the snoop-miss path, so the bus bumps the agent's
+ * snoop/snoop-miss counters on its behalf and every statistic stays
+ * bit-identical with the filter on or off. Agents that cannot prove
+ * absence (the no-inclusion baseline, whose level-1 probes on every bus
+ * transaction are the paper's point) attach unfilterable and are always
+ * probed.
  */
 
 #ifndef VRC_COHERENCE_BUS_HH
 #define VRC_COHERENCE_BUS_HH
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "base/counter.hh"
@@ -24,11 +38,35 @@
 namespace vrc
 {
 
+/** How an agent participates in snoop filtering (see SharedBus). */
+struct SnoopAgentInfo
+{
+    /**
+     * The agent's presence notifications are exact: a clear presence
+     * bit proves its snoop() would be a miss with no side effects.
+     */
+    bool filterable = false;
+
+    /** Counters to bump on the agent's behalf when a snoop is skipped
+     *  (may be null for agents that keep no snoop statistics). */
+    Counter *snoops = nullptr;
+    Counter *snoopMisses = nullptr;
+};
+
 /** The shared bus connecting all second-level caches and memory. */
 class SharedBus
 {
   public:
-    SharedBus() : _stats("bus") {}
+    SharedBus()
+        : _stats("bus"),
+          _txCtr(&_stats.handle("transactions")),
+          _memSupplyCtr(&_stats.handle("memory_supplies"))
+    {
+        for (int i = 0; i < 4; ++i) {
+            _opCtrs[i] =
+                &_stats.handle(busOpName(static_cast<BusOp>(i)));
+        }
+    }
 
     /**
      * Register a snooper.
@@ -36,9 +74,14 @@ class SharedBus
      * @return the agent's CPU id (registration order).
      */
     CpuId
-    attach(Snooper *snooper)
+    attach(Snooper *snooper, SnoopAgentInfo info = {})
     {
         _snoopers.push_back(snooper);
+        // Presence is a per-agent bit in a word-sized mask; agents past
+        // that width fall back to being probed unconditionally.
+        if (_agents.size() >= maxFilterableAgents)
+            info.filterable = false;
+        _agents.push_back(info);
         _perCpuTx.push_back(0);
         return static_cast<CpuId>(_snoopers.size() - 1);
     }
@@ -50,33 +93,91 @@ class SharedBus
     BusResult
     broadcast(const BusTransaction &tx)
     {
-        _stats.counter("transactions")++;
-        _stats.counter(busOpName(tx.op))++;
+        (*_txCtr)++;
+        (*_opCtrs[static_cast<int>(tx.op)])++;
+        _opCounts[static_cast<int>(tx.op)] += 1;
         if (tx.source < _perCpuTx.size())
             _perCpuTx[tx.source] += 1;
+
+        AgentMask present = ~AgentMask{0};
+        if (_filterEnabled) {
+            auto it = _presence.find(tx.blockAddr.value());
+            present = it == _presence.end() ? 0 : it->second;
+        }
 
         SnoopResult merged;
         for (std::size_t i = 0; i < _snoopers.size(); ++i) {
             if (static_cast<CpuId>(i) == tx.source)
                 continue;
+            const SnoopAgentInfo &info = _agents[i];
+            if (info.filterable && !(present & (AgentMask{1} << i))) {
+                // Exact absence: the probe would have been a miss.
+                // Account for it as one so statistics don't depend on
+                // whether the filter is enabled.
+                if (info.snoops)
+                    (*info.snoops)++;
+                if (info.snoopMisses)
+                    (*info.snoopMisses)++;
+                _snoopsFiltered += 1;
+                continue;
+            }
             merged.merge(_snoopers[i]->snoop(tx));
         }
         BusResult res;
         res.shared = merged.sharedAck;
         res.suppliedByCache = merged.suppliedData;
         if (!res.suppliedByCache && tx.op != BusOp::Invalidate)
-            _stats.counter("memory_supplies")++;
+            (*_memSupplyCtr)++;
         return res;
     }
+
+    // --- presence notifications (snoop filter maintenance) -----------
+
+    /** Agent @p cpu filled the second-level line at @p line_addr. */
+    void
+    noteBlockCached(CpuId cpu, std::uint32_t line_addr)
+    {
+        if (cpu < maxFilterableAgents && _agents[cpu].filterable)
+            _presence[line_addr] |= AgentMask{1} << cpu;
+    }
+
+    /** Agent @p cpu dropped the second-level line at @p line_addr. */
+    void
+    noteBlockUncached(CpuId cpu, std::uint32_t line_addr)
+    {
+        if (cpu >= maxFilterableAgents || !_agents[cpu].filterable)
+            return;
+        auto it = _presence.find(line_addr);
+        if (it == _presence.end())
+            return;
+        it->second &= ~(AgentMask{1} << cpu);
+        if (it->second == 0)
+            _presence.erase(it);
+    }
+
+    /** Enable/disable presence-based snoop skipping (default on). */
+    void setSnoopFilterEnabled(bool on) { _filterEnabled = on; }
+    bool snoopFilterEnabled() const { return _filterEnabled; }
+
+    /** Probes the filter proved unnecessary (diagnostic, not a stat). */
+    std::uint64_t snoopsFiltered() const { return _snoopsFiltered; }
+
+    /** Number of presence entries currently tracked (diagnostic). */
+    std::size_t presenceEntries() const { return _presence.size(); }
+
+    // --- counters ----------------------------------------------------
 
     /** Number of attached agents. */
     std::size_t agentCount() const { return _snoopers.size(); }
 
     /** Total transactions issued. */
+    std::uint64_t transactions() const { return _txCtr->value(); }
+
+    /** Transactions of one operation kind (O(1), no string lookup). */
     std::uint64_t
-    transactions() const
+    opCount(BusOp op) const
     {
-        return _stats.value("transactions");
+        return _opCounts[static_cast<int>(op)];
     }
 
     /** Transactions issued by one CPU. */
@@ -93,13 +194,26 @@ class SharedBus
     resetStats()
     {
         _stats.reset();
+        _opCounts = {};
+        _snoopsFiltered = 0;
         std::fill(_perCpuTx.begin(), _perCpuTx.end(), 0);
     }
 
   private:
+    using AgentMask = std::uint64_t;
+    static constexpr std::size_t maxFilterableAgents = 64;
+
     std::vector<Snooper *> _snoopers;
+    std::vector<SnoopAgentInfo> _agents;
     std::vector<std::uint64_t> _perCpuTx;
     StatGroup _stats;
+    Counter *_txCtr;
+    Counter *_memSupplyCtr;
+    Counter *_opCtrs[4];
+    std::array<std::uint64_t, 4> _opCounts{};
+    std::unordered_map<std::uint32_t, AgentMask> _presence;
+    bool _filterEnabled = true;
+    std::uint64_t _snoopsFiltered = 0;
 };
 
 } // namespace vrc

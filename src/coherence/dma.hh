@@ -33,7 +33,9 @@ class DmaDevice : public Snooper
     DmaDevice(SharedBus &bus, std::uint32_t block_bytes)
         : _bus(bus), _blockBytes(block_bytes), _stats("dma")
     {
-        _busId = bus.attach(this);
+        // The device holds no cached state, so it never needs to be
+        // probed: attach filterable and never publish presence.
+        _busId = bus.attach(this, SnoopAgentInfo{true, nullptr, nullptr});
     }
 
     /**

@@ -150,14 +150,11 @@ class CacheHierarchy : public Snooper
     double
     h1ForType(RefType t) const
     {
-        const char *suffix = t == RefType::Instr ? "instr"
-            : t == RefType::Read               ? "read"
-                                               : "write";
-        auto refs = _stats.value(std::string(refCounterPrefix) + suffix);
+        auto refs = _refsByType[static_cast<int>(t)]->value();
         if (refs == 0)
             return 0.0;
         return static_cast<double>(
-                   _stats.value(std::string(hitCounterPrefix) + suffix)) /
+                   _hitsByType[static_cast<int>(t)]->value()) /
             static_cast<double>(refs);
     }
 
@@ -184,9 +181,6 @@ class CacheHierarchy : public Snooper
     }
 
   protected:
-    static constexpr const char *refCounterPrefix = "refs_";
-    static constexpr const char *hitCounterPrefix = "l1_hits_";
-
     /** Count one reference of type @p t. */
     void
     noteRef(RefType t)
@@ -221,19 +215,6 @@ class CacheHierarchy : public Snooper
         if (_observer) {
             _observer->onEvent(
                 HierarchyEvent{kind, _cpuId, ref_index, vaddr, paddr});
-        }
-    }
-
-    static const char *
-    typeSuffix(RefType t)
-    {
-        switch (t) {
-          case RefType::Instr:
-            return "instr";
-          case RefType::Read:
-            return "read";
-          default:
-            return "write";
         }
     }
 

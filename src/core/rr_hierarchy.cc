@@ -28,6 +28,34 @@ RrNoInclHierarchy::RrNoInclHierarchy(const HierarchyParams &params,
         _l1[1] = std::make_unique<L1Store>(g1, l1.policy, 0xbbbb);
     _wb.setDrainHandler(
         [this](const WriteBufferEntry &e) { onWriteBufferDrain(e); });
+
+    StatGroup &sg = stats();
+    _c.writebackCompletions = &sg.handle("writeback_completions");
+    _c.memoryWrites = &sg.handle("memory_writes");
+    _c.writebacksBypassingL2 = &sg.handle("writebacks_bypassing_l2");
+    _c.invalidationsSent = &sg.handle("invalidations_sent");
+    _c.updatesSent = &sg.handle("updates_sent");
+    _c.wbStalls = &sg.handle("wb_stalls");
+    _c.writebacks = &sg.handle("writebacks");
+    _c.writebackCancels = &sg.handle("writeback_cancels");
+    _c.l2Hits = &sg.handle("l2_hits");
+    _c.bufferPullbacks = &sg.handle("buffer_pullbacks");
+    _c.misses = &sg.handle("misses");
+    _c.fillsFromCache = &sg.handle("fills_from_cache");
+    _c.fillsFromMemory = &sg.handle("fills_from_memory");
+    _c.contextSwitches = &sg.handle("context_switches");
+    _c.l1CoherenceMsgs = &sg.handle("l1_coherence_msgs");
+    _c.l1Probes = &sg.handle("l1_probes");
+    _c.l1Updates = &sg.handle("l1_updates");
+    _c.l1Flushes = &sg.handle("l1_flushes");
+    _c.l1Invalidations = &sg.handle("l1_invalidations");
+    _c.bufferFlushes = &sg.handle("buffer_flushes");
+    _c.bufferInvalidations = &sg.handle("buffer_invalidations");
+    _c.tlbShootdowns = &sg.handle("tlb_shootdowns");
+
+    // Without inclusion the second level cannot prove what the first
+    // level holds, so this hierarchy must see every bus transaction:
+    // attach unfilterable (this is the paper's disturbance baseline).
     setCpuId(bus.attach(this));
 }
 
@@ -47,10 +75,10 @@ RrNoInclHierarchy::onWriteBufferDrain(const WriteBufferEntry &entry)
     // line; absorb the data there if it does, else write memory.
     if (auto l2ref = _l2.find(entry.physBlockAddr)) {
         _l2.line(*l2ref).meta.rdirty = true;
-        stats().counter("writeback_completions")++;
+        (*_c.writebackCompletions)++;
     } else {
-        stats().counter("memory_writes")++;
-        stats().counter("writebacks_bypassing_l2")++;
+        (*_c.memoryWrites)++;
+        (*_c.writebacksBypassingL2)++;
     }
 }
 
@@ -60,7 +88,7 @@ RrNoInclHierarchy::issueInvalidate(PhysAddr pa)
     _bus.broadcast(BusTransaction{BusOp::Invalidate,
                                   PhysAddr(l2Block(pa.value())),
                                   cpuId()});
-    stats().counter("invalidations_sent")++;
+    (*_c.invalidationsSent)++;
 }
 
 bool
@@ -75,8 +103,8 @@ RrNoInclHierarchy::writeToShared(PhysAddr pa, CoherenceState &state)
     }
     BusResult br = _bus.broadcast(BusTransaction{
         BusOp::Update, PhysAddr(l2Block(pa.value())), cpuId()});
-    stats().counter("updates_sent")++;
-    stats().counter("memory_writes")++;
+    (*_c.updatesSent)++;
+    (*_c.memoryWrites)++;
     state = br.shared ? CoherenceState::Shared : CoherenceState::Private;
     return false;
 }
@@ -120,8 +148,8 @@ RrNoInclHierarchy::access(const MemAccess &acc)
     L1Store::Line &victim = store.line(slot);
     if (victim.valid && victim.meta.dirty) {
         if (_wb.push(store.lineAddr(slot), _refIndex))
-            stats().counter("wb_stalls")++;
-        stats().counter("writebacks")++;
+            (*_c.wbStalls)++;
+        (*_c.writebacks)++;
         noteWriteBack(_refIndex);
     }
     store.invalidate(slot);
@@ -131,9 +159,9 @@ RrNoInclHierarchy::access(const MemAccess &acc)
         L1Store::Line &l = store.fill(slot, pa_block);
         l.meta.dirty = true;
         l.meta.state = CoherenceState::Private;
-        stats().counter("writeback_cancels")++;
-        stats().counter("l2_hits")++;
-        stats().counter("buffer_pullbacks")++;
+        (*_c.writebackCancels)++;
+        (*_c.l2Hits)++;
+        (*_c.bufferPullbacks)++;
         return AccessOutcome::L2Hit;
     }
 
@@ -153,7 +181,7 @@ RrNoInclHierarchy::access(const MemAccess &acc)
         L1Store::Line &l = store.fill(slot, pa_block);
         l.meta.dirty = dirty;
         l.meta.state = st;
-        stats().counter("l2_hits")++;
+        (*_c.l2Hits)++;
         return AccessOutcome::L2Hit;
     }
 
@@ -162,7 +190,7 @@ RrNoInclHierarchy::access(const MemAccess &acc)
     LineRef l2slot = _l2.victim(line_addr);
     L2Store::Line &l2victim = _l2.line(l2slot);
     if (l2victim.valid && l2victim.meta.rdirty)
-        stats().counter("memory_writes")++;
+        (*_c.memoryWrites)++;
     _l2.invalidate(l2slot);
 
     bool is_write = acc.type == RefType::Write;
@@ -172,11 +200,11 @@ RrNoInclHierarchy::access(const MemAccess &acc)
                                               : BusOp::ReadMiss;
     BusResult br = _bus.broadcast(
         BusTransaction{op, PhysAddr(line_addr), cpuId()});
-    stats().counter("misses")++;
+    (*_c.misses)++;
     if (br.suppliedByCache)
-        stats().counter("fills_from_cache")++;
+        (*_c.fillsFromCache)++;
     else
-        stats().counter("fills_from_memory")++;
+        (*_c.fillsFromMemory)++;
 
     CoherenceState st;
     bool dirty = is_write;
@@ -187,8 +215,8 @@ RrNoInclHierarchy::access(const MemAccess &acc)
         if (is_write && br.shared) {
             _bus.broadcast(BusTransaction{
                 BusOp::Update, PhysAddr(line_addr), cpuId()});
-            stats().counter("updates_sent")++;
-            stats().counter("memory_writes")++;
+            (*_c.updatesSent)++;
+            (*_c.memoryWrites)++;
             dirty = false;
         }
     }
@@ -207,7 +235,7 @@ void
 RrNoInclHierarchy::contextSwitch(ProcessId new_pid)
 {
     (void)new_pid;  // physical tags survive context switches
-    stats().counter("context_switches")++;
+    (*_c.contextSwitches)++;
 }
 
 SnoopResult
@@ -219,8 +247,8 @@ RrNoInclHierarchy::snoop(const BusTransaction &tx)
 
     // Without inclusion every foreign transaction disturbs level 1:
     // the level-2 directory cannot prove absence.
-    stats().counter("l1_coherence_msgs")++;
-    stats().counter("l1_probes")++;
+    (*_c.l1CoherenceMsgs)++;
+    (*_c.l1Probes)++;
 
     if (tx.op == BusOp::Update) {
         // Foreign write-update: refresh every copy in place; memory was
@@ -234,7 +262,7 @@ RrNoInclHierarchy::snoop(const BusTransaction &tx)
                     l.meta.dirty = false;
                     l.meta.state = CoherenceState::Shared;
                     res.sharedAck = true;
-                    stats().counter("l1_updates")++;
+                    (*_c.l1Updates)++;
                 }
             }
         }
@@ -263,25 +291,25 @@ RrNoInclHierarchy::snoop(const BusTransaction &tx)
                     // Flush: supply the block and clean the copy.
                     l.meta.dirty = false;
                     res.suppliedData = true;
-                    stats().counter("l1_flushes")++;
-                    stats().counter("memory_writes")++;
+                    (*_c.l1Flushes)++;
+                    (*_c.memoryWrites)++;
                 }
                 l.meta.state = CoherenceState::Shared;
             }
             if (inval_part) {
                 _l1[ci]->invalidate(*hit);
-                stats().counter("l1_invalidations")++;
+                (*_c.l1Invalidations)++;
             }
         }
         // The write buffer snoops too.
         if (read_part && _wb.contains(sub_addr)) {
             _wb.remove(sub_addr);
             res.suppliedData = true;
-            stats().counter("buffer_flushes")++;
-            stats().counter("memory_writes")++;
+            (*_c.bufferFlushes)++;
+            (*_c.memoryWrites)++;
         } else if (inval_part && _wb.contains(sub_addr)) {
             _wb.remove(sub_addr);
-            stats().counter("buffer_invalidations")++;
+            (*_c.bufferInvalidations)++;
         }
     }
 
@@ -293,7 +321,7 @@ RrNoInclHierarchy::snoop(const BusTransaction &tx)
             if (l2l.meta.rdirty) {
                 l2l.meta.rdirty = false;
                 res.suppliedData = true;
-                stats().counter("memory_writes")++;
+                (*_c.memoryWrites)++;
             }
             l2l.meta.state = CoherenceState::Shared;
         }

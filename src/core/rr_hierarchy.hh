@@ -67,7 +67,7 @@ class RrNoInclHierarchy : public CacheHierarchy
     tlbShootdown(ProcessId pid, Vpn vpn) override
     {
         if (_tlb.invalidate(pid, vpn))
-            stats().counter("tlb_shootdowns")++;
+            (*_c.tlbShootdowns)++;
     }
 
     using L1Store = TagStore<PLineMeta>;
@@ -126,6 +126,34 @@ class RrNoInclHierarchy : public CacheHierarchy
     WriteBuffer _wb;
     Tlb _tlb;
     std::uint64_t _refIndex = 0;
+
+    /** Stats handles resolved once at construction (see StatGroup). */
+    struct Counters
+    {
+        Counter *writebackCompletions;
+        Counter *memoryWrites;
+        Counter *writebacksBypassingL2;
+        Counter *invalidationsSent;
+        Counter *updatesSent;
+        Counter *wbStalls;
+        Counter *writebacks;
+        Counter *writebackCancels;
+        Counter *l2Hits;
+        Counter *bufferPullbacks;
+        Counter *misses;
+        Counter *fillsFromCache;
+        Counter *fillsFromMemory;
+        Counter *contextSwitches;
+        Counter *l1CoherenceMsgs;
+        Counter *l1Probes;
+        Counter *l1Updates;
+        Counter *l1Flushes;
+        Counter *l1Invalidations;
+        Counter *bufferFlushes;
+        Counter *bufferInvalidations;
+        Counter *tlbShootdowns;
+    };
+    Counters _c;
 };
 
 } // namespace vrc

@@ -32,7 +32,43 @@ VrHierarchy::VrHierarchy(const HierarchyParams &params,
     }
     _wb.setDrainHandler(
         [this](const WriteBufferEntry &e) { onWriteBufferDrain(e); });
-    setCpuId(bus.attach(this));
+
+    StatGroup &sg = stats();
+    _c.writebackCompletions = &sg.handle("writeback_completions");
+    _c.wbStalls = &sg.handle("wb_stalls");
+    _c.writebacks = &sg.handle("writebacks");
+    _c.swappedWritebacks = &sg.handle("swapped_writebacks");
+    _c.synonymSameset = &sg.handle("synonym_sameset");
+    _c.synonymMoves = &sg.handle("synonym_moves");
+    _c.synonymHits = &sg.handle("synonym_hits");
+    _c.synonymFromBuffer = &sg.handle("synonym_from_buffer");
+    _c.writebackCancels = &sg.handle("writeback_cancels");
+    _c.l2Hits = &sg.handle("l2_hits");
+    _c.invalidationsSent = &sg.handle("invalidations_sent");
+    _c.updatesSent = &sg.handle("updates_sent");
+    _c.memoryWrites = &sg.handle("memory_writes");
+    _c.misses = &sg.handle("misses");
+    _c.fillsFromCache = &sg.handle("fills_from_cache");
+    _c.fillsFromMemory = &sg.handle("fills_from_memory");
+    _c.inclusionInvalidations = &sg.handle("inclusion_invalidations");
+    _c.l1CoherenceMsgs = &sg.handle("l1_coherence_msgs");
+    _c.forcedRReplacements = &sg.handle("forced_r_replacements");
+    _c.contextSwitches = &sg.handle("context_switches");
+    _c.snoops = &sg.handle("snoops");
+    _c.snoopMisses = &sg.handle("snoop_misses");
+    _c.snoopHits = &sg.handle("snoop_hits");
+    _c.l1Flushes = &sg.handle("l1_flushes");
+    _c.bufferFlushes = &sg.handle("buffer_flushes");
+    _c.l1Invalidations = &sg.handle("l1_invalidations");
+    _c.bufferInvalidations = &sg.handle("buffer_invalidations");
+    _c.l1Updates = &sg.handle("l1_updates");
+    _c.tlbShootdowns = &sg.handle("tlb_shootdowns");
+
+    // The R-cache directory covers everything this hierarchy can snoop
+    // on (inclusion holds for both V-R and R-R modes), so the bus may
+    // skip us whenever our presence bit is clear.
+    setCpuId(bus.attach(
+        this, SnoopAgentInfo{true, _c.snoops, _c.snoopMisses}));
 }
 
 void
@@ -50,7 +86,7 @@ VrHierarchy::onWriteBufferDrain(const WriteBufferEntry &entry)
     s.buffer = false;
     s.vdirty = false;
     _r.line(*rref).meta.rdirty = true;
-    stats().counter("writeback_completions")++;
+    (*_c.writebackCompletions)++;
     emitEvent(EventKind::WritebackComplete, _refIndex, 0,
               entry.physBlockAddr);
 }
@@ -74,12 +110,12 @@ VrHierarchy::evictVVictim(VCache &vc, LineRef slot)
         // data as still owned by the level-1 complex.
         s.buffer = true;
         if (_wb.push(victim.meta.physBlockAddr, _refIndex))
-            stats().counter("wb_stalls")++;
-        stats().counter("writebacks")++;
+            (*_c.wbStalls)++;
+        (*_c.writebacks)++;
         emitEvent(EventKind::WritebackParked, _refIndex, 0,
                   victim.meta.physBlockAddr);
         if (victim.meta.swappedValid) {
-            stats().counter("swapped_writebacks")++;
+            (*_c.swappedWritebacks)++;
             emitEvent(EventKind::SwappedWriteback, _refIndex, 0,
                       victim.meta.physBlockAddr);
         }
@@ -167,7 +203,7 @@ VrHierarchy::resolveWriteCoherence(RCache::Line &rline, PhysAddr pa)
     if (_params.protocol == CoherencePolicy::WriteInvalidate) {
         _bus.broadcast(BusTransaction{
             BusOp::Invalidate, PhysAddr(l2Block(pa.value())), cpuId()});
-        stats().counter("invalidations_sent")++;
+        (*_c.invalidationsSent)++;
         rline.meta.state = CoherenceState::Private;
         return true;
     }
@@ -177,8 +213,8 @@ VrHierarchy::resolveWriteCoherence(RCache::Line &rline, PhysAddr pa)
     // (Firefly's shared-line optimization).
     BusResult br = _bus.broadcast(BusTransaction{
         BusOp::Update, PhysAddr(l2Block(pa.value())), cpuId()});
-    stats().counter("updates_sent")++;
-    stats().counter("memory_writes")++;  // bus write-through
+    (*_c.updatesSent)++;
+    (*_c.memoryWrites)++;  // bus write-through
     rline.meta.state =
         br.shared ? CoherenceState::Shared : CoherenceState::Private;
     return false;
@@ -209,7 +245,7 @@ VrHierarchy::handleRHit(RefType type, VirtAddr l1_key, unsigned ci,
             // sameset: re-tag in place, no data movement.
             oc.retag(*child, l1_key);
             data_slot = *child;
-            stats().counter("synonym_sameset")++;
+            (*_c.synonymSameset)++;
             emitEvent(EventKind::SynonymSameset, _refIndex,
                       l1_key.value(), pa.value());
         } else {
@@ -217,14 +253,14 @@ VrHierarchy::handleRHit(RefType type, VirtAddr l1_key, unsigned ci,
             bool was_dirty = oc.line(*child).meta.dirty;
             oc.invalidate(*child);
             vc.install(slot, l1_key, pa.value(), was_dirty);
-            stats().counter("synonym_moves")++;
+            (*_c.synonymMoves)++;
             emitEvent(EventKind::SynonymMove, _refIndex,
                       l1_key.value(), pa.value());
         }
         s.l1Index = static_cast<std::uint8_t>(ci);
         s.vPointer = _r.vPointerBits(va_block);
         s.childAddrBlock = va_block;
-        stats().counter("synonym_hits")++;
+        (*_c.synonymHits)++;
         outcome = AccessOutcome::SynonymHit;
     } else if (s.buffer) {
         // The block sits in the write buffer (for a direct-mapped
@@ -239,11 +275,11 @@ VrHierarchy::handleRHit(RefType type, VirtAddr l1_key, unsigned ci,
         s.vPointer = _r.vPointerBits(va_block);
         s.childAddrBlock = va_block;
         panicIfNot(s.vdirty, "buffered block lost its vdirty bit");
-        stats().counter("writeback_cancels")++;
+        (*_c.writebackCancels)++;
         emitEvent(EventKind::WritebackCancel, _refIndex,
                   l1_key.value(), pa.value());
-        stats().counter("synonym_hits")++;
-        stats().counter("synonym_from_buffer")++;
+        (*_c.synonymHits)++;
+        (*_c.synonymFromBuffer)++;
         outcome = AccessOutcome::SynonymHit;
     } else {
         // Plain second-level hit: data supply to the V-cache.
@@ -253,7 +289,7 @@ VrHierarchy::handleRHit(RefType type, VirtAddr l1_key, unsigned ci,
         s.vPointer = _r.vPointerBits(va_block);
         s.childAddrBlock = va_block;
         s.vdirty = false;
-        stats().counter("l2_hits")++;
+        (*_c.l2Hits)++;
         emitEvent(EventKind::L2Hit, _refIndex, l1_key.value(),
                   pa.value());
         outcome = AccessOutcome::L2Hit;
@@ -296,11 +332,11 @@ VrHierarchy::handleRMiss(RefType type, VirtAddr l1_key, unsigned ci,
                                               : BusOp::ReadMiss;
     BusResult br =
         _bus.broadcast(BusTransaction{op, pa_line, cpuId()});
-    stats().counter("misses")++;
+    (*_c.misses)++;
     if (br.suppliedByCache)
-        stats().counter("fills_from_cache")++;
+        (*_c.fillsFromCache)++;
     else
-        stats().counter("fills_from_memory")++;
+        (*_c.fillsFromMemory)++;
 
     CoherenceState st;
     bool dirty = is_write;
@@ -312,13 +348,14 @@ VrHierarchy::handleRMiss(RefType type, VirtAddr l1_key, unsigned ci,
             // Propagate the write to the other copies and memory.
             _bus.broadcast(
                 BusTransaction{BusOp::Update, pa_line, cpuId()});
-            stats().counter("updates_sent")++;
-            stats().counter("memory_writes")++;
+            (*_c.updatesSent)++;
+            (*_c.memoryWrites)++;
             dirty = false;
         }
     }
 
     RCache::Line &rline = _r.install(rslot, pa_line, st);
+    _bus.noteBlockCached(cpuId(), pa_line.value());
     RSubentry &s = _r.sub(rslot, pa);
     std::uint32_t va_block = l1Block(l1_key.value());
 
@@ -359,8 +396,8 @@ VrHierarchy::evictRLine(LineRef rslot, bool forced)
                 dirty_data = true;
             oc.invalidate(*child);
             s.inclusion = false;
-            stats().counter("inclusion_invalidations")++;
-            stats().counter("l1_coherence_msgs")++;
+            (*_c.inclusionInvalidations)++;
+            (*_c.l1CoherenceMsgs)++;
             emitEvent(EventKind::InclusionInvalidation, _refIndex,
                       s.childAddrBlock, sub_addr);
             panicIfNot(forced,
@@ -369,10 +406,11 @@ VrHierarchy::evictRLine(LineRef rslot, bool forced)
         s.vdirty = false;
     }
     if (dirty_data)
-        stats().counter("memory_writes")++;
+        (*_c.memoryWrites)++;
     _r.invalidate(rslot);
+    _bus.noteBlockUncached(cpuId(), line_addr);
     if (forced)
-        stats().counter("forced_r_replacements")++;
+        (*_c.forcedRReplacements)++;
 }
 
 void
@@ -386,7 +424,7 @@ VrHierarchy::contextSwitch(ProcessId new_pid)
             _l1[i]->markAllSwapped();
     }
     // Physical tags (R-R mode) stay valid across switches.
-    stats().counter("context_switches")++;
+    (*_c.contextSwitches)++;
     emitEvent(EventKind::ContextSwitch, _refIndex);
 }
 
@@ -409,9 +447,9 @@ VrHierarchy::snoopReadMiss(LineRef rref)
             oc.line(*child).meta.dirty = false;
             s.vdirty = false;
             res.suppliedData = true;
-            stats().counter("l1_coherence_msgs")++;
-            stats().counter("l1_flushes")++;
-            stats().counter("memory_writes")++;
+            (*_c.l1CoherenceMsgs)++;
+            (*_c.l1Flushes)++;
+            (*_c.memoryWrites)++;
             emitEvent(EventKind::L1Flush, _refIndex,
                       s.childAddrBlock, sub_addr);
         } else if (s.buffer && s.vdirty) {
@@ -421,16 +459,16 @@ VrHierarchy::snoopReadMiss(LineRef rref)
             s.buffer = false;
             s.vdirty = false;
             res.suppliedData = true;
-            stats().counter("l1_coherence_msgs")++;
-            stats().counter("buffer_flushes")++;
-            stats().counter("memory_writes")++;
+            (*_c.l1CoherenceMsgs)++;
+            (*_c.bufferFlushes)++;
+            (*_c.memoryWrites)++;
             emitEvent(EventKind::BufferFlush, _refIndex, 0, sub_addr);
         }
     }
     if (rline.meta.rdirty) {
         rline.meta.rdirty = false;
         res.suppliedData = true;
-        stats().counter("memory_writes")++;
+        (*_c.memoryWrites)++;
     }
     rline.meta.state = CoherenceState::Shared;
     return res;
@@ -451,8 +489,8 @@ VrHierarchy::snoopInvalidate(LineRef rref)
             panicIfNot(child.has_value(), "dangling inclusion pointer");
             oc.invalidate(*child);
             s.inclusion = false;
-            stats().counter("l1_coherence_msgs")++;
-            stats().counter("l1_invalidations")++;
+            (*_c.l1CoherenceMsgs)++;
+            (*_c.l1Invalidations)++;
             emitEvent(EventKind::L1Invalidation, _refIndex,
                       s.childAddrBlock, sub_addr);
         }
@@ -461,13 +499,14 @@ VrHierarchy::snoopInvalidate(LineRef rref)
             auto e = _wb.remove(sub_addr);
             panicIfNot(e.has_value(), "buffer bit with no buffer entry");
             s.buffer = false;
-            stats().counter("l1_coherence_msgs")++;
-            stats().counter("buffer_invalidations")++;
+            (*_c.l1CoherenceMsgs)++;
+            (*_c.bufferInvalidations)++;
             emitEvent(EventKind::BufferInvalidation, _refIndex, 0,
                       sub_addr);
         }
     }
     _r.invalidate(rref);
+    _bus.noteBlockUncached(cpuId(), line_addr);
 }
 
 SnoopResult
@@ -491,8 +530,8 @@ VrHierarchy::snoopUpdate(LineRef rref)
             panicIfNot(child.has_value(), "dangling inclusion pointer");
             oc.line(*child).meta.dirty = false;
             s.vdirty = false;
-            stats().counter("l1_coherence_msgs")++;
-            stats().counter("l1_updates")++;
+            (*_c.l1CoherenceMsgs)++;
+            (*_c.l1Updates)++;
             emitEvent(EventKind::L1Update, _refIndex,
                       s.childAddrBlock, _r.lineAddr(rref));
         }
@@ -507,12 +546,12 @@ VrHierarchy::snoop(const BusTransaction &tx)
 {
     SnoopResult res;
     auto rref = _r.probe(tx.blockAddr);
-    stats().counter("snoops")++;
+    (*_c.snoops)++;
     if (!rref) {
-        stats().counter("snoop_misses")++;
+        (*_c.snoopMisses)++;
         return res;
     }
-    stats().counter("snoop_hits")++;
+    (*_c.snoopHits)++;
 
     switch (tx.op) {
       case BusOp::ReadMiss:

@@ -86,7 +86,7 @@ class VrHierarchy : public CacheHierarchy
     tlbShootdown(ProcessId pid, Vpn vpn) override
     {
         if (_tlb.invalidate(pid, vpn))
-            stats().counter("tlb_shootdowns")++;
+            (*_c.tlbShootdowns)++;
     }
 
     /** Number of level-1 caches (1 unified, 2 split). */
@@ -186,6 +186,45 @@ class VrHierarchy : public CacheHierarchy
     WriteBuffer _wb;
     Tlb _tlb;
     std::uint64_t _refIndex = 0;
+
+    /**
+     * Stats handles resolved once at construction (StatGroup handle
+     * contract): the access and snoop paths increment through these and
+     * never perform a string-keyed lookup.
+     */
+    struct Counters
+    {
+        Counter *writebackCompletions;
+        Counter *wbStalls;
+        Counter *writebacks;
+        Counter *swappedWritebacks;
+        Counter *synonymSameset;
+        Counter *synonymMoves;
+        Counter *synonymHits;
+        Counter *synonymFromBuffer;
+        Counter *writebackCancels;
+        Counter *l2Hits;
+        Counter *invalidationsSent;
+        Counter *updatesSent;
+        Counter *memoryWrites;
+        Counter *misses;
+        Counter *fillsFromCache;
+        Counter *fillsFromMemory;
+        Counter *inclusionInvalidations;
+        Counter *l1CoherenceMsgs;
+        Counter *forcedRReplacements;
+        Counter *contextSwitches;
+        Counter *snoops;
+        Counter *snoopMisses;
+        Counter *snoopHits;
+        Counter *l1Flushes;
+        Counter *bufferFlushes;
+        Counter *l1Invalidations;
+        Counter *bufferInvalidations;
+        Counter *l1Updates;
+        Counter *tlbShootdowns;
+    };
+    Counters _c;
 };
 
 } // namespace vrc

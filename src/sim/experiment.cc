@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "sim/parallel_runner.hh"
+
 namespace vrc
 {
 
@@ -57,6 +59,18 @@ runSimulation(const TraceBundle &bundle, HierarchyKind kind,
     return s;
 }
 
+std::vector<SimSummary>
+runSimulations(const TraceBundle &bundle, const std::vector<SimJob> &jobs,
+               unsigned threads)
+{
+    ParallelRunner pool(threads);
+    return pool.map(jobs.size(), [&](std::size_t i) {
+        const SimJob &j = jobs[i];
+        return runSimulation(bundle, j.kind, j.l1Size, j.l2Size, j.split,
+                             j.invariantPeriod);
+    });
+}
+
 std::vector<std::pair<std::uint32_t, std::uint32_t>>
 paperSizePairs()
 {
@@ -74,12 +88,18 @@ smallSizePairs()
 double
 benchScaleFromArgs(int argc, char **argv, double quick)
 {
+    double scale = 0.0;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--quick") == 0)
-            return quick;
-        if (std::strncmp(argv[i], "--scale=", 8) == 0)
-            return std::atof(argv[i] + 8);
+            scale = quick;
+        else if (std::strncmp(argv[i], "--scale=", 8) == 0)
+            scale = std::atof(argv[i] + 8);
+        else if (std::strncmp(argv[i], "--jobs=", 7) == 0)
+            ParallelRunner::setDefaultJobs(
+                static_cast<unsigned>(std::atoi(argv[i] + 7)));
     }
+    if (scale != 0.0)
+        return scale;
     if (const char *env = std::getenv("VRC_QUICK");
         env && env[0] == '1')
         return quick;

@@ -61,6 +61,28 @@ SimSummary runSimulation(const TraceBundle &bundle, HierarchyKind kind,
                          bool split = false,
                          std::uint64_t invariant_period = 0);
 
+/** One cell of an experiment table: a config to simulate. */
+struct SimJob
+{
+    HierarchyKind kind = HierarchyKind::VirtualReal;
+    std::uint32_t l1Size = 0;
+    std::uint32_t l2Size = 0;
+    bool split = false;
+    std::uint64_t invariantPeriod = 0;
+};
+
+/**
+ * Run every job against @p bundle, possibly concurrently, and return
+ * the summaries in job order. Each job gets its own MpSimulator; the
+ * bundle is shared read-only, so results are bit-identical for any
+ * thread count.
+ *
+ * @param threads worker count; 0 means ParallelRunner::defaultJobs()
+ */
+std::vector<SimSummary> runSimulations(const TraceBundle &bundle,
+                                       const std::vector<SimJob> &jobs,
+                                       unsigned threads = 0);
+
 /** The paper's three large size pairs (Table 6, 8-13). */
 std::vector<std::pair<std::uint32_t, std::uint32_t>> paperSizePairs();
 

@@ -4,6 +4,7 @@
 
 #include "base/log.hh"
 #include "trace/generator.hh"
+#include "trace/trace_stream.hh"
 
 namespace vrc
 {
@@ -67,6 +68,16 @@ MpSimulator::run(const std::vector<TraceRecord> &records)
         step(r);
 }
 
+void
+MpSimulator::run(TraceStream &stream)
+{
+    // Streaming replay: records are consumed as they are produced, so
+    // the multi-million-reference traces never exist in memory at once.
+    TraceRecord r;
+    while (stream.next(r))
+        step(r);
+}
+
 double
 MpSimulator::h1() const
 {
@@ -91,11 +102,13 @@ MpSimulator::h2() const
 double
 MpSimulator::h1ForType(RefType t) const
 {
-    const char *suffix = t == RefType::Instr ? "instr"
-        : t == RefType::Read               ? "read"
-                                           : "write";
-    std::uint64_t refs = totalCounter(std::string("refs_") + suffix);
-    std::uint64_t hits = totalCounter(std::string("l1_hits_") + suffix);
+    // Keys are fixed: build them once, not per call.
+    static const std::string ref_keys[3] = {"refs_instr", "refs_read",
+                                            "refs_write"};
+    static const std::string hit_keys[3] = {
+        "l1_hits_instr", "l1_hits_read", "l1_hits_write"};
+    std::uint64_t refs = totalCounter(ref_keys[static_cast<int>(t)]);
+    std::uint64_t hits = totalCounter(hit_keys[static_cast<int>(t)]);
     return refs ? static_cast<double>(hits) / static_cast<double>(refs)
                 : 0.0;
 }
@@ -154,8 +167,6 @@ MpSimulator::chargeBusTransactions(CpuId cpu)
     // Compare per-operation bus counters against the last snapshot and
     // charge the requester queueing delay plus service time for each
     // transaction issued during this step.
-    static const char *op_names[4] = {"read-miss", "invalidate",
-                                      "read-modified-write", "update"};
     const BusTimingParams &bt = _config.busTiming;
     const double service[4] = {
         bt.readMissService, bt.invalidateService,
@@ -163,7 +174,7 @@ MpSimulator::chargeBusTransactions(CpuId cpu)
 
     double &clk = _cpuClock[cpu];
     for (int i = 0; i < 4; ++i) {
-        std::uint64_t now = _bus.stats().value(op_names[i]);
+        std::uint64_t now = _bus.opCount(static_cast<BusOp>(i));
         for (std::uint64_t k = _lastOpCounts[i]; k < now; ++k) {
             double start = std::max(clk, _busFree);
             _busWait += start - clk;

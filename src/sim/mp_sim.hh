@@ -28,6 +28,8 @@
 namespace vrc
 {
 
+class TraceStream;
+
 /** Whole-machine configuration. */
 struct MachineConfig
 {
@@ -70,6 +72,12 @@ class MpSimulator
 
     /** Replay @p records (appending to any earlier run). */
     void run(const std::vector<TraceRecord> &records);
+
+    /**
+     * Replay records straight from a generator without materializing
+     * the trace (peak-RSS saver for the 3.3M-reference workloads).
+     */
+    void run(TraceStream &stream);
 
     /** Process a single record. */
     void step(const TraceRecord &r);

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Deterministic fork-join helper for running independent simulations.
+ *
+ * The experiment tables are embarrassingly parallel: each cell is one
+ * self-contained MpSimulator over a shared, read-only TraceBundle.
+ * ParallelRunner::map() farms the cells out to a small thread pool and
+ * writes each result into a pre-sized slot addressed by job index, so
+ * the output order (and therefore every table, JSON file, and golden
+ * value) is identical for any thread count, including 1.
+ */
+
+#ifndef VRC_SIM_PARALLEL_RUNNER_HH
+#define VRC_SIM_PARALLEL_RUNNER_HH
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace vrc
+{
+
+/** A fork-join pool with index-ordered results. */
+class ParallelRunner
+{
+  public:
+    /** @param jobs worker count; 0 means defaultJobs(). */
+    explicit ParallelRunner(unsigned jobs = 0)
+        : _jobs(jobs ? jobs : defaultJobs())
+    {
+    }
+
+    unsigned jobs() const { return _jobs; }
+
+    /**
+     * Invoke fn(i) for every i in [0, n), spread over the pool.
+     *
+     * Work is handed out through an atomic cursor, so scheduling is
+     * nondeterministic but the index passed to @p fn is not. The first
+     * exception thrown by any invocation is rethrown here after all
+     * workers have drained.
+     */
+    template <typename Fn>
+    void
+    forEachIndex(std::size_t n, Fn &&fn) const
+    {
+        std::size_t workers = std::min<std::size_t>(_jobs, n);
+        if (workers <= 1) {
+            for (std::size_t i = 0; i < n; ++i)
+                fn(i);
+            return;
+        }
+        std::atomic<std::size_t> next{0};
+        std::exception_ptr error;
+        std::mutex error_mu;
+        auto worker = [&] {
+            for (;;) {
+                std::size_t i = next.fetch_add(1);
+                if (i >= n)
+                    return;
+                try {
+                    fn(i);
+                } catch (...) {
+                    std::lock_guard<std::mutex> g(error_mu);
+                    if (!error)
+                        error = std::current_exception();
+                    return;
+                }
+            }
+        };
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (std::size_t t = 0; t < workers; ++t)
+            pool.emplace_back(worker);
+        for (auto &t : pool)
+            t.join();
+        if (error)
+            std::rethrow_exception(error);
+    }
+
+    /**
+     * Compute fn(i) for every i in [0, n) and return the results in
+     * index order, independent of the worker count.
+     */
+    template <typename Fn>
+    auto
+    map(std::size_t n, Fn &&fn) const
+        -> std::vector<decltype(fn(std::size_t{0}))>
+    {
+        std::vector<decltype(fn(std::size_t{0}))> out(n);
+        forEachIndex(n, [&](std::size_t i) { out[i] = fn(i); });
+        return out;
+    }
+
+    /**
+     * Worker count used when a runner is built with jobs == 0: the
+     * --jobs/setDefaultJobs override if set, else the VRC_JOBS
+     * environment variable, else the hardware thread count.
+     */
+    static unsigned defaultJobs();
+
+    /** Process-wide override for defaultJobs() (0 clears it). */
+    static void setDefaultJobs(unsigned jobs);
+
+  private:
+    unsigned _jobs;
+};
+
+} // namespace vrc
+
+#endif // VRC_SIM_PARALLEL_RUNNER_HH

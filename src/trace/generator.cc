@@ -1,5 +1,7 @@
 #include "trace/generator.hh"
 
+#include "trace/trace_stream.hh"
+
 #include <algorithm>
 #include <cmath>
 #include <deque>
@@ -400,56 +402,146 @@ class CpuEngine
 
 } // namespace
 
+// ---------------------------------------------------------------------
+// TraceStream: incremental generation
+// ---------------------------------------------------------------------
+
+/**
+ * Streaming state: the per-CPU engines plus the round-robin interleave
+ * cursor. The emission order is identical to the historical
+ * generateTrace() loop: CPUs are visited round-robin; a visit first
+ * emits a due context-switch marker, then one engine record.
+ */
+struct TraceStream::Impl
+{
+    explicit Impl(const WorkloadProfile &p)
+        : profile(p), perCpu(p.totalRefs / p.numCpus),
+          nextSwitch(p.numCpus, 0), switchInterval(p.numCpus, 0),
+          switchesLeft(p.numCpus, 0), emitted(p.numCpus, 0)
+    {
+        panicIfNot(profile.numCpus >= 1, "need at least one CPU");
+        panicIfNot(std::abs(profile.instrFrac + profile.readFrac +
+                            profile.writeFrac - 1.0) < 0.05,
+                   "reference mix should sum to ~1");
+        Rng root(profile.seed);
+        engines.reserve(profile.numCpus);
+        for (CpuId c = 0; c < profile.numCpus; ++c)
+            engines.emplace_back(profile, c, root.fork(), genStats);
+
+        // Spread context switches across CPUs, remainder to low CPUs.
+        for (CpuId c = 0; c < profile.numCpus; ++c) {
+            std::uint32_t n = profile.contextSwitches / profile.numCpus +
+                (c < profile.contextSwitches % profile.numCpus ? 1 : 0);
+            switchesLeft[c] = n;
+            switchInterval[c] = n > 0 ? perCpu / (n + 1) : 0;
+            nextSwitch[c] = switchInterval[c];
+        }
+    }
+
+    bool
+    next(TraceRecord &out)
+    {
+        if (owedEngineRecord) {
+            // The context-switch marker for this CPU just went out; the
+            // engine record of the same visit follows.
+            owedEngineRecord = false;
+            out = engines[cursor].next();
+            emitted[cursor] += 1;
+            advance();
+            produced += 1;
+            return true;
+        }
+        for (std::uint32_t scanned = 0; scanned < profile.numCpus;
+             ++scanned) {
+            CpuId c = cursor;
+            if (emitted[c] >= perCpu) {
+                advance();
+                continue;
+            }
+            if (switchesLeft[c] > 0 && emitted[c] >= nextSwitch[c]) {
+                ProcessId new_pid = engines[c].contextSwitch();
+                switchesLeft[c] -= 1;
+                nextSwitch[c] += switchInterval[c];
+                owedEngineRecord = true;
+                out = makeContextSwitch(c, new_pid);
+                produced += 1;
+                return true;
+            }
+            out = engines[c].next();
+            emitted[c] += 1;
+            advance();
+            produced += 1;
+            return true;
+        }
+        return false;
+    }
+
+    void advance() { cursor = (cursor + 1) % profile.numCpus; }
+
+    WorkloadProfile profile;
+    GenStats genStats;
+    std::vector<CpuEngine> engines;
+    std::uint64_t perCpu;
+    std::vector<std::uint64_t> nextSwitch;
+    std::vector<std::uint64_t> switchInterval;
+    std::vector<std::uint32_t> switchesLeft;
+    std::vector<std::uint64_t> emitted;
+    CpuId cursor = 0;
+    bool owedEngineRecord = false;
+    std::uint64_t produced = 0;
+};
+
+TraceStream::TraceStream(const WorkloadProfile &profile)
+    : _impl(std::make_unique<Impl>(profile))
+{
+}
+
+TraceStream::~TraceStream() = default;
+TraceStream::TraceStream(TraceStream &&) noexcept = default;
+TraceStream &TraceStream::operator=(TraceStream &&) noexcept = default;
+
+bool
+TraceStream::next(TraceRecord &out)
+{
+    return _impl->next(out);
+}
+
+std::uint64_t
+TraceStream::produced() const
+{
+    return _impl->produced;
+}
+
+std::uint64_t
+TraceStream::expectedTotal() const
+{
+    return _impl->profile.totalRefs + _impl->profile.contextSwitches;
+}
+
+const WorkloadProfile &
+TraceStream::profile() const
+{
+    return _impl->profile;
+}
+
+const GenStats &
+TraceStream::stats() const
+{
+    return _impl->genStats;
+}
+
 TraceBundle
 generateTrace(const WorkloadProfile &profile)
 {
-    panicIfNot(profile.numCpus >= 1, "need at least one CPU");
-    panicIfNot(std::abs(profile.instrFrac + profile.readFrac +
-                        profile.writeFrac - 1.0) < 0.05,
-               "reference mix should sum to ~1");
-
     TraceBundle bundle;
     bundle.profile = profile;
-
-    Rng root(profile.seed);
-    std::vector<CpuEngine> engines;
-    engines.reserve(profile.numCpus);
-    for (CpuId c = 0; c < profile.numCpus; ++c)
-        engines.emplace_back(profile, c, root.fork(), bundle.stats);
-
-    const std::uint64_t per_cpu = profile.totalRefs / profile.numCpus;
-    // Spread context switches across CPUs, remainder to low CPUs.
-    std::vector<std::uint64_t> next_switch(profile.numCpus, 0);
-    std::vector<std::uint64_t> switch_interval(profile.numCpus, 0);
-    std::vector<std::uint32_t> switches_left(profile.numCpus, 0);
-    for (CpuId c = 0; c < profile.numCpus; ++c) {
-        std::uint32_t n = profile.contextSwitches / profile.numCpus +
-            (c < profile.contextSwitches % profile.numCpus ? 1 : 0);
-        switches_left[c] = n;
-        switch_interval[c] = n > 0 ? per_cpu / (n + 1) : 0;
-        next_switch[c] = switch_interval[c];
-    }
-
     bundle.records.reserve(profile.totalRefs + profile.contextSwitches);
-    std::vector<std::uint64_t> emitted(profile.numCpus, 0);
 
-    bool work_left = true;
-    while (work_left) {
-        work_left = false;
-        for (CpuId c = 0; c < profile.numCpus; ++c) {
-            if (emitted[c] >= per_cpu)
-                continue;
-            work_left = true;
-            if (switches_left[c] > 0 && emitted[c] >= next_switch[c]) {
-                ProcessId new_pid = engines[c].contextSwitch();
-                bundle.records.push_back(makeContextSwitch(c, new_pid));
-                switches_left[c] -= 1;
-                next_switch[c] += switch_interval[c];
-            }
-            bundle.records.push_back(engines[c].next());
-            emitted[c] += 1;
-        }
-    }
+    TraceStream stream(profile);
+    TraceRecord r;
+    while (stream.next(r))
+        bundle.records.push_back(r);
+    bundle.stats = stream.stats();
     return bundle;
 }
 

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Incremental (streaming) trace generation.
+ *
+ * TraceStream produces the exact record sequence generateTrace() would
+ * materialize, one record at a time, so a simulator can replay a
+ * multi-million-reference workload without ever holding the trace in
+ * memory. generateTrace() itself is implemented by draining a stream,
+ * which guarantees the two paths can never diverge.
+ */
+
+#ifndef VRC_TRACE_TRACE_STREAM_HH
+#define VRC_TRACE_TRACE_STREAM_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "trace/record.hh"
+#include "trace/workload.hh"
+
+namespace vrc
+{
+
+/** Pull-based generator of one profile's interleaved trace. */
+class TraceStream
+{
+  public:
+    explicit TraceStream(const WorkloadProfile &profile);
+    ~TraceStream();
+
+    TraceStream(TraceStream &&) noexcept;
+    TraceStream &operator=(TraceStream &&) noexcept;
+
+    /**
+     * Produce the next record into @p out.
+     *
+     * @return false when the trace is exhausted (@p out untouched).
+     */
+    bool next(TraceRecord &out);
+
+    /** Records produced so far. */
+    std::uint64_t produced() const;
+
+    /** Expected total record count (references + context switches). */
+    std::uint64_t expectedTotal() const;
+
+    /** The profile driving the stream. */
+    const WorkloadProfile &profile() const;
+
+    /**
+     * Generation-time ground truth accumulated so far; complete once
+     * next() has returned false.
+     */
+    const GenStats &stats() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> _impl;
+};
+
+} // namespace vrc
+
+#endif // VRC_TRACE_TRACE_STREAM_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests for streaming trace generation: TraceStream must emit exactly
+ * the sequence generateTrace() materializes, and a simulator fed from
+ * the stream must be indistinguishable from one fed the vector.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+#include "sim/json_stats.hh"
+#include "trace/generator.hh"
+#include "trace/trace_stream.hh"
+
+namespace vrc
+{
+namespace
+{
+
+class TraceStreamEquivalence
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(TraceStreamEquivalence, MatchesMaterializedTrace)
+{
+    WorkloadProfile p = scaled(profileByName(GetParam()), 0.01);
+    TraceBundle bundle = generateTrace(p);
+
+    TraceStream stream(p);
+    TraceRecord r;
+    std::size_t i = 0;
+    while (stream.next(r)) {
+        ASSERT_LT(i, bundle.records.size());
+        ASSERT_EQ(r, bundle.records[i]) << "record " << i << " differs";
+        ++i;
+    }
+    EXPECT_EQ(i, bundle.records.size());
+    EXPECT_EQ(stream.produced(), bundle.records.size());
+    // Exhausted streams stay exhausted.
+    EXPECT_FALSE(stream.next(r));
+
+    // Generation ground truth must match too (same engines, same order).
+    EXPECT_EQ(stream.stats().totalWrites, bundle.stats.totalWrites);
+    EXPECT_EQ(stream.stats().totalReads, bundle.stats.totalReads);
+    EXPECT_EQ(stream.stats().totalInstr, bundle.stats.totalInstr);
+    EXPECT_EQ(stream.stats().totalCalls, bundle.stats.totalCalls);
+}
+
+TEST_P(TraceStreamEquivalence, SimulatorStatsMatchMaterializedRun)
+{
+    WorkloadProfile p = scaled(profileByName(GetParam()), 0.01);
+    TraceBundle bundle = generateTrace(p);
+    MachineConfig mc = makeMachineConfig(HierarchyKind::VirtualReal,
+                                         8 * 1024, 64 * 1024,
+                                         p.pageSize);
+
+    MpSimulator from_vector(mc, p);
+    from_vector.run(bundle.records);
+
+    MpSimulator from_stream(mc, p);
+    TraceStream stream(p);
+    from_stream.run(stream);
+
+    EXPECT_EQ(toJson(from_vector), toJson(from_stream));
+}
+
+INSTANTIATE_TEST_SUITE_P(Profiles, TraceStreamEquivalence,
+                         ::testing::Values("thor", "pops", "abaqus"));
+
+TEST(TraceStreamTest, ExpectedTotalCoversProducedRecords)
+{
+    WorkloadProfile p = scaled(popsProfile(), 0.005);
+    TraceStream stream(p);
+    TraceRecord r;
+    while (stream.next(r)) {
+    }
+    EXPECT_LE(stream.produced(), stream.expectedTotal());
+    EXPECT_GT(stream.produced(), 0u);
+}
+
+TEST(TraceStreamTest, MoveTransfersState)
+{
+    WorkloadProfile p = scaled(popsProfile(), 0.005);
+    TraceStream a(p);
+    TraceRecord r;
+    ASSERT_TRUE(a.next(r));
+    TraceStream b(std::move(a));
+    EXPECT_EQ(b.produced(), 1u);
+    EXPECT_TRUE(b.next(r));
+}
+
+} // namespace
+} // namespace vrc

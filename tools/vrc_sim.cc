@@ -27,6 +27,7 @@
 #include "core/events.hh"
 #include "trace/profile_io.hh"
 #include "trace/trace_io.hh"
+#include "trace/trace_stream.hh"
 
 using namespace vrc;
 
@@ -46,6 +47,8 @@ usage()
         "  --assoc1/--assoc2, --block1/--block2   geometry\n"
         "  --split          split level 1 into I and D halves\n"
         "  --scale=<f>      rescale the generated trace\n"
+        "  --stream         generate records on the fly instead of\n"
+        "                   materializing the trace (lower peak RSS)\n"
         "  --check          verify invariants during the run\n"
         "  --per-cpu        per-CPU statistics table\n"
         "  --json           machine-readable JSON output only\n"
@@ -88,7 +91,7 @@ main(int argc, char **argv)
     std::uint32_t l1 = 16 * 1024, l2 = 256 * 1024;
     std::uint32_t assoc1 = 1, assoc2 = 1, block1 = 16, block2 = 16;
     bool split = false, check = false, per_cpu = false;
-    bool json = false;
+    bool json = false, stream = false;
     std::uint64_t events = 0;
     double warmup = 0.0;
     double scale = 1.0;
@@ -118,6 +121,8 @@ main(int argc, char **argv)
             scale = std::atof(value.c_str());
         else if (std::strcmp(argv[i], "--split") == 0)
             split = true;
+        else if (std::strcmp(argv[i], "--stream") == 0)
+            stream = true;
         else if (std::strcmp(argv[i], "--check") == 0)
             check = true;
         else if (std::strcmp(argv[i], "--per-cpu") == 0)
@@ -138,10 +143,12 @@ main(int argc, char **argv)
         ? profileByName(profile_name)
         : loadProfile(profile_file);
     profile = scaled(profile, scale);
+    if (stream && (!trace_path.empty() || warmup > 0.0))
+        fatal("--stream cannot be combined with --trace or --warmup");
     std::vector<TraceRecord> records;
     if (!trace_path.empty()) {
         records = loadTrace(trace_path);
-    } else {
+    } else if (!stream) {
         records = generateTrace(profile).records;
     }
 
@@ -170,7 +177,10 @@ main(int argc, char **argv)
             sim.hierarchy(c).setObserver(&printer);
     }
 
-    if (warmup > 0.0 && warmup < 1.0) {
+    if (stream) {
+        TraceStream src(profile);
+        sim.run(src);
+    } else if (warmup > 0.0 && warmup < 1.0) {
         std::size_t cut = static_cast<std::size_t>(
             records.size() * warmup);
         for (std::size_t i = 0; i < cut; ++i)
