@@ -142,6 +142,15 @@ class WriteBuffer
             retireFront();
     }
 
+    /** Visit every parked entry, oldest first (read-only). */
+    template <typename Fn>
+    void
+    forEachEntry(Fn fn) const
+    {
+        for (const auto &e : _entries)
+            fn(e);
+    }
+
     std::size_t size() const { return _entries.size(); }
     std::uint32_t capacity() const { return _capacity; }
     bool empty() const { return _entries.empty(); }

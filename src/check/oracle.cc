@@ -1,0 +1,251 @@
+#include "check/oracle.hh"
+
+#include <iostream>
+#include <sstream>
+#include <unordered_set>
+
+#include "base/log.hh"
+#include "sim/mp_sim.hh"
+
+namespace vrc
+{
+
+CoherenceOracle::CoherenceOracle(std::size_t ring_capacity)
+    : _ring(ring_capacity)
+{
+    _handler = [this](const Violation &v) {
+        std::cerr << "coherence oracle violation: " << v.message
+                  << " (line 0x" << std::hex << v.blockAddr << std::dec
+                  << ", " << v.context << ")\n";
+        dumpJson(std::cerr);
+        std::cerr << "\n";
+        panic("coherence oracle: ", v.message);
+    };
+}
+
+CoherenceOracle::~CoherenceOracle()
+{
+    detach();
+}
+
+void
+CoherenceOracle::attach(MpSimulator &sim)
+{
+    attachBus(sim.bus(), sim.config().hierarchy.l2.blockBytes);
+    bool inclusive =
+        sim.config().kind != HierarchyKind::RealRealNoIncl;
+    for (CpuId c = 0; c < sim.cpuCount(); ++c)
+        addAgent(sim.hierarchy(c), inclusive);
+}
+
+void
+CoherenceOracle::attachBus(SharedBus &bus, std::uint32_t line_bytes)
+{
+    _bus = &bus;
+    _lineBytes = line_bytes;
+    bus.setObserver(this);
+}
+
+void
+CoherenceOracle::addAgent(CacheHierarchy &hier, bool inclusive)
+{
+    panicIfNot(hier.cpuId() == static_cast<CpuId>(_agents.size()),
+               "oracle agents must be registered in bus-attach order");
+    hier.setObserver(this);
+    _agents.push_back(AgentInfo{&hier, inclusive});
+}
+
+void
+CoherenceOracle::detach()
+{
+    if (_bus) {
+        _bus->setObserver(nullptr);
+        _bus = nullptr;
+    }
+    for (auto &a : _agents)
+        a.hier->setObserver(nullptr);
+    _agents.clear();
+}
+
+void
+CoherenceOracle::onEvent(const HierarchyEvent &ev)
+{
+    _ring.push(ProtocolEvent::fromHierarchy(ev));
+}
+
+void
+CoherenceOracle::report(std::uint32_t block, std::string message,
+                        const char *context)
+{
+    _violations += 1;
+    _ring.push(ProtocolEvent::annotation("VIOLATION: " + message));
+    if (_handler)
+        _handler(Violation{std::move(message), context, block});
+}
+
+void
+CoherenceOracle::onTransaction(const BusTransaction &tx,
+                               const BusResult &res)
+{
+    _ring.push(ProtocolEvent::fromBus(tx, res));
+    _txChecked += 1;
+
+    std::uint32_t block = lineOf(tx.blockAddr.value());
+    bool known = _shadow.count(block) != 0;
+    ShadowLine &sl = _shadow[block];
+    bool source_caches = tx.source < _agents.size();
+
+    // A cache can only supply data it dirtied, and every transition
+    // into ownership is a visible transaction -- so a supply with no
+    // tracked owner means some agent invented dirty data. (Skipped for
+    // lines first seen now: the oracle may attach to a warm machine.)
+    if (known && res.suppliedByCache &&
+        sl.exclusiveOwner == invalidCpu) {
+        report(block, "cache supplied data but the bus history shows "
+               "no exclusive owner", "transaction");
+    }
+
+    switch (tx.op) {
+      case BusOp::ReadMiss:
+        // A flush writes memory, so memory catches up; afterwards the
+        // line is shared (or exclusive to a caching source if nobody
+        // else holds it).
+        if (res.suppliedByCache)
+            sl.memVersion = sl.version;
+        sl.exclusiveOwner = (!res.shared && source_caches)
+            ? tx.source : invalidCpu;
+        break;
+      case BusOp::Invalidate:
+      case BusOp::ReadModWrite:
+        sl.version += 1;
+        if (res.suppliedByCache)
+            sl.memVersion = sl.version - 1;
+        sl.exclusiveOwner = source_caches ? tx.source : invalidCpu;
+        if (!source_caches) {
+            // System/DMA write: memory itself becomes authoritative.
+            sl.memVersion = sl.version;
+        }
+        break;
+      case BusOp::Update:
+        // Write-through to memory and every copy.
+        sl.version += 1;
+        sl.memVersion = sl.version;
+        sl.exclusiveOwner = (!res.shared && source_caches)
+            ? tx.source : invalidCpu;
+        break;
+    }
+
+    checkLine(block, &tx, &res, "transaction");
+}
+
+void
+CoherenceOracle::checkLine(std::uint32_t block, const BusTransaction *tx,
+                           const BusResult *res, const char *context)
+{
+    std::vector<BlockProbe> probes;
+    probes.reserve(_agents.size());
+    for (const auto &a : _agents)
+        probes.push_back(a.hier->probeBlock(PhysAddr(block)));
+
+    const ShadowLine &sl = _shadow[block];
+
+    for (std::size_t i = 0; i < _agents.size(); ++i) {
+        const BlockProbe &p = probes[i];
+        CpuId id = static_cast<CpuId>(i);
+
+        if (!p.linkageOk) {
+            report(block, "agent " + std::to_string(i) +
+                   ": directory bits disagree with a physical scan "
+                   "of level 1 / the write buffer", context);
+        }
+        if (_agents[i].inclusive && p.maxAliases > 1) {
+            report(block, "agent " + std::to_string(i) +
+                   ": two level-1 copies of one physical sub-block "
+                   "(synonym duplication)", context);
+        }
+        if (_bus && _bus->agentFilterable(id) &&
+            _bus->presenceBit(id, block) != p.l2Present) {
+            report(block, "agent " + std::to_string(i) +
+                   ": bus presence bit disagrees with the "
+                   "second-level directory", context);
+        }
+
+        bool eff_private = p.holdsAny() &&
+            p.state == CoherenceState::Private;
+        if (eff_private && sl.exclusiveOwner != id) {
+            report(block, "agent " + std::to_string(i) +
+                   " holds the line Private but the bus history "
+                   "names owner " +
+                   (sl.exclusiveOwner == invalidCpu
+                        ? std::string("<none>")
+                        : std::to_string(sl.exclusiveOwner)), context);
+        }
+        if (eff_private || p.anyDirty()) {
+            for (std::size_t j = 0; j < _agents.size(); ++j) {
+                if (j != i && probes[j].holdsAny()) {
+                    report(block, "agents " + std::to_string(i) +
+                           " and " + std::to_string(j) +
+                           " both hold a line that agent " +
+                           std::to_string(i) +
+                           " holds exclusively/dirty", context);
+                }
+            }
+        }
+    }
+
+    if (tx) {
+        if (tx->op == BusOp::Invalidate ||
+            tx->op == BusOp::ReadModWrite) {
+            for (std::size_t i = 0; i < _agents.size(); ++i) {
+                if (static_cast<CpuId>(i) != tx->source &&
+                    probes[i].holdsAny()) {
+                    report(block, "agent " + std::to_string(i) +
+                           " retained a copy through an invalidation",
+                           context);
+                }
+            }
+        } else {
+            bool other_holds = false;
+            for (std::size_t i = 0; i < _agents.size(); ++i) {
+                if (static_cast<CpuId>(i) != tx->source &&
+                    probes[i].holdsAny()) {
+                    other_holds = true;
+                }
+            }
+            if (res->shared != other_holds) {
+                report(block, std::string("shared ack (") +
+                       (res->shared ? "true" : "false") +
+                       ") disagrees with the post-transaction "
+                       "holder scan", context);
+            }
+        }
+    }
+}
+
+void
+CoherenceOracle::sweep()
+{
+    std::unordered_set<std::uint32_t> lines;
+    for (const auto &a : _agents) {
+        a.hier->forEachCachedLine([&](PhysAddr pa) {
+            lines.insert(lineOf(pa.value()));
+        });
+    }
+    if (_bus) {
+        _bus->forEachPresence(
+            [&](std::uint32_t line) { lines.insert(lineOf(line)); });
+    }
+    for (std::uint32_t line : lines)
+        checkLine(line, nullptr, nullptr, "sweep");
+}
+
+void
+CoherenceOracle::dumpJson(std::ostream &os) const
+{
+    os << "{\n\"transactions_checked\": " << _txChecked
+       << ",\n\"violations\": " << _violations << ",\n\"events\": ";
+    _ring.dumpJson(os);
+    os << "\n}";
+}
+
+} // namespace vrc

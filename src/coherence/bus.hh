@@ -53,6 +53,21 @@ struct SnoopAgentInfo
     Counter *snoopMisses = nullptr;
 };
 
+/**
+ * Passive listener notified after every completed broadcast. Used by
+ * the coherence oracle (src/check) to validate cross-agent state; with
+ * no observer attached the notification costs one branch.
+ */
+class BusObserver
+{
+  public:
+    virtual ~BusObserver() = default;
+
+    /** @p tx completed with merged result @p result. */
+    virtual void onTransaction(const BusTransaction &tx,
+                               const BusResult &result) = 0;
+};
+
 /** The shared bus connecting all second-level caches and memory. */
 class SharedBus
 {
@@ -128,8 +143,13 @@ class SharedBus
         res.suppliedByCache = merged.suppliedData;
         if (!res.suppliedByCache && tx.op != BusOp::Invalidate)
             (*_memSupplyCtr)++;
+        if (_observer)
+            _observer->onTransaction(tx, res);
         return res;
     }
+
+    /** Attach (or detach with nullptr) a transaction observer. */
+    void setObserver(BusObserver *obs) { _observer = obs; }
 
     // --- presence notifications (snoop filter maintenance) -----------
 
@@ -164,6 +184,32 @@ class SharedBus
 
     /** Number of presence entries currently tracked (diagnostic). */
     std::size_t presenceEntries() const { return _presence.size(); }
+
+    /** True if agent @p cpu attached filterable (and fits the mask). */
+    bool
+    agentFilterable(CpuId cpu) const
+    {
+        return cpu < _agents.size() && cpu < maxFilterableAgents &&
+            _agents[cpu].filterable;
+    }
+
+    /** Presence bit of one agent for one second-level line address. */
+    bool
+    presenceBit(CpuId cpu, std::uint32_t line_addr) const
+    {
+        auto it = _presence.find(line_addr);
+        return it != _presence.end() &&
+            ((it->second >> cpu) & AgentMask{1}) != 0;
+    }
+
+    /** Visit the line address of every presence entry (oracle sweeps). */
+    template <typename Fn>
+    void
+    forEachPresence(Fn fn) const
+    {
+        for (const auto &kv : _presence)
+            fn(kv.first);
+    }
 
     // --- counters ----------------------------------------------------
 
@@ -214,6 +260,7 @@ class SharedBus
     std::unordered_map<std::uint32_t, AgentMask> _presence;
     bool _filterEnabled = true;
     std::uint64_t _snoopsFiltered = 0;
+    BusObserver *_observer = nullptr;
 };
 
 } // namespace vrc

@@ -40,7 +40,8 @@ enum class EventKind : std::uint8_t
     L1Update,          ///< write-update percolated to level 1
     BufferFlush,       ///< bus-induced flush hit the write buffer
     BufferInvalidation,///< bus-induced invalidation hit the buffer
-    ContextSwitch
+    ContextSwitch,
+    L2Evict            ///< local replacement dropped a level-2 line
 };
 
 /** Printable event name. */
@@ -80,6 +81,8 @@ eventKindName(EventKind k)
         return "buffer-invalidation";
       case EventKind::ContextSwitch:
         return "context-switch";
+      case EventKind::L2Evict:
+        return "l2-evict";
     }
     return "?";
 }

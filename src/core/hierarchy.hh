@@ -10,11 +10,15 @@
 #ifndef VRC_CORE_HIERARCHY_HH
 #define VRC_CORE_HIERARCHY_HH
 
+#include <algorithm>
 #include <cstdint>
+#include <functional>
 
+#include "base/addr.hh"
 #include "base/counter.hh"
 #include "base/histogram.hh"
 #include "base/types.hh"
+#include "coherence/protocol.hh"
 #include "coherence/snoop.hh"
 #include "core/events.hh"
 #include "trace/record.hh"
@@ -56,6 +60,32 @@ accessOutcomeName(AccessOutcome o)
     }
     return "?";
 }
+
+/**
+ * Snapshot of everything one hierarchy holds of a single second-level
+ * line, gathered by probeBlock() for the external coherence oracle
+ * (src/check). Read-only and side-effect free: probing never touches
+ * replacement state or statistics.
+ */
+struct BlockProbe
+{
+    bool l2Present = false; ///< line resident in the second level
+    CoherenceState state = CoherenceState::Invalid; ///< coherence state
+    bool l2Dirty = false;   ///< second-level copy is dirty
+    std::uint32_t l1Copies = 0; ///< level-1 copies over all sub-blocks
+    std::uint32_t maxAliases = 0; ///< most L1 copies of any one sub-block
+    std::uint32_t buffered = 0; ///< sub-blocks parked in the write buffer
+    bool anyL1Dirty = false;    ///< some level-1 copy is dirty
+    bool linkageOk = true;      ///< pointer/inclusion bookkeeping agrees
+
+    /** The hierarchy holds the line in any form. */
+    bool holdsAny() const { return l2Present || l1Copies > 0 ||
+            buffered > 0; }
+
+    /** Some copy carries modified data not yet in memory. */
+    bool anyDirty() const { return l2Dirty || anyL1Dirty ||
+            buffered > 0; }
+};
 
 /**
  * A private two-level cache hierarchy attached to one processor and to
@@ -110,6 +140,22 @@ class CacheHierarchy : public Snooper
      * through the coherent physical level (MpSimulator::remapPage).
      */
     virtual void tlbShootdown(ProcessId pid, Vpn vpn) = 0;
+
+    /**
+     * Report everything this hierarchy holds of the second-level line at
+     * @p l2_line (a physical address anywhere inside the line). Pure
+     * observation for the coherence oracle; must not disturb state.
+     */
+    virtual BlockProbe probeBlock(PhysAddr l2_line) const = 0;
+
+    /**
+     * Invoke @p fn with the physical address of every second-level line
+     * for which this hierarchy holds data in any structure (second
+     * level, level-1 copies, or parked write-backs). Addresses may
+     * repeat; the oracle dedupes.
+     */
+    virtual void
+    forEachCachedLine(const std::function<void(PhysAddr)> &fn) const = 0;
 
     /** Identifier on the bus. */
     CpuId cpuId() const { return _cpuId; }

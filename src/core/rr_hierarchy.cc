@@ -1,5 +1,7 @@
 #include "core/rr_hierarchy.hh"
 
+#include <algorithm>
+
 #include "base/log.hh"
 #include "vm/addr_space.hh"
 
@@ -189,8 +191,12 @@ RrNoInclHierarchy::access(const MemAccess &acc)
     std::uint32_t line_addr = l2Block(pa.value());
     LineRef l2slot = _l2.victim(line_addr);
     L2Store::Line &l2victim = _l2.line(l2slot);
-    if (l2victim.valid && l2victim.meta.rdirty)
-        (*_c.memoryWrites)++;
+    if (l2victim.valid) {
+        if (l2victim.meta.rdirty)
+            (*_c.memoryWrites)++;
+        emitEvent(EventKind::L2Evict, _refIndex, 0,
+                  _l2.lineAddr(l2slot));
+    }
     _l2.invalidate(l2slot);
 
     bool is_write = acc.type == RefType::Write;
@@ -331,6 +337,70 @@ RrNoInclHierarchy::snoop(const BusTransaction &tx)
     if (inval_part)
         res.sharedAck = false;
     return res;
+}
+
+BlockProbe
+RrNoInclHierarchy::probeBlock(PhysAddr l2_line) const
+{
+    BlockProbe p;
+    std::uint32_t line_addr = l2Block(l2_line.value());
+
+    if (auto l2ref = _l2.find(line_addr)) {
+        const L2Store::Line &l = _l2.line(*l2ref);
+        p.l2Present = true;
+        p.state = l.meta.state;
+        p.l2Dirty = l.meta.rdirty;
+    }
+
+    bool any_private = false;
+    for (std::uint32_t i = 0; i < _params.subBlocks(); ++i) {
+        std::uint32_t sub_addr = line_addr + i * _params.l1.blockBytes;
+        std::uint32_t copies = 0;
+        for (unsigned ci = 0; ci < l1Count(); ++ci) {
+            auto hit = _l1[ci]->find(sub_addr);
+            if (!hit)
+                continue;
+            const L1Store::Line &l = _l1[ci]->line(*hit);
+            copies += 1;
+            p.l1Copies += 1;
+            p.anyL1Dirty |= l.meta.dirty;
+            any_private |= l.meta.state == CoherenceState::Private;
+        }
+        p.maxAliases = std::max(p.maxAliases, copies);
+        if (_wb.contains(sub_addr))
+            p.buffered += 1;
+    }
+
+    // Without inclusion each level keeps its own state; report the
+    // strongest claim any copy makes (a parked dirty write-back implies
+    // exclusive ownership too -- nothing else could have written it).
+    if (any_private || p.state == CoherenceState::Private ||
+        p.buffered > 0) {
+        p.state = CoherenceState::Private;
+    } else if (p.state == CoherenceState::Invalid && p.l1Copies > 0) {
+        p.state = CoherenceState::Shared;
+    }
+    return p;
+}
+
+void
+RrNoInclHierarchy::forEachCachedLine(
+    const std::function<void(PhysAddr)> &fn) const
+{
+    // No inclusion: each structure must be enumerated separately.
+    _l2.forEachLine([&](LineRef ref, const L2Store::Line &l) {
+        if (l.valid)
+            fn(PhysAddr(_l2.lineAddr(ref)));
+    });
+    for (unsigned ci = 0; ci < l1Count(); ++ci) {
+        _l1[ci]->forEachLine([&](LineRef ref, const L1Store::Line &l) {
+            if (l.valid)
+                fn(PhysAddr(l2Block(_l1[ci]->lineAddr(ref))));
+        });
+    }
+    _wb.forEachEntry([&](const WriteBufferEntry &e) {
+        fn(PhysAddr(l2Block(e.physBlockAddr)));
+    });
 }
 
 void

@@ -62,6 +62,9 @@ class RrNoInclHierarchy : public CacheHierarchy
     void contextSwitch(ProcessId new_pid) override;
     SnoopResult snoop(const BusTransaction &tx) override;
     void checkInvariants() const override;
+    BlockProbe probeBlock(PhysAddr l2_line) const override;
+    void forEachCachedLine(
+        const std::function<void(PhysAddr)> &fn) const override;
 
     void
     tlbShootdown(ProcessId pid, Vpn vpn) override

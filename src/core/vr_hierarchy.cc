@@ -1,7 +1,11 @@
 #include "core/vr_hierarchy.hh"
 
+#include <algorithm>
+#include <vector>
+
 #include "base/bitops.hh"
 #include "base/log.hh"
+#include "core/mutation.hh"
 #include "vm/addr_space.hh"
 
 namespace vrc
@@ -284,7 +288,7 @@ VrHierarchy::handleRHit(RefType type, VirtAddr l1_key, unsigned ci,
     } else {
         // Plain second-level hit: data supply to the V-cache.
         vc.install(slot, l1_key, pa.value(), false);
-        s.inclusion = true;
+        s.inclusion = !mutationFlags().dropInclusionUpdate;
         s.l1Index = static_cast<std::uint8_t>(ci);
         s.vPointer = _r.vPointerBits(va_block);
         s.childAddrBlock = va_block;
@@ -407,6 +411,7 @@ VrHierarchy::evictRLine(LineRef rslot, bool forced)
     }
     if (dirty_data)
         (*_c.memoryWrites)++;
+    emitEvent(EventKind::L2Evict, _refIndex, 0, line_addr);
     _r.invalidate(rslot);
     _bus.noteBlockUncached(cpuId(), line_addr);
     if (forced)
@@ -570,6 +575,80 @@ VrHierarchy::snoop(const BusTransaction &tx)
         break;
     }
     return res;
+}
+
+BlockProbe
+VrHierarchy::probeBlock(PhysAddr l2_line) const
+{
+    BlockProbe p;
+    std::uint32_t line_addr = l2Block(l2_line.value());
+
+    auto rref = _r.probe(PhysAddr(line_addr));
+    if (rref) {
+        const RCache::Line &rl = _r.line(*rref);
+        p.l2Present = true;
+        p.state = rl.meta.state;
+        p.l2Dirty = rl.meta.rdirty;
+    }
+
+    // Scan the level-1 caches by physical link, deliberately not by the
+    // inclusion pointers: the oracle's job is to cross-check the two.
+    std::vector<std::uint32_t> copies(_r.subCount(), 0);
+    std::vector<std::uint8_t> sub_dirty(_r.subCount(), 0);
+    for (unsigned ci = 0; ci < l1Count(); ++ci) {
+        _l1[ci]->tags().forEachLine(
+            [&](LineRef, const VCache::Line &l) {
+                if (!l.valid ||
+                    l2Block(l.meta.physBlockAddr) != line_addr) {
+                    return;
+                }
+                std::uint32_t sub =
+                    (l.meta.physBlockAddr - line_addr) /
+                    _params.l1.blockBytes;
+                copies[sub] += 1;
+                p.l1Copies += 1;
+                p.anyL1Dirty |= l.meta.dirty;
+                sub_dirty[sub] |= l.meta.dirty ? 1 : 0;
+            });
+    }
+
+    for (std::uint32_t i = 0; i < _r.subCount(); ++i) {
+        std::uint32_t sub_addr = line_addr + i * _params.l1.blockBytes;
+        bool parked = _wb.contains(sub_addr);
+        p.buffered += parked ? 1 : 0;
+        p.maxAliases = std::max(p.maxAliases, copies[i]);
+
+        bool incl = false, buf = false, vdirty = false;
+        if (rref) {
+            const RSubentry &s = _r.line(*rref).meta.subs[i];
+            incl = s.inclusion;
+            buf = s.buffer;
+            vdirty = s.vdirty;
+        }
+        // The directory bits must agree with the physical scan: every
+        // level-1 copy needs its inclusion bit, every parked write-back
+        // its buffer bit, and vice versa.
+        if (incl != (copies[i] > 0) || buf != parked)
+            p.linkageOk = false;
+        if (buf && !vdirty)
+            p.linkageOk = false;
+        if (incl && copies[i] == 1 && vdirty != (sub_dirty[i] != 0))
+            p.linkageOk = false;
+    }
+    return p;
+}
+
+void
+VrHierarchy::forEachCachedLine(
+    const std::function<void(PhysAddr)> &fn) const
+{
+    // Inclusion: the R-cache directory covers every level-1 copy and
+    // every parked write-back (buffer bits keep the parent alive), so
+    // enumerating the second level enumerates everything we hold.
+    _r.tags().forEachLine([&](LineRef ref, const RCache::Line &l) {
+        if (l.valid)
+            fn(PhysAddr(_r.lineAddr(ref)));
+    });
 }
 
 void

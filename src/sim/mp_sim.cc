@@ -131,14 +131,15 @@ MpSimulator::remapPage(ProcessId pid, Vpn vpn, Ppn new_ppn)
         // Reclaim the old frame: flush dirty data and invalidate every
         // cached copy through the coherent physical level. The
         // transactions come from a system agent (no attached snooper),
-        // so every hierarchy responds.
+        // so every hierarchy responds. invalidCpu never collides with a
+        // bus id -- _cpus.size() would be the next attached agent's id,
+        // e.g. a DMA device.
         std::uint32_t line = _config.hierarchy.l2.blockBytes;
         std::uint32_t base = old_pa->value();
         for (std::uint32_t off = 0; off < _spaces.pageSize();
              off += line) {
             _bus.broadcast(BusTransaction{
-                BusOp::ReadModWrite, PhysAddr(base + off),
-                static_cast<CpuId>(_cpus.size())});
+                BusOp::ReadModWrite, PhysAddr(base + off), invalidCpu});
         }
     }
     for (auto &cpu : _cpus)

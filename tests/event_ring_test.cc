@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for the protocol event ring buffer the coherence oracle dumps
+ * on a violation: bounded capacity, global sequence stamps, oldest-first
+ * iteration across the wrap point, and valid JSON output.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "check/event_ring.hh"
+
+namespace vrc
+{
+namespace
+{
+
+ProtocolEvent
+hierEvent(std::uint64_t ref)
+{
+    return ProtocolEvent::fromHierarchy(
+        {EventKind::L1Hit, 0, ref, 0x1000, 0x2000});
+}
+
+TEST(EventRingTest, FillsUpToCapacity)
+{
+    ProtocolEventRing ring(4);
+    EXPECT_EQ(ring.capacity(), 4u);
+    EXPECT_EQ(ring.size(), 0u);
+    for (std::uint64_t i = 0; i < 3; ++i)
+        ring.push(hierEvent(i));
+    EXPECT_EQ(ring.size(), 3u);
+    EXPECT_EQ(ring.totalPushed(), 3u);
+}
+
+TEST(EventRingTest, OverwritesOldestWhenFull)
+{
+    ProtocolEventRing ring(4);
+    for (std::uint64_t i = 0; i < 10; ++i)
+        ring.push(hierEvent(i));
+    EXPECT_EQ(ring.size(), 4u);
+    EXPECT_EQ(ring.totalPushed(), 10u);
+
+    std::vector<std::uint64_t> refs;
+    ring.forEach([&](const ProtocolEvent &e) { refs.push_back(e.refIndex); });
+    EXPECT_EQ(refs, (std::vector<std::uint64_t>{6, 7, 8, 9}))
+        << "only the most recent events survive, oldest first";
+}
+
+TEST(EventRingTest, SequenceStampsAreGloballyOrdered)
+{
+    ProtocolEventRing ring(3);
+    for (std::uint64_t i = 0; i < 7; ++i)
+        ring.push(hierEvent(i));
+    std::uint64_t prev = 0;
+    bool first = true;
+    ring.forEach([&](const ProtocolEvent &e) {
+        if (!first)
+            EXPECT_EQ(e.seq, prev + 1);
+        prev = e.seq;
+        first = false;
+    });
+    EXPECT_EQ(prev, 6u) << "seq keeps counting past the wrap";
+}
+
+TEST(EventRingTest, ZeroCapacityIsClampedToOne)
+{
+    ProtocolEventRing ring(0);
+    EXPECT_EQ(ring.capacity(), 1u);
+    ring.push(hierEvent(1));
+    ring.push(hierEvent(2));
+    EXPECT_EQ(ring.size(), 1u);
+    ring.forEach([](const ProtocolEvent &e) {
+        EXPECT_EQ(e.refIndex, 2u);
+    });
+}
+
+TEST(EventRingTest, ClearEmptiesButKeepsSequence)
+{
+    ProtocolEventRing ring(4);
+    for (std::uint64_t i = 0; i < 6; ++i)
+        ring.push(hierEvent(i));
+    ring.clear();
+    EXPECT_EQ(ring.size(), 0u);
+    ring.push(hierEvent(99));
+    ring.forEach([](const ProtocolEvent &e) { EXPECT_EQ(e.seq, 6u); });
+}
+
+TEST(EventRingTest, MixedOriginsKeepTheirFields)
+{
+    ProtocolEventRing ring(8);
+    ring.push(hierEvent(5));
+    BusTransaction tx{BusOp::Invalidate, PhysAddr(0x40), 2};
+    ring.push(ProtocolEvent::fromBus(tx, BusResult{true, false}));
+    ring.push(ProtocolEvent::annotation("hello"));
+
+    std::vector<ProtocolEvent::Origin> origins;
+    ring.forEach([&](const ProtocolEvent &e) { origins.push_back(e.origin); });
+    ASSERT_EQ(origins.size(), 3u);
+    EXPECT_EQ(origins[0], ProtocolEvent::Origin::Hierarchy);
+    EXPECT_EQ(origins[1], ProtocolEvent::Origin::Bus);
+    EXPECT_EQ(origins[2], ProtocolEvent::Origin::Oracle);
+}
+
+TEST(EventRingTest, DumpJsonContainsEveryRetainedEvent)
+{
+    ProtocolEventRing ring(8);
+    ring.push(hierEvent(1));
+    BusTransaction tx{BusOp::ReadMiss, PhysAddr(0x80), 1};
+    ring.push(ProtocolEvent::fromBus(tx, BusResult{false, true}));
+    ring.push(ProtocolEvent::annotation("VIOLATION: test"));
+
+    std::ostringstream os;
+    ring.dumpJson(os);
+    std::string json = os.str();
+    EXPECT_NE(json.find("\"origin\": \"hierarchy\""), std::string::npos);
+    EXPECT_NE(json.find("\"origin\": \"bus\""), std::string::npos);
+    EXPECT_NE(json.find("\"op\": \"read-miss\""), std::string::npos);
+    EXPECT_NE(json.find("\"supplied\": true"), std::string::npos);
+    EXPECT_NE(json.find("VIOLATION: test"), std::string::npos);
+    EXPECT_EQ(json.front(), '[');
+    EXPECT_EQ(json.back(), ']');
+}
+
+TEST(EventRingTest, JsonEscapeHandlesSpecials)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb\tc"), "a\\nb\\tc");
+    EXPECT_EQ(jsonEscape(std::string("x\x01y")), "x\\u0001y");
+}
+
+TEST(EventRingTest, AnnotationsSurviveJsonRoundTripUnmangled)
+{
+    ProtocolEventRing ring(2);
+    ring.push(ProtocolEvent::annotation("line \"0x40\"\nheld by 2"));
+    std::ostringstream os;
+    ring.dumpJson(os);
+    EXPECT_NE(os.str().find("line \\\"0x40\\\"\\nheld by 2"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace vrc

@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "sim/experiment.hh"
 #include "sim/json_stats.hh"
 #include "trace/generator.hh"
@@ -17,8 +20,18 @@ namespace vrc
 namespace
 {
 
+/** Names of every built-in paper profile, in Table 5 order. */
+std::vector<std::string>
+paperProfileNames()
+{
+    std::vector<std::string> names;
+    for (const auto &p : paperProfiles())
+        names.push_back(p.name);
+    return names;
+}
+
 class TraceStreamEquivalence
-    : public ::testing::TestWithParam<const char *>
+    : public ::testing::TestWithParam<std::string>
 {
 };
 
@@ -45,6 +58,10 @@ TEST_P(TraceStreamEquivalence, MatchesMaterializedTrace)
     EXPECT_EQ(stream.stats().totalReads, bundle.stats.totalReads);
     EXPECT_EQ(stream.stats().totalInstr, bundle.stats.totalInstr);
     EXPECT_EQ(stream.stats().totalCalls, bundle.stats.totalCalls);
+    EXPECT_EQ(stream.stats().contextSwitches,
+              bundle.stats.contextSwitches);
+    EXPECT_EQ(stream.stats().callWriteCount,
+              bundle.stats.callWriteCount);
 }
 
 TEST_P(TraceStreamEquivalence, SimulatorStatsMatchMaterializedRun)
@@ -65,8 +82,14 @@ TEST_P(TraceStreamEquivalence, SimulatorStatsMatchMaterializedRun)
     EXPECT_EQ(toJson(from_vector), toJson(from_stream));
 }
 
-INSTANTIATE_TEST_SUITE_P(Profiles, TraceStreamEquivalence,
-                         ::testing::Values("thor", "pops", "abaqus"));
+// Every built-in profile: a new profile added to paperProfiles() is
+// automatically held to the stream/vector bit-equivalence contract.
+INSTANTIATE_TEST_SUITE_P(
+    Profiles, TraceStreamEquivalence,
+    ::testing::ValuesIn(paperProfileNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
 
 TEST(TraceStreamTest, ExpectedTotalCoversProducedRecords)
 {

@@ -305,6 +305,103 @@ TEST_F(VrHierarchyTest, SwitchBackRevalidatesViaSynonymPath)
     checkAll();
 }
 
+TEST_F(VrHierarchyTest, SwappedDirtyMoveToNewVirtualNameKeepsWriteback)
+{
+    build();
+    // Process 0 dirties the block, is switched out, and process 1 names
+    // the same frame through an odd vpn -- a different V-cache set. The
+    // swapped dirty block must be *moved* under the new virtual name
+    // without losing the modified data or writing memory early.
+    map(0, 0x10, 5);
+    map(1, 0x31, 5);
+    write(0, 0, 0x10000);
+    h[0]->contextSwitch(1);
+    EXPECT_EQ(read(0, 1, 0x31000), AccessOutcome::SynonymHit);
+    EXPECT_EQ(h[0]->stats().value("synonym_moves"), 1u);
+    auto hit = h[0]->vcache().lookup(VirtAddr(0x31000));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_TRUE(h[0]->vcache().line(*hit).meta.dirty)
+        << "the relinked block must keep the modified data";
+    EXPECT_EQ(h[0]->writeBuffer().pushes(), 0u)
+        << "a pure move never parks a write-back";
+    EXPECT_EQ(h[0]->stats().value("writeback_completions"), 0u);
+    checkAll();
+
+    // Replacing the relinked block must write it back exactly once.
+    map(1, 0x33, 7); // odd vpn: same V set as 0x31
+    EXPECT_EQ(read(0, 1, 0x33000), AccessOutcome::Miss);
+    ASSERT_EQ(h[0]->writeBuffer().size(), 1u);
+    for (int i = 0; i < 100; ++i)
+        read(0, 1, 0x33000);
+    EXPECT_TRUE(h[0]->writeBuffer().empty());
+    EXPECT_EQ(h[0]->stats().value("writeback_completions"), 1u);
+    auto rref = h[0]->rcache().probe(PhysAddr(5 * kPage));
+    ASSERT_TRUE(rref.has_value());
+    EXPECT_TRUE(h[0]->rcache().line(*rref).meta.rdirty)
+        << "the write-back carried the dirty data to level 2";
+    checkAll();
+}
+
+TEST_F(VrHierarchyTest, SwappedDirtySamesetPullbackKeepsWriteback)
+{
+    build();
+    // Same scenario but the new virtual name collides in the *same*
+    // direct-mapped set: the replacement parks the swapped dirty block
+    // in the write buffer, and the synonym path must pull it back
+    // (canceling the write-back) instead of re-fetching stale data.
+    map(0, 0x10, 5);
+    map(1, 0x30, 5); // even vpn: same V set as 0x10
+    write(0, 0, 0x10000);
+    h[0]->contextSwitch(1);
+    EXPECT_EQ(read(0, 1, 0x30000), AccessOutcome::SynonymHit);
+    EXPECT_EQ(h[0]->stats().value("swapped_writebacks"), 1u);
+    EXPECT_EQ(h[0]->stats().value("synonym_from_buffer"), 1u);
+    EXPECT_EQ(h[0]->stats().value("writeback_cancels"), 1u);
+    EXPECT_TRUE(h[0]->writeBuffer().empty());
+    auto hit = h[0]->vcache().lookup(VirtAddr(0x30000));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_TRUE(h[0]->vcache().line(*hit).meta.dirty);
+    checkAll();
+
+    // The canceled write-back must not have lost the data: replacing
+    // the block later still writes it back exactly once.
+    map(1, 0x32, 7); // even vpn: conflicts with 0x30
+    EXPECT_EQ(read(0, 1, 0x32000), AccessOutcome::Miss);
+    ASSERT_EQ(h[0]->writeBuffer().size(), 1u);
+    for (int i = 0; i < 100; ++i)
+        read(0, 1, 0x32000);
+    EXPECT_TRUE(h[0]->writeBuffer().empty());
+    EXPECT_EQ(h[0]->stats().value("writeback_completions"), 1u);
+    auto rref = h[0]->rcache().probe(PhysAddr(5 * kPage));
+    ASSERT_TRUE(rref.has_value());
+    EXPECT_TRUE(h[0]->rcache().line(*rref).meta.rdirty);
+    checkAll();
+}
+
+TEST_F(VrHierarchyTest, SwappedDirtySamesetRetagKeepsDirtyData)
+{
+    params.l1.assoc = 2;
+    build();
+    // With a 2-way V-cache the incoming miss lands in the empty way, so
+    // the swapped dirty synonym is found in the other way of the same
+    // set and re-tagged in place -- no buffer traffic at all.
+    map(0, 0x10, 5);
+    map(1, 0x30, 5);
+    write(0, 0, 0x10000);
+    h[0]->contextSwitch(1);
+    EXPECT_EQ(read(0, 1, 0x30000), AccessOutcome::SynonymHit);
+    EXPECT_EQ(h[0]->stats().value("synonym_sameset"), 1u);
+    EXPECT_EQ(h[0]->stats().value("synonym_moves"), 0u);
+    EXPECT_EQ(h[0]->writeBuffer().pushes(), 0u);
+    auto hit = h[0]->vcache().lookup(VirtAddr(0x30000));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_TRUE(h[0]->vcache().line(*hit).meta.dirty)
+        << "the re-tag must keep the modified data";
+    EXPECT_FALSE(h[0]->vcache().lookup(VirtAddr(0x10000)).has_value())
+        << "the old virtual name is gone";
+    checkAll();
+}
+
 TEST_F(VrHierarchyTest, SharedTextSurvivesSwitchAsL2Hit)
 {
     build();
