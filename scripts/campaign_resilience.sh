@@ -1,0 +1,89 @@
+#!/bin/sh
+# Campaign resilience check, run in CI and locally:
+#
+#  1. Run an uninterrupted sweep and keep its result JSON.
+#  2. Start the same sweep with a checkpoint journal, SIGKILL it once
+#     at least two cells have been journaled, resume it with a
+#     different worker count, and require the resumed result JSON to
+#     be byte-identical to the uninterrupted one.
+#  3. Run the sweep with fault injection armed and require it to
+#     finish (exit 0 or 3, never a crash/abort), writing a failure
+#     manifest for any quarantined cells.
+#
+# Usage: campaign_resilience.sh <path-to-vrc-sim> [scale]
+set -eu
+
+SIM=${1:?usage: campaign_resilience.sh <vrc-sim> [scale]}
+SCALE=${2:-0.01}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+echo "== baseline sweep =="
+"$SIM" --profile=pops --scale="$SCALE" --sweep --jobs=4 \
+    --out="$WORK/baseline.json" > /dev/null
+
+echo "== kill mid-sweep =="
+rm -f "$WORK/journal.ckpt"
+"$SIM" --profile=pops --scale="$SCALE" --sweep --jobs=2 \
+    --checkpoint="$WORK/journal.ckpt" --out="$WORK/killed.json" \
+    > /dev/null &
+PID=$!
+# Wait until at least two cells are journaled, then kill -9.
+TRIES=0
+while :; do
+    DONE=$(grep -c ' end$' "$WORK/journal.ckpt" 2>/dev/null || true)
+    [ "${DONE:-0}" -ge 2 ] && break
+    if ! kill -0 "$PID" 2>/dev/null; then
+        # Finished before we could kill it: journal is complete, the
+        # resume below still has to reproduce the baseline.
+        echo "  (sweep finished before the kill; resuming anyway)"
+        break
+    fi
+    TRIES=$((TRIES + 1))
+    if [ "$TRIES" -gt 600 ]; then
+        echo "FAIL: no journal progress after 60s" >&2
+        kill -9 "$PID" 2>/dev/null || true
+        exit 1
+    fi
+    sleep 0.1
+done
+kill -9 "$PID" 2>/dev/null || true
+wait "$PID" 2>/dev/null || true
+echo "  killed with $(grep -c ' end$' "$WORK/journal.ckpt") cells journaled"
+
+echo "== resume with a different worker count =="
+"$SIM" --profile=pops --scale="$SCALE" --sweep --jobs=3 \
+    --checkpoint="$WORK/journal.ckpt" --resume \
+    --out="$WORK/resumed.json" > /dev/null
+
+if ! cmp -s "$WORK/baseline.json" "$WORK/resumed.json"; then
+    echo "FAIL: resumed result differs from uninterrupted run" >&2
+    diff "$WORK/baseline.json" "$WORK/resumed.json" >&2 || true
+    exit 1
+fi
+echo "  resumed result is bit-identical to the uninterrupted run"
+
+echo "== sweep under fault injection =="
+STATUS=0
+"$SIM" --profile=pops --scale="$SCALE" --sweep --jobs=4 \
+    --inject-faults=seed=7,throw=0.4,corrupt=0.2,stall=0.2,stall_ms=50 \
+    --max-retries=2 --deadline=60 \
+    --manifest="$WORK/faults.manifest" \
+    --out="$WORK/faulted.json" > /dev/null 2>&1 || STATUS=$?
+if [ "$STATUS" -ne 0 ] && [ "$STATUS" -ne 3 ]; then
+    echo "FAIL: faulted sweep exited with $STATUS (crash/abort?)" >&2
+    exit 1
+fi
+[ -f "$WORK/faults.manifest" ] || {
+    echo "FAIL: no failure manifest written" >&2
+    exit 1
+}
+COMPLETED=$(sed -n 's/.*"completed":\([0-9]*\).*/\1/p' \
+    "$WORK/faulted.json")
+echo "  faulted sweep exit=$STATUS completed=$COMPLETED/9"
+if [ "${COMPLETED:-0}" -lt 1 ]; then
+    echo "FAIL: no healthy cells completed under fault injection" >&2
+    exit 1
+fi
+
+echo "campaign resilience: OK"

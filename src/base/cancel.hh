@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Cooperative cancellation token.
+ *
+ * The campaign watchdog cannot preempt a compute-bound cell; it can
+ * only ask it to stop. A CancelToken is the ask: the watchdog flips
+ * it, and every cancellation point in the cell (the simulation replay
+ * loop, an injected stall, a backoff sleep) polls it and unwinds. The
+ * token is a single relaxed atomic, so a poll every few thousand
+ * references costs nothing measurable.
+ */
+
+#ifndef VRC_BASE_CANCEL_HH
+#define VRC_BASE_CANCEL_HH
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace vrc
+{
+
+/** A one-way "please stop" flag shared between watchdog and worker. */
+class CancelToken
+{
+  public:
+    CancelToken() = default;
+
+    // The token is shared by address; it never moves.
+    CancelToken(const CancelToken &) = delete;
+    CancelToken &operator=(const CancelToken &) = delete;
+
+    bool
+    cancelled() const
+    {
+        return _flag.load(std::memory_order_relaxed);
+    }
+
+    void
+    cancel()
+    {
+        _flag.store(true, std::memory_order_relaxed);
+    }
+
+    /**
+     * Sleep for @p seconds in short slices, returning early (false)
+     * if cancelled; true when the full duration elapsed.
+     */
+    bool
+    sleepFor(double seconds) const
+    {
+        using clock = std::chrono::steady_clock;
+        auto end = clock::now() +
+                   std::chrono::duration_cast<clock::duration>(
+                       std::chrono::duration<double>(seconds));
+        while (clock::now() < end) {
+            if (cancelled())
+                return false;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(5));
+        }
+        return !cancelled();
+    }
+
+  private:
+    std::atomic<bool> _flag{false};
+};
+
+} // namespace vrc
+
+#endif // VRC_BASE_CANCEL_HH

@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Deterministic, seed-driven fault injection (the VRC_FAULTS option).
+ *
+ * A recovery path that is never exercised is indistinguishable from
+ * one that is broken. When the library is configured with
+ * -DVRC_FAULTS=ON, the input loaders and the campaign engine carry
+ * hooks that -- once armed with a seed -- corrupt or truncate loaded
+ * bytes, throw from campaign cells, and stall cells long enough to
+ * trip the watchdog. Every decision is a pure hash of
+ * (seed, site, keys), so a fault schedule is reproducible from its
+ * spec string alone, independent of thread scheduling:
+ *
+ *     --inject-faults="seed=7,corrupt=0.1,throw=0.3,stall=0.2,stall_ms=300"
+ *
+ * Mirrors VRC_CHECK: compiled out entirely when the option is OFF
+ * (the hooks collapse to constant-false inlines); when compiled in
+ * but not armed, each hook is a single branch on a bool.
+ *
+ * Arming is process-wide and intended to happen once, from the CLI,
+ * before any worker threads start.
+ */
+
+#ifndef VRC_BASE_FAULT_HH
+#define VRC_BASE_FAULT_HH
+
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "base/cancel.hh"
+#include "base/error.hh"
+
+namespace vrc
+{
+
+/** What to inject, with what probability. All off by default. */
+struct FaultConfig
+{
+    std::uint64_t seed = 0;     ///< 0 = disarmed
+    double corrupt = 0.0;       ///< P(flip bytes in a loaded input)
+    double truncate = 0.0;      ///< P(truncate a loaded input)
+    double throwProb = 0.0;     ///< P(a campaign cell attempt throws)
+    double stall = 0.0;         ///< P(a campaign cell attempt stalls)
+    double stallSeconds = 0.25; ///< injected stall length
+};
+
+/** Exception thrown by an injected cell fault. */
+class InjectedFault : public ErrorException
+{
+  public:
+    explicit InjectedFault(const std::string &what)
+        : ErrorException(makeError(ErrorKind::Injected, what))
+    {
+    }
+};
+
+#ifdef VRC_FAULTS_ENABLED
+
+/** True when the hooks are compiled in (VRC_FAULTS=ON). */
+inline constexpr bool
+faultsCompiledIn()
+{
+    return true;
+}
+
+/** Process-wide injector configuration. */
+inline FaultConfig &
+faultConfig()
+{
+    static FaultConfig cfg;
+    return cfg;
+}
+
+/** True when a nonzero seed armed the injector. */
+inline bool
+faultsArmed()
+{
+    return faultConfig().seed != 0;
+}
+
+namespace fault_detail
+{
+
+inline std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+inline std::uint64_t
+hashSite(const char *site)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull; // FNV-1a
+    for (const char *p = site; *p; ++p)
+        h = (h ^ static_cast<unsigned char>(*p)) *
+            0x100000001b3ull;
+    return h;
+}
+
+} // namespace fault_detail
+
+/**
+ * Deterministic verdict for one potential fault: true with
+ * probability @p p, as a pure function of (seed, site, a, b).
+ */
+inline bool
+faultDecision(const char *site, std::uint64_t a, std::uint64_t b,
+              double p)
+{
+    if (p <= 0.0 || !faultsArmed())
+        return false;
+    std::uint64_t h = fault_detail::splitmix64(
+        faultConfig().seed ^ fault_detail::hashSite(site) ^
+        fault_detail::splitmix64(a * 2 + 1) ^
+        fault_detail::splitmix64(~b));
+    double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    return u < p;
+}
+
+/**
+ * Possibly corrupt or truncate freshly loaded input bytes, keyed by
+ * the input's context string (its path). The corruption itself is
+ * deterministic: which bytes flip and where the cut lands are drawn
+ * from the same hash stream as the verdict.
+ */
+inline void
+injectInputFaults(const char *what, const std::string &context,
+                  std::string &bytes)
+{
+    if (!faultsArmed() || bytes.empty())
+        return;
+    std::uint64_t key = fault_detail::hashSite(context.c_str());
+    if (faultDecision("input-truncate", key, bytes.size(),
+                      faultConfig().truncate)) {
+        std::size_t cut =
+            fault_detail::splitmix64(key ^ 0x7457) % bytes.size();
+        warn("fault injection: truncating ", what, " '", context,
+             "' to ", cut, " of ", bytes.size(), " bytes");
+        bytes.resize(cut);
+        return;
+    }
+    if (faultDecision("input-corrupt", key, bytes.size(),
+                      faultConfig().corrupt)) {
+        std::uint64_t h = fault_detail::splitmix64(key ^ 0xC0DE);
+        unsigned flips = 1 + h % 8;
+        warn("fault injection: flipping ", flips, " bytes of ", what,
+             " '", context, "'");
+        for (unsigned i = 0; i < flips; ++i) {
+            h = fault_detail::splitmix64(h);
+            bytes[h % bytes.size()] ^=
+                static_cast<char>(0x01 | (h >> 32));
+        }
+    }
+}
+
+/**
+ * Possibly throw InjectedFault or stall (cancellably) before a
+ * campaign cell attempt runs. Keyed by (cell, attempt) so a cell that
+ * fails on one attempt can succeed on the retry.
+ */
+inline void
+maybeInjectCellFault(std::size_t cell, unsigned attempt,
+                     const CancelToken &token)
+{
+    if (!faultsArmed())
+        return;
+    if (faultDecision("cell-stall", cell, attempt,
+                      faultConfig().stall)) {
+        warn("fault injection: stalling cell ", cell, " attempt ",
+             attempt, " for ", faultConfig().stallSeconds, " s");
+        token.sleepFor(faultConfig().stallSeconds);
+    }
+    if (faultDecision("cell-throw", cell, attempt,
+                      faultConfig().throwProb)) {
+        std::ostringstream os;
+        os << "injected worker exception in cell " << cell
+           << " (attempt " << attempt << ")";
+        throw InjectedFault(os.str());
+    }
+}
+
+/**
+ * Arm the injector from a spec string:
+ * "seed=N[,corrupt=P][,truncate=P][,throw=P][,stall=P][,stall_ms=M]".
+ * A bare number is shorthand for "seed=N" with default probabilities
+ * (throw/stall/corrupt all 0.25).
+ */
+inline Status
+configureFaultInjection(const std::string &spec)
+{
+    FaultConfig cfg;
+    bool any_prob = false;
+    std::istringstream is(spec);
+    std::string item;
+    while (std::getline(is, item, ',')) {
+        if (item.empty())
+            continue;
+        std::size_t eq = item.find('=');
+        std::string key =
+            eq == std::string::npos ? item : item.substr(0, eq);
+        std::string val =
+            eq == std::string::npos ? "" : item.substr(eq + 1);
+        char *end = nullptr;
+        if (eq == std::string::npos &&
+            (cfg.seed = std::strtoull(key.c_str(), &end, 10),
+             end && *end == '\0' && cfg.seed)) {
+            continue; // bare "--inject-faults=7"
+        }
+        double num = std::strtod(val.c_str(), &end);
+        if (val.empty() || !end || *end != '\0')
+            return makeError(ErrorKind::Parse,
+                             "bad fault spec entry '", item,
+                             "' (expected key=number)");
+        if (key == "seed") {
+            cfg.seed = static_cast<std::uint64_t>(num);
+        } else if (key == "corrupt") {
+            cfg.corrupt = num;
+            any_prob = true;
+        } else if (key == "truncate") {
+            cfg.truncate = num;
+            any_prob = true;
+        } else if (key == "throw") {
+            cfg.throwProb = num;
+            any_prob = true;
+        } else if (key == "stall") {
+            cfg.stall = num;
+            any_prob = true;
+        } else if (key == "stall_ms") {
+            cfg.stallSeconds = num / 1000.0;
+        } else {
+            return makeError(ErrorKind::Parse,
+                             "unknown fault spec key '", key, "'");
+        }
+    }
+    if (!cfg.seed)
+        return makeError(ErrorKind::Parse,
+                         "fault spec needs a nonzero seed: '", spec,
+                         "'");
+    if (!any_prob)
+        cfg.corrupt = cfg.throwProb = cfg.stall = 0.25;
+    faultConfig() = cfg;
+    return okStatus();
+}
+
+/** Disarm (tests). */
+inline void
+disarmFaultInjection()
+{
+    faultConfig() = FaultConfig{};
+}
+
+#else // !VRC_FAULTS_ENABLED
+
+inline constexpr bool
+faultsCompiledIn()
+{
+    return false;
+}
+
+inline constexpr bool
+faultsArmed()
+{
+    return false;
+}
+
+inline constexpr bool
+faultDecision(const char *, std::uint64_t, std::uint64_t, double)
+{
+    return false;
+}
+
+inline void
+injectInputFaults(const char *, const std::string &, std::string &)
+{
+}
+
+inline void
+maybeInjectCellFault(std::size_t, unsigned, const CancelToken &)
+{
+}
+
+inline Status
+configureFaultInjection(const std::string &)
+{
+    return makeError(ErrorKind::Io,
+                     "fault injection is not compiled in "
+                     "(reconfigure with -DVRC_FAULTS=ON)");
+}
+
+inline void
+disarmFaultInjection()
+{
+}
+
+#endif // VRC_FAULTS_ENABLED
+
+} // namespace vrc
+
+#endif // VRC_BASE_FAULT_HH

@@ -1,9 +1,11 @@
 #include "check/fuzzer.hh"
 
 #include <cstdlib>
+#include <fstream>
 #include <sstream>
 #include <vector>
 
+#include "base/fault.hh"
 #include "base/rng.hh"
 #include "check/oracle.hh"
 #include "coherence/dma.hh"
@@ -351,6 +353,25 @@ replayFromJson(const std::string &json, FuzzOptions &out)
         opt.ringCapacity = static_cast<std::size_t>(v);
     out = opt;
     return true;
+}
+
+Result<FuzzOptions>
+tryLoadReplay(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        return makeError(ErrorKind::Io,
+                         "cannot open replay file: ", path);
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    std::string text = buf.str();
+    injectInputFaults("replay", path, text);
+    FuzzOptions opt;
+    if (!replayFromJson(text, opt))
+        return makeErrorAt(ErrorKind::Parse, path, 0,
+                           "not a recognizable vrc-fuzz replay "
+                           "(missing or wrong \"format\" field)");
+    return opt;
 }
 
 FuzzOptions

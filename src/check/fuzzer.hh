@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <string>
 
+#include "base/error.hh"
 #include "coherence/protocol.hh"
 #include "core/config.hh"
 
@@ -115,6 +116,14 @@ std::string replayToJson(const FuzzOptions &opt);
  * @return false if the text is not a recognizable replay.
  */
 bool replayFromJson(const std::string &json, FuzzOptions &out);
+
+/**
+ * Load and validate a replay file. A missing file is an Io error and
+ * unrecognizable content a Parse error, so a corrupt replay
+ * quarantines that run instead of killing a batch. Under
+ * --inject-faults the loaded bytes pass through the fault injector.
+ */
+Result<FuzzOptions> tryLoadReplay(const std::string &path);
 
 /**
  * Shrink a failing run: truncate to the failing op, then greedily

@@ -1,0 +1,518 @@
+#include "sim/campaign.hh"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "base/fault.hh"
+#include "base/log.hh"
+#include "sim/json_stats.hh"
+#include "sim/parallel_runner.hh"
+
+namespace vrc
+{
+
+namespace
+{
+
+constexpr const char *journalMagicLine = "vrc-campaign-checkpoint v1";
+
+std::uint64_t
+fnv1a(std::uint64_t h, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h = (h ^ (v & 0xFF)) * 0x100000001b3ull;
+        v >>= 8;
+    }
+    return h;
+}
+
+std::uint64_t
+fnv1a(std::uint64_t h, const std::string &s)
+{
+    for (char c : s)
+        h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ull;
+    return h;
+}
+
+bool
+parseU64(const std::string &tok, std::uint64_t &out)
+{
+    char *end = nullptr;
+    out = std::strtoull(tok.c_str(), &end, 10);
+    return end && *end == '\0' && !tok.empty();
+}
+
+bool
+parseDouble(const std::string &tok, double &out)
+{
+    char *end = nullptr;
+    out = std::strtod(tok.c_str(), &end); // accepts hexfloat
+    return end && *end == '\0' && !tok.empty();
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::ostringstream os;
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          case '\n':
+            os << "\\n";
+            break;
+          case '\t':
+            os << "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                os << ' ';
+            else
+                os << c;
+        }
+    }
+    return os.str();
+}
+
+/** Outcome of one cell attempt. */
+struct AttemptOutcome
+{
+    bool ok = false;
+    bool timedOut = false;
+    ErrorKind kind = ErrorKind::Worker;
+    SimSummary summary;
+    std::string error;
+};
+
+/** Shared state between a watchdogged attempt thread and its waiter. */
+struct AttemptState
+{
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    AttemptOutcome out;
+    CancelToken token;
+};
+
+/** Invoke the cell body, mapping every throw onto the taxonomy. */
+template <typename Invoke>
+AttemptOutcome
+invokeGuarded(Invoke &&invoke, const CancelToken &token)
+{
+    AttemptOutcome out;
+    try {
+        out.summary = invoke(token);
+        out.ok = true;
+    } catch (const ErrorException &e) {
+        out.kind = e.err().kind;
+        out.error = e.err().message;
+    } catch (const std::exception &e) {
+        out.kind = ErrorKind::Worker;
+        out.error = e.what();
+    } catch (...) {
+        out.kind = ErrorKind::Worker;
+        out.error = "unknown exception";
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+encodeSummaryLine(std::size_t index, const SimSummary &s)
+{
+    std::ostringstream os;
+    os << "cell " << index << ' '
+       << static_cast<unsigned>(s.kind) << ' ' << s.l1Size << ' '
+       << s.l2Size << ' ' << (s.split ? 1 : 0) << ' ' << std::hexfloat
+       << s.h1 << ' ' << s.h2 << ' ' << s.h1Instr << ' ' << s.h1Read
+       << ' ' << s.h1Write << ' ';
+    if (s.l1MsgsPerCpu.empty()) {
+        os << '-';
+    } else {
+        for (std::size_t i = 0; i < s.l1MsgsPerCpu.size(); ++i)
+            os << (i ? "," : "") << s.l1MsgsPerCpu[i];
+    }
+    os << ' ' << s.inclusionInvalidations << ' ' << s.synonymHits
+       << ' ' << s.synonymMoves << ' ' << s.writebackCancels << ' '
+       << s.swappedWritebacks << ' ' << s.writeBufferStalls << ' '
+       << s.busTransactions << ' ' << s.memoryWrites << ' ' << s.refs
+       << " end";
+    return os.str();
+}
+
+Result<std::pair<std::size_t, SimSummary>>
+decodeSummaryLine(const std::string &line)
+{
+    std::istringstream is(line);
+    std::vector<std::string> tok;
+    std::string t;
+    while (is >> t)
+        tok.push_back(t);
+    if (tok.size() != 22 || tok.front() != "cell" ||
+        tok.back() != "end")
+        return makeError(ErrorKind::Parse,
+                         "malformed checkpoint cell line");
+
+    std::uint64_t idx, kind, l1, l2, split;
+    if (!parseU64(tok[1], idx) || !parseU64(tok[2], kind) ||
+        !parseU64(tok[3], l1) || !parseU64(tok[4], l2) ||
+        !parseU64(tok[5], split) || kind > 2 || split > 1)
+        return makeError(ErrorKind::Parse,
+                         "malformed checkpoint cell geometry");
+
+    SimSummary s;
+    s.kind = static_cast<HierarchyKind>(kind);
+    s.l1Size = static_cast<std::uint32_t>(l1);
+    s.l2Size = static_cast<std::uint32_t>(l2);
+    s.split = split != 0;
+
+    double *doubles[] = {&s.h1, &s.h2, &s.h1Instr, &s.h1Read,
+                         &s.h1Write};
+    for (std::size_t i = 0; i < 5; ++i)
+        if (!parseDouble(tok[6 + i], *doubles[i]))
+            return makeError(ErrorKind::Parse,
+                             "malformed checkpoint hit ratio '",
+                             tok[6 + i], "'");
+
+    if (tok[11] != "-") {
+        std::istringstream ms(tok[11]);
+        std::string item;
+        while (std::getline(ms, item, ',')) {
+            std::uint64_t v;
+            if (!parseU64(item, v))
+                return makeError(ErrorKind::Parse,
+                                 "malformed checkpoint message list");
+            s.l1MsgsPerCpu.push_back(v);
+        }
+    }
+
+    std::uint64_t *counts[] = {
+        &s.inclusionInvalidations, &s.synonymHits, &s.synonymMoves,
+        &s.writebackCancels, &s.swappedWritebacks,
+        &s.writeBufferStalls, &s.busTransactions, &s.memoryWrites,
+        &s.refs};
+    for (std::size_t i = 0; i < 9; ++i)
+        if (!parseU64(tok[12 + i], *counts[i]))
+            return makeError(ErrorKind::Parse,
+                             "malformed checkpoint counter '",
+                             tok[12 + i], "'");
+
+    return std::make_pair(static_cast<std::size_t>(idx), s);
+}
+
+std::string
+campaignKey(const TraceBundle &bundle, const std::vector<SimJob> &jobs)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    h = fnv1a(h, bundle.profile.name);
+    h = fnv1a(h, bundle.profile.seed);
+    h = fnv1a(h, bundle.records.size());
+    for (const SimJob &j : jobs) {
+        h = fnv1a(h, static_cast<std::uint64_t>(j.kind));
+        h = fnv1a(h, j.l1Size);
+        h = fnv1a(h, j.l2Size);
+        h = fnv1a(h, j.split ? 1 : 0);
+        h = fnv1a(h, j.invariantPeriod);
+    }
+    std::ostringstream os;
+    os << std::hex << h;
+    return os.str();
+}
+
+CampaignRunner::CampaignRunner(CampaignOptions opt)
+    : _opt(std::move(opt))
+{
+}
+
+namespace
+{
+
+/** Restore completed cells from an existing journal. */
+Status
+parseJournal(std::istream &in, const std::string &path,
+             const std::string &key, std::size_t n,
+             CampaignResult &res)
+{
+    std::string line;
+    if (!std::getline(in, line) || line != journalMagicLine)
+        return makeErrorAt(ErrorKind::Mismatch, path, 1,
+                           "not a vrc campaign checkpoint journal");
+    std::uint64_t lineno = 1;
+    if (!std::getline(in, line))
+        return makeErrorAt(ErrorKind::Mismatch, path, 2,
+                           "checkpoint journal missing its key line");
+    ++lineno;
+    {
+        std::istringstream ls(line);
+        std::string kw1, jkey, kw2;
+        std::uint64_t cells = 0;
+        if (!(ls >> kw1 >> jkey >> kw2 >> cells) || kw1 != "key" ||
+            kw2 != "cells")
+            return makeErrorAt(ErrorKind::Mismatch, path, 2,
+                               "malformed checkpoint key line");
+        if (jkey != key)
+            return makeErrorAt(
+                ErrorKind::Mismatch, path, 2,
+                "checkpoint belongs to a different campaign (key ",
+                jkey, ", this campaign is ", key, ")");
+        if (cells != n)
+            return makeErrorAt(
+                ErrorKind::Mismatch, path, 2,
+                "checkpoint cell count ", cells,
+                " does not match this campaign (", n, " cells)");
+    }
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        Result<std::pair<std::size_t, SimSummary>> cell =
+            decodeSummaryLine(line);
+        if (!cell) {
+            // Expected after a SIGKILL mid-append: the torn tail line
+            // simply does not count as completed work.
+            warn("ignoring corrupt checkpoint line ", lineno, " in ",
+                 path, " (", cell.error().message, ")");
+            continue;
+        }
+        auto [idx, s] = cell.take();
+        if (idx >= n) {
+            warn("ignoring out-of-range checkpoint cell ", idx,
+                 " in ", path);
+            continue;
+        }
+        if (!res.completed[idx]) {
+            res.completed[idx] = true;
+            res.summaries[idx] = s;
+            ++res.restored;
+        }
+    }
+    return okStatus();
+}
+
+} // namespace
+
+Result<CampaignResult>
+CampaignRunner::run(std::size_t n, const std::string &key,
+                    const CampaignCellFn &fn) const
+{
+    CampaignResult res;
+    res.summaries.resize(n);
+    res.completed.assign(n, false);
+
+    std::ofstream journal;
+    if (!_opt.checkpoint.empty()) {
+        bool append = false;
+        if (_opt.resume) {
+            std::ifstream in(_opt.checkpoint);
+            if (in) {
+                Status loaded =
+                    parseJournal(in, _opt.checkpoint, key, n, res);
+                if (!loaded)
+                    return loaded.error();
+                append = true;
+            }
+        }
+        journal.open(_opt.checkpoint,
+                     append ? std::ios::app : std::ios::trunc);
+        if (!journal)
+            return makeError(ErrorKind::Io,
+                             "cannot open checkpoint journal for "
+                             "writing: ",
+                             _opt.checkpoint);
+        if (!append) {
+            journal << journalMagicLine << "\nkey " << key
+                    << " cells " << n << "\n";
+            journal.flush();
+        }
+    }
+
+    std::vector<std::size_t> pending;
+    for (std::size_t i = 0; i < n; ++i)
+        if (!res.completed[i])
+            pending.push_back(i);
+
+    std::mutex mu; // journal, quarantine list, stragglers
+    std::vector<std::thread> stragglers;
+
+    // One attempt of one cell, under the watchdog when configured.
+    auto attempt = [&](std::size_t idx,
+                       unsigned attempt_no) -> AttemptOutcome {
+        auto invoke = [&fn, idx,
+                       attempt_no](const CancelToken &tok) {
+            maybeInjectCellFault(idx, attempt_no, tok);
+            return fn(idx, tok);
+        };
+        if (_opt.deadlineSeconds <= 0.0) {
+            CancelToken token;
+            return invokeGuarded(invoke, token);
+        }
+        auto st = std::make_shared<AttemptState>();
+        std::thread th([st, invoke] {
+            AttemptOutcome out = invokeGuarded(invoke, st->token);
+            {
+                std::lock_guard<std::mutex> g(st->mu);
+                st->out = std::move(out);
+                st->done = true;
+            }
+            st->cv.notify_all();
+        });
+        std::unique_lock<std::mutex> lk(st->mu);
+        bool finished = st->cv.wait_for(
+            lk, std::chrono::duration<double>(_opt.deadlineSeconds),
+            [&] { return st->done; });
+        if (finished) {
+            lk.unlock();
+            th.join();
+            return st->out;
+        }
+        // Watchdog: ask the cell to stop and move on; the straggler
+        // thread is joined before run() returns so it cannot outlive
+        // the caller's data.
+        st->token.cancel();
+        lk.unlock();
+        {
+            std::lock_guard<std::mutex> g(mu);
+            stragglers.push_back(std::move(th));
+        }
+        AttemptOutcome out;
+        out.timedOut = true;
+        out.kind = ErrorKind::Timeout;
+        std::ostringstream os;
+        os << "watchdog: deadline of " << _opt.deadlineSeconds
+           << " s exceeded";
+        out.error = os.str();
+        return out;
+    };
+
+    ParallelRunner pool(_opt.jobs);
+    pool.forEachIndex(pending.size(), [&](std::size_t pi) {
+        std::size_t idx = pending[pi];
+        CellFailure fail;
+        fail.index = idx;
+        for (unsigned a = 0;; ++a) {
+            fail.attempts = a + 1;
+            AttemptOutcome out = attempt(idx, a);
+            if (out.ok) {
+                std::lock_guard<std::mutex> g(mu);
+                res.summaries[idx] = std::move(out.summary);
+                res.completed[idx] = true;
+                if (journal.is_open()) {
+                    journal << encodeSummaryLine(idx,
+                                                 res.summaries[idx])
+                            << "\n";
+                    journal.flush();
+                }
+                return;
+            }
+            fail.timedOut = out.timedOut;
+            fail.kind = out.kind;
+            fail.error = out.error;
+            if (a >= _opt.maxRetries)
+                break;
+            double backoff = _opt.backoffSeconds *
+                             static_cast<double>(
+                                 std::uint64_t{1} << std::min(a, 20u));
+            backoff = std::min(backoff, _opt.backoffCapSeconds);
+            warn("cell ", idx, " attempt ", a + 1, " failed (",
+                 fail.error, "); retrying in ", backoff, " s");
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(backoff));
+        }
+        warn("cell ", idx, " quarantined after ", fail.attempts,
+             " attempt", fail.attempts == 1 ? "" : "s", ": ",
+             fail.error);
+        std::lock_guard<std::mutex> g(mu);
+        res.quarantined.push_back(fail);
+    });
+
+    for (std::thread &t : stragglers)
+        t.join();
+
+    std::sort(res.quarantined.begin(), res.quarantined.end(),
+              [](const CellFailure &a, const CellFailure &b) {
+                  return a.index < b.index;
+              });
+
+    if (!_opt.manifest.empty()) {
+        std::ofstream mf(_opt.manifest, std::ios::trunc);
+        if (!mf)
+            warn("cannot write failure manifest ", _opt.manifest);
+        else
+            mf << failureManifestToJson(res) << "\n";
+    }
+    return res;
+}
+
+Result<CampaignResult>
+runSimulationCampaign(const TraceBundle &bundle,
+                      const std::vector<SimJob> &jobs,
+                      const CampaignOptions &opt)
+{
+    CampaignRunner runner(opt);
+    return runner.run(
+        jobs.size(), campaignKey(bundle, jobs),
+        [&](std::size_t i, const CancelToken &token) {
+            return runSimulationCancellable(bundle, jobs[i], token);
+        });
+}
+
+std::string
+failureManifestToJson(const CampaignResult &r)
+{
+    std::ostringstream os;
+    os << "{\"cells\":" << r.completed.size()
+       << ",\"completed\":" << r.completedCells()
+       << ",\"quarantined\":[";
+    for (std::size_t i = 0; i < r.quarantined.size(); ++i) {
+        const CellFailure &f = r.quarantined[i];
+        os << (i ? "," : "") << "{\"cell\":" << f.index
+           << ",\"attempts\":" << f.attempts << ",\"timed_out\":"
+           << (f.timedOut ? "true" : "false") << ",\"kind\":\""
+           << errorKindName(f.kind) << "\",\"error\":\""
+           << jsonEscape(f.error) << "\"}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+std::string
+campaignResultToJson(const CampaignResult &r)
+{
+    std::ostringstream os;
+    os << "{\"cells\":" << r.completed.size()
+       << ",\"completed\":" << r.completedCells()
+       << ",\"results\":[";
+    bool first = true;
+    for (std::size_t i = 0; i < r.completed.size(); ++i) {
+        if (!r.completed[i])
+            continue;
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"cell\":" << i
+           << ",\"summary\":" << toJson(r.summaries[i]) << "}";
+    }
+    os << "],\"quarantined\":[";
+    for (std::size_t i = 0; i < r.quarantined.size(); ++i) {
+        const CellFailure &f = r.quarantined[i];
+        os << (i ? "," : "") << "{\"cell\":" << f.index
+           << ",\"attempts\":" << f.attempts << ",\"timed_out\":"
+           << (f.timedOut ? "true" : "false") << ",\"error\":\""
+           << jsonEscape(f.error) << "\"}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+} // namespace vrc

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "base/fault.hh"
 #include "sim/parallel_runner.hh"
 
 namespace vrc
@@ -23,21 +24,13 @@ makeMachineConfig(HierarchyKind kind, std::uint32_t l1_size,
 }
 
 SimSummary
-runSimulation(const TraceBundle &bundle, HierarchyKind kind,
-              std::uint32_t l1_size, std::uint32_t l2_size, bool split,
-              std::uint64_t invariant_period)
+summarizeSimulation(const MpSimulator &sim, const SimJob &job)
 {
-    MachineConfig mc = makeMachineConfig(kind, l1_size, l2_size,
-                                         bundle.profile.pageSize, split);
-    mc.invariantPeriod = invariant_period;
-    MpSimulator sim(mc, bundle.profile);
-    sim.run(bundle.records);
-
     SimSummary s;
-    s.kind = kind;
-    s.l1Size = l1_size;
-    s.l2Size = l2_size;
-    s.split = split;
+    s.kind = job.kind;
+    s.l1Size = job.l1Size;
+    s.l2Size = job.l2Size;
+    s.split = job.split;
     s.h1 = sim.h1();
     s.h2 = sim.h2();
     s.h1Instr = sim.h1ForType(RefType::Instr);
@@ -57,6 +50,40 @@ runSimulation(const TraceBundle &bundle, HierarchyKind kind,
     s.memoryWrites = sim.totalCounter("memory_writes");
     s.refs = sim.refsProcessed();
     return s;
+}
+
+SimSummary
+runSimulation(const TraceBundle &bundle, HierarchyKind kind,
+              std::uint32_t l1_size, std::uint32_t l2_size, bool split,
+              std::uint64_t invariant_period)
+{
+    SimJob job{kind, l1_size, l2_size, split, invariant_period};
+    MachineConfig mc = makeMachineConfig(kind, l1_size, l2_size,
+                                         bundle.profile.pageSize, split);
+    mc.invariantPeriod = invariant_period;
+    MpSimulator sim(mc, bundle.profile);
+    sim.run(bundle.records);
+    return summarizeSimulation(sim, job);
+}
+
+SimSummary
+runSimulationCancellable(const TraceBundle &bundle, const SimJob &job,
+                         const CancelToken &token)
+{
+    MachineConfig mc =
+        makeMachineConfig(job.kind, job.l1Size, job.l2Size,
+                          bundle.profile.pageSize, job.split);
+    mc.invariantPeriod = job.invariantPeriod;
+    MpSimulator sim(mc, bundle.profile);
+    constexpr std::size_t pollMask = 0x1FFF; // every 8192 records
+    for (std::size_t i = 0; i < bundle.records.size(); ++i) {
+        if ((i & pollMask) == 0 && token.cancelled())
+            throw ErrorException(makeError(
+                ErrorKind::Cancelled, "simulation cancelled after ",
+                i, " of ", bundle.records.size(), " records"));
+        sim.step(bundle.records[i]);
+    }
+    return summarizeSimulation(sim, job);
 }
 
 std::vector<SimSummary>
@@ -97,6 +124,11 @@ benchScaleFromArgs(int argc, char **argv, double quick)
         else if (std::strncmp(argv[i], "--jobs=", 7) == 0)
             ParallelRunner::setDefaultJobs(
                 static_cast<unsigned>(std::atoi(argv[i] + 7)));
+        else if (std::strncmp(argv[i], "--inject-faults=", 16) == 0) {
+            Status armed = configureFaultInjection(argv[i] + 16);
+            if (!armed)
+                fatal(armed.error().describe());
+        }
     }
     if (scale != 0.0)
         return scale;

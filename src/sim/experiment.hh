@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "base/cancel.hh"
+#include "base/error.hh"
 #include "sim/mp_sim.hh"
 #include "trace/generator.hh"
 
@@ -70,6 +72,20 @@ struct SimJob
     bool split = false;
     std::uint64_t invariantPeriod = 0;
 };
+
+/** Collect the table-facing counters from a finished simulator. */
+SimSummary summarizeSimulation(const MpSimulator &sim,
+                               const SimJob &job);
+
+/**
+ * runSimulation() with a cooperative cancellation point every few
+ * thousand records: when the watchdog cancels @p token mid-replay,
+ * the run unwinds with an ErrorException of kind Cancelled instead of
+ * burning the rest of the trace. Used by the campaign engine.
+ */
+SimSummary runSimulationCancellable(const TraceBundle &bundle,
+                                    const SimJob &job,
+                                    const CancelToken &token);
 
 /**
  * Run every job against @p bundle, possibly concurrently, and return

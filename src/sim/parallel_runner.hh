@@ -18,12 +18,58 @@
 #include <cstddef>
 #include <exception>
 #include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 namespace vrc
 {
+
+/** One failed job: which index threw, and what it threw. */
+struct JobFailure
+{
+    std::size_t index = 0;
+    std::string message;          ///< what() of the thrown exception
+    std::exception_ptr exception; ///< the original exception
+};
+
+/**
+ * Thrown by ParallelRunner::forEachIndex() after all jobs have
+ * drained when at least one of them threw. Carries *every* failure
+ * (sorted by job index), so a campaign sees the full casualty list,
+ * not just whichever worker lost the race to the error slot.
+ */
+class ParallelJobError : public std::runtime_error
+{
+  public:
+    explicit ParallelJobError(std::vector<JobFailure> failures)
+        : std::runtime_error(describe(failures)),
+          _failures(std::move(failures))
+    {
+    }
+
+    const std::vector<JobFailure> &failures() const
+    {
+        return _failures;
+    }
+
+  private:
+    static std::string
+    describe(const std::vector<JobFailure> &failures)
+    {
+        std::ostringstream os;
+        os << failures.size() << " parallel job"
+           << (failures.size() == 1 ? "" : "s") << " failed;";
+        for (const JobFailure &f : failures)
+            os << " [job " << f.index << ": " << f.message << "]";
+        return os.str();
+    }
+
+    std::vector<JobFailure> _failures;
+};
 
 /** A fork-join pool with index-ordered results. */
 class ParallelRunner
@@ -41,46 +87,53 @@ class ParallelRunner
      * Invoke fn(i) for every i in [0, n), spread over the pool.
      *
      * Work is handed out through an atomic cursor, so scheduling is
-     * nondeterministic but the index passed to @p fn is not. The first
-     * exception thrown by any invocation is rethrown here after all
-     * workers have drained.
+     * nondeterministic but the index passed to @p fn is not. A
+     * throwing invocation does not stop the sweep: every remaining
+     * index still runs, and once all work has drained the collected
+     * failures -- each tagged with its job index -- are rethrown
+     * together as a ParallelJobError. This holds for any worker
+     * count, including the inline single-worker path.
      */
     template <typename Fn>
     void
     forEachIndex(std::size_t n, Fn &&fn) const
     {
+        std::vector<JobFailure> failures;
         std::size_t workers = std::min<std::size_t>(_jobs, n);
         if (workers <= 1) {
             for (std::size_t i = 0; i < n; ++i)
-                fn(i);
-            return;
-        }
-        std::atomic<std::size_t> next{0};
-        std::exception_ptr error;
-        std::mutex error_mu;
-        auto worker = [&] {
-            for (;;) {
-                std::size_t i = next.fetch_add(1);
-                if (i >= n)
-                    return;
-                try {
-                    fn(i);
-                } catch (...) {
-                    std::lock_guard<std::mutex> g(error_mu);
-                    if (!error)
-                        error = std::current_exception();
-                    return;
+                runOne(fn, i, failures);
+        } else {
+            std::atomic<std::size_t> next{0};
+            std::mutex mu;
+            auto worker = [&] {
+                std::vector<JobFailure> local;
+                for (;;) {
+                    std::size_t i = next.fetch_add(1);
+                    if (i >= n)
+                        break;
+                    runOne(fn, i, local);
                 }
-            }
-        };
-        std::vector<std::thread> pool;
-        pool.reserve(workers);
-        for (std::size_t t = 0; t < workers; ++t)
-            pool.emplace_back(worker);
-        for (auto &t : pool)
-            t.join();
-        if (error)
-            std::rethrow_exception(error);
+                if (!local.empty()) {
+                    std::lock_guard<std::mutex> g(mu);
+                    for (JobFailure &f : local)
+                        failures.push_back(std::move(f));
+                }
+            };
+            std::vector<std::thread> pool;
+            pool.reserve(workers);
+            for (std::size_t t = 0; t < workers; ++t)
+                pool.emplace_back(worker);
+            for (auto &t : pool)
+                t.join();
+        }
+        if (!failures.empty()) {
+            std::sort(failures.begin(), failures.end(),
+                      [](const JobFailure &a, const JobFailure &b) {
+                          return a.index < b.index;
+                      });
+            throw ParallelJobError(std::move(failures));
+        }
     }
 
     /**
@@ -108,6 +161,22 @@ class ParallelRunner
     static void setDefaultJobs(unsigned jobs);
 
   private:
+    /** Run one index, converting a throw into a recorded failure. */
+    template <typename Fn>
+    static void
+    runOne(Fn &fn, std::size_t i, std::vector<JobFailure> &failures)
+    {
+        try {
+            fn(i);
+        } catch (const std::exception &e) {
+            failures.push_back(
+                {i, e.what(), std::current_exception()});
+        } catch (...) {
+            failures.push_back(
+                {i, "unknown exception", std::current_exception()});
+        }
+    }
+
     unsigned _jobs;
 };
 

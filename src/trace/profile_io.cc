@@ -8,6 +8,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "base/fault.hh"
 #include "base/log.hh"
 
 namespace vrc
@@ -37,16 +38,24 @@ levelsFromString(const std::string &text)
     while (std::getline(is, item, ',')) {
         std::size_t colon = item.find(':');
         if (colon == std::string::npos)
-            fatal("bad data_levels entry '", item,
-                  "' (expected bytes:weight)");
+            throw ErrorException(makeError(
+                ErrorKind::Parse, "bad data_levels entry '", item,
+                "' (expected bytes:weight)"));
         WorkingSetLevel l;
-        l.bytes = static_cast<std::uint32_t>(
-            std::stoul(item.substr(0, colon)));
-        l.weight = std::stod(item.substr(colon + 1));
+        try {
+            l.bytes = static_cast<std::uint32_t>(
+                std::stoul(item.substr(0, colon)));
+            l.weight = std::stod(item.substr(colon + 1));
+        } catch (const std::exception &) {
+            throw ErrorException(makeError(
+                ErrorKind::Parse, "bad data_levels entry '", item,
+                "' (expected bytes:weight)"));
+        }
         levels.push_back(l);
     }
     if (levels.empty())
-        fatal("data_levels must name at least one level");
+        throw ErrorException(makeError(
+            ErrorKind::Parse, "data_levels must name at least one level"));
     return levels;
 }
 
@@ -154,8 +163,8 @@ writeProfile(std::ostream &os, const WorkloadProfile &p)
         os << key << " = " << getter(p) << "\n";
 }
 
-WorkloadProfile
-readProfile(std::istream &is)
+Result<WorkloadProfile>
+tryReadProfile(std::istream &is, const std::string &context)
 {
     WorkloadProfile p;
     std::string line;
@@ -167,15 +176,34 @@ readProfile(std::istream &is)
             continue;
         std::size_t eq = t.find('=');
         if (eq == std::string::npos)
-            fatal("profile line ", lineno, " has no '=': '", t, "'");
+            return makeErrorAt(ErrorKind::Parse, context, lineno,
+                               "profile line has no '=': '", t, "'");
         std::string key = trim(t.substr(0, eq));
         std::string value = trim(t.substr(eq + 1));
         auto it = binder().setters.find(key);
         if (it == binder().setters.end())
-            fatal("unknown profile key '", key, "' at line ", lineno);
-        it->second(p, value);
+            return makeErrorAt(ErrorKind::Parse, context, lineno,
+                               "unknown profile key '", key, "'");
+        try {
+            it->second(p, value);
+        } catch (const ErrorException &e) {
+            Error err = e.err();
+            err.context = context;
+            err.line = lineno;
+            return err;
+        } catch (const std::exception &) {
+            return makeErrorAt(ErrorKind::Parse, context, lineno,
+                               "bad value '", value,
+                               "' for profile key '", key, "'");
+        }
     }
     return p;
+}
+
+WorkloadProfile
+readProfile(std::istream &is)
+{
+    return tryReadProfile(is).orDie();
 }
 
 void
@@ -187,13 +215,28 @@ saveProfile(const std::string &path, const WorkloadProfile &p)
     writeProfile(os, p);
 }
 
-WorkloadProfile
-loadProfile(const std::string &path)
+Result<WorkloadProfile>
+tryLoadProfile(const std::string &path)
 {
     std::ifstream is(path);
     if (!is)
-        fatal("cannot open profile file: ", path);
-    return readProfile(is);
+        return makeError(ErrorKind::Io,
+                         "cannot open profile file: ", path);
+    if (faultsArmed()) {
+        std::ostringstream buf;
+        buf << is.rdbuf();
+        std::string bytes = buf.str();
+        injectInputFaults("profile", path, bytes);
+        std::istringstream in(bytes);
+        return tryReadProfile(in, path);
+    }
+    return tryReadProfile(is, path);
+}
+
+WorkloadProfile
+loadProfile(const std::string &path)
+{
+    return tryLoadProfile(path).orDie();
 }
 
 } // namespace vrc

@@ -5,7 +5,7 @@
  * Profiles are stored as plain "key = value" text so users can define
  * custom workloads for the CLI tools without recompiling. All keys are
  * optional; unset keys keep the default-constructed value. Unknown
- * keys are fatal (they are always typos). The format round-trips:
+ * keys are errors (they are always typos). The format round-trips:
  * saveProfile followed by loadProfile reproduces the profile exactly.
  *
  *     name = mywork
@@ -14,6 +14,10 @@
  *     instr_frac = 0.5
  *     data_levels = 1024:0.5, 8192:0.3, 262144:0.2
  *     ...
+ *
+ * The `try*` readers report malformed lines, unknown keys, and
+ * unparsable values as a Result with line context; the legacy entry
+ * points wrap them with fatal() for the CLI tools.
  */
 
 #ifndef VRC_TRACE_PROFILE_IO_HH
@@ -22,6 +26,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "base/error.hh"
 #include "trace/workload.hh"
 
 namespace vrc
@@ -31,13 +36,28 @@ namespace vrc
 void writeProfile(std::ostream &os, const WorkloadProfile &p);
 
 /**
- * Parse a profile. Starts from a default-constructed WorkloadProfile.
- * fatal() on malformed lines or unknown keys.
+ * Parse a profile from a default-constructed WorkloadProfile.
+ * Malformed lines, unknown keys, and bad values are Parse errors
+ * carrying the 1-based line number and @p context.
  */
+Result<WorkloadProfile>
+tryReadProfile(std::istream &is,
+               const std::string &context = "<stream>");
+
+/** Legacy wrapper: fatal() on any tryReadProfile() error. */
 WorkloadProfile readProfile(std::istream &is);
 
-/** File wrappers; fatal() when the file cannot be opened. */
+/** Write a profile file. fatal() when the file cannot be opened. */
 void saveProfile(const std::string &path, const WorkloadProfile &p);
+
+/**
+ * Read and validate a profile file; a missing file is an Io error.
+ * Under --inject-faults the loaded bytes pass through the fault
+ * injector before parsing.
+ */
+Result<WorkloadProfile> tryLoadProfile(const std::string &path);
+
+/** Legacy wrapper: fatal() on any tryLoadProfile() error. */
 WorkloadProfile loadProfile(const std::string &path);
 
 } // namespace vrc

@@ -6,6 +6,14 @@
  * followed by packed TraceRecords. Text format: one record per line,
  * "cpu type pid vaddr" with the type as a letter (I/R/W/S), for
  * human inspection and for importing external traces.
+ *
+ * Every reader comes in two flavors: a `try*` form that fully
+ * validates the input (magic, version, record count against the
+ * stream size, type letters/bytes, field ranges) and reports failures
+ * as a Result carrying file/line context, and a legacy form that
+ * wraps it with fatal() for interactive tools. Campaign code must use
+ * the `try*` forms: a corrupt input is a quarantined cell, not a dead
+ * process.
  */
 
 #ifndef VRC_TRACE_TRACE_IO_HH
@@ -16,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "base/error.hh"
 #include "trace/record.hh"
 
 namespace vrc
@@ -28,6 +37,12 @@ inline constexpr std::uint32_t traceMagic = 0x54435256;
 inline constexpr std::uint32_t traceVersion = 1;
 
 /**
+ * Parse a reference-type letter (I/R/W/S). An unknown letter is a
+ * Parse error naming the letter; the caller attaches line context.
+ */
+Result<RefType> refTypeFromLetter(char c);
+
+/**
  * Write @p records to @p os in binary format.
  *
  * @return bytes written.
@@ -36,10 +51,18 @@ std::uint64_t writeTraceBinary(std::ostream &os,
                                const std::vector<TraceRecord> &records);
 
 /**
- * Read a binary trace.
+ * Read and fully validate a binary trace.
  *
- * Calls fatal() on malformed input (bad magic, truncated body).
+ * Rejects, without allocating the record array first: a short or
+ * bad-magic header, an unsupported version, and a record count
+ * inconsistent with the remaining stream size. Record type bytes are
+ * validated after the read. @p context names the source in errors.
  */
+Result<std::vector<TraceRecord>>
+tryReadTraceBinary(std::istream &is,
+                   const std::string &context = "<stream>");
+
+/** Legacy wrapper: fatal() on any tryReadTraceBinary() error. */
 std::vector<TraceRecord> readTraceBinary(std::istream &is);
 
 /** Write @p records in the line-oriented text format. */
@@ -47,9 +70,15 @@ void writeTraceText(std::ostream &os,
                     const std::vector<TraceRecord> &records);
 
 /**
- * Read a text trace. Blank lines and lines starting with '#' are skipped.
- * Calls fatal() on malformed lines.
+ * Read a text trace. Blank lines and lines starting with '#' are
+ * skipped. Malformed lines, unknown type letters, and out-of-range
+ * cpu/pid fields are Parse errors carrying the 1-based line number.
  */
+Result<std::vector<TraceRecord>>
+tryReadTraceText(std::istream &is,
+                 const std::string &context = "<stream>");
+
+/** Legacy wrapper: fatal() on any tryReadTraceText() error. */
 std::vector<TraceRecord> readTraceText(std::istream &is);
 
 /**
@@ -57,8 +86,13 @@ std::vector<TraceRecord> readTraceText(std::istream &is);
  * per line, label 0 = data read, 1 = data write, 2 = instruction
  * fetch. Dinero traces are uniprocessor with no process information;
  * all records are attributed to @p cpu and @p pid. Blank lines and
- * '#' comments are skipped; fatal() on malformed input.
+ * '#' comments are skipped.
  */
+Result<std::vector<TraceRecord>>
+tryReadTraceDinero(std::istream &is, CpuId cpu = 0, ProcessId pid = 0,
+                   const std::string &context = "<stream>");
+
+/** Legacy wrapper: fatal() on any tryReadTraceDinero() error. */
 std::vector<TraceRecord> readTraceDinero(std::istream &is,
                                          CpuId cpu = 0,
                                          ProcessId pid = 0);
@@ -67,7 +101,14 @@ std::vector<TraceRecord> readTraceDinero(std::istream &is,
 void saveTrace(const std::string &path,
                const std::vector<TraceRecord> &records);
 
-/** Read a binary trace file. fatal() if the file cannot be opened. */
+/**
+ * Read and validate a binary trace file. Errors (including a missing
+ * file) come back as a Result; under --inject-faults the loaded bytes
+ * pass through the fault injector before parsing.
+ */
+Result<std::vector<TraceRecord>> tryLoadTrace(const std::string &path);
+
+/** Legacy wrapper: fatal() on any tryLoadTrace() error. */
 std::vector<TraceRecord> loadTrace(const std::string &path);
 
 } // namespace vrc

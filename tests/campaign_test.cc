@@ -1,0 +1,280 @@
+/**
+ * @file
+ * CampaignRunner tests: journal round-trip, kill/resume equivalence,
+ * key mismatch rejection, retry, quarantine, and the watchdog.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/error.hh"
+#include "sim/campaign.hh"
+
+namespace vrc
+{
+namespace
+{
+
+/** Deterministic, index-dependent summary for synthetic cells. */
+SimSummary
+cellSummary(std::size_t i)
+{
+    SimSummary s;
+    s.kind = static_cast<HierarchyKind>(i % 3);
+    s.l1Size = static_cast<std::uint32_t>(4096 << (i % 3));
+    s.l2Size = s.l1Size * 16;
+    s.split = (i % 2) != 0;
+    s.h1 = 1.0 / static_cast<double>(i + 3); // not exactly
+                                             // representable
+    s.h2 = 2.0 / 7.0;
+    s.h1Instr = 0.5;
+    s.h1Read = 1.0 / 3.0;
+    s.h1Write = 0.0;
+    for (std::size_t c = 0; c < i % 4; ++c)
+        s.l1MsgsPerCpu.push_back(1000 * i + c);
+    s.inclusionInvalidations = i;
+    s.synonymHits = 2 * i;
+    s.busTransactions = 123456789 + i;
+    s.refs = 1'000'000 + i;
+    return s;
+}
+
+/** RAII temp file path. */
+struct TempPath
+{
+    std::string path;
+
+    explicit TempPath(const std::string &name)
+        : path(std::string(::testing::TempDir()) + name)
+    {
+        std::remove(path.c_str());
+    }
+
+    ~TempPath() { std::remove(path.c_str()); }
+};
+
+TEST(CampaignJournalTest, SummaryLineRoundTripsExactly)
+{
+    for (std::size_t i = 0; i < 8; ++i) {
+        SimSummary s = cellSummary(i);
+        auto r = decodeSummaryLine(encodeSummaryLine(i, s));
+        ASSERT_TRUE(r.ok()) << r.error().describe();
+        auto [idx, back] = r.take();
+        EXPECT_EQ(idx, i);
+        EXPECT_EQ(back.kind, s.kind);
+        EXPECT_EQ(back.l1Size, s.l1Size);
+        EXPECT_EQ(back.l2Size, s.l2Size);
+        EXPECT_EQ(back.split, s.split);
+        // Bit-exact, not approximately equal: resume must reproduce
+        // the uninterrupted table byte for byte.
+        EXPECT_EQ(back.h1, s.h1);
+        EXPECT_EQ(back.h2, s.h2);
+        EXPECT_EQ(back.h1Read, s.h1Read);
+        EXPECT_EQ(back.l1MsgsPerCpu, s.l1MsgsPerCpu);
+        EXPECT_EQ(back.busTransactions, s.busTransactions);
+        EXPECT_EQ(back.refs, s.refs);
+    }
+}
+
+TEST(CampaignJournalTest, MalformedLinesRejected)
+{
+    EXPECT_FALSE(decodeSummaryLine("").ok());
+    EXPECT_FALSE(decodeSummaryLine("cell 0").ok());
+    EXPECT_FALSE(decodeSummaryLine("nonsense").ok());
+    // A torn line: the terminator is missing.
+    std::string line = encodeSummaryLine(3, cellSummary(3));
+    EXPECT_FALSE(
+        decodeSummaryLine(line.substr(0, line.size() - 4)).ok());
+}
+
+TEST(CampaignRunnerTest, RunsAllCellsWithoutCheckpoint)
+{
+    CampaignRunner runner{CampaignOptions{}};
+    auto r = runner.run(5, "k", [](std::size_t i, const CancelToken &) {
+        return cellSummary(i);
+    });
+    ASSERT_TRUE(r.ok());
+    CampaignResult res = r.take();
+    EXPECT_TRUE(res.allOk());
+    EXPECT_EQ(res.completedCells(), 5u);
+    EXPECT_EQ(res.restored, 0u);
+    EXPECT_EQ(res.summaries[4].refs, cellSummary(4).refs);
+}
+
+TEST(CampaignRunnerTest, ResumeSkipsJournaledCellsAndMatches)
+{
+    TempPath ck("campaign_resume.ckpt");
+    const std::size_t n = 6;
+
+    CampaignOptions full_opt;
+    full_opt.checkpoint = ck.path;
+    full_opt.jobs = 2;
+    auto full = CampaignRunner{full_opt}.run(
+        n, "key1",
+        [](std::size_t i, const CancelToken &) {
+            return cellSummary(i);
+        });
+    ASSERT_TRUE(full.ok());
+    std::string full_json = campaignResultToJson(full.value());
+
+    // Simulate a SIGKILL after three completed cells plus a torn
+    // partial line from a write in flight.
+    std::ifstream in(ck.path);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    in.close();
+    ASSERT_EQ(lines.size(), 2 + n);
+    std::ofstream out(ck.path, std::ios::trunc);
+    for (std::size_t i = 0; i < 5; ++i)
+        out << lines[i] << "\n";
+    out << lines[5].substr(0, lines[5].size() / 2); // torn, no "\n"
+    out.close();
+
+    std::atomic<unsigned> ran{0};
+    CampaignOptions res_opt;
+    res_opt.checkpoint = ck.path;
+    res_opt.resume = true;
+    res_opt.jobs = 3; // different worker count on purpose
+    auto resumed = CampaignRunner{res_opt}.run(
+        n, "key1",
+        [&](std::size_t i, const CancelToken &) {
+            ++ran;
+            return cellSummary(i);
+        });
+    ASSERT_TRUE(resumed.ok());
+    EXPECT_EQ(resumed.value().restored, 3u);
+    EXPECT_EQ(ran.load(), n - 3);
+    EXPECT_EQ(campaignResultToJson(resumed.value()), full_json);
+}
+
+TEST(CampaignRunnerTest, ResumeRejectsForeignCheckpoint)
+{
+    TempPath ck("campaign_foreign.ckpt");
+    CampaignOptions opt;
+    opt.checkpoint = ck.path;
+    auto fn = [](std::size_t i, const CancelToken &) {
+        return cellSummary(i);
+    };
+    ASSERT_TRUE(CampaignRunner{opt}.run(3, "keyA", fn).ok());
+
+    opt.resume = true;
+    auto other_key = CampaignRunner{opt}.run(3, "keyB", fn);
+    ASSERT_FALSE(other_key.ok());
+    EXPECT_EQ(other_key.error().kind, ErrorKind::Mismatch);
+
+    auto other_n = CampaignRunner{opt}.run(4, "keyA", fn);
+    ASSERT_FALSE(other_n.ok());
+    EXPECT_EQ(other_n.error().kind, ErrorKind::Mismatch);
+}
+
+TEST(CampaignRunnerTest, ResumeWithMissingJournalStartsFresh)
+{
+    TempPath ck("campaign_fresh.ckpt");
+    CampaignOptions opt;
+    opt.checkpoint = ck.path;
+    opt.resume = true;
+    auto r = CampaignRunner{opt}.run(
+        2, "k", [](std::size_t i, const CancelToken &) {
+            return cellSummary(i);
+        });
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().restored, 0u);
+    EXPECT_EQ(r.value().completedCells(), 2u);
+}
+
+TEST(CampaignRunnerTest, RetryRecoversTransientFailures)
+{
+    // Every cell fails on its first attempt only.
+    std::vector<std::atomic<unsigned>> attempts(4);
+    CampaignOptions opt;
+    opt.maxRetries = 2;
+    opt.backoffSeconds = 0.001;
+    auto r = CampaignRunner{opt}.run(
+        4, "k", [&](std::size_t i, const CancelToken &) {
+            if (attempts[i]++ == 0)
+                throw ErrorException(makeError(
+                    ErrorKind::Worker, "transient failure"));
+            return cellSummary(i);
+        });
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.value().allOk());
+    for (auto &a : attempts)
+        EXPECT_EQ(a.load(), 2u);
+}
+
+TEST(CampaignRunnerTest, PersistentFailureIsQuarantined)
+{
+    TempPath mf("campaign_quarantine.manifest");
+    CampaignOptions opt;
+    opt.maxRetries = 1;
+    opt.backoffSeconds = 0.001;
+    opt.manifest = mf.path;
+    auto r = CampaignRunner{opt}.run(
+        5, "k", [](std::size_t i, const CancelToken &) {
+            if (i == 2)
+                throw ErrorException(
+                    makeError(ErrorKind::Parse, "cell 2 is cursed"));
+            return cellSummary(i);
+        });
+    ASSERT_TRUE(r.ok());
+    CampaignResult res = r.take();
+    EXPECT_FALSE(res.allOk());
+    EXPECT_EQ(res.completedCells(), 4u); // healthy cells all finish
+    ASSERT_EQ(res.quarantined.size(), 1u);
+    EXPECT_EQ(res.quarantined[0].index, 2u);
+    EXPECT_EQ(res.quarantined[0].attempts, 2u);
+    EXPECT_EQ(res.quarantined[0].kind, ErrorKind::Parse);
+    EXPECT_FALSE(res.quarantined[0].timedOut);
+
+    std::ifstream in(mf.path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    EXPECT_NE(ss.str().find("\"cell\":2"), std::string::npos);
+    EXPECT_NE(ss.str().find("cell 2 is cursed"), std::string::npos);
+}
+
+TEST(CampaignRunnerTest, WatchdogQuarantinesStalledCell)
+{
+    CampaignOptions opt;
+    opt.deadlineSeconds = 0.1;
+    auto r = CampaignRunner{opt}.run(
+        3, "k", [](std::size_t i, const CancelToken &token) {
+            if (i == 1) {
+                // A stalled cell: sleeps forever unless cancelled,
+                // then unwinds like the simulation loop does.
+                while (token.sleepFor(5.0)) {
+                }
+                throw ErrorException(makeError(ErrorKind::Cancelled,
+                                               "cancelled"));
+            }
+            return cellSummary(i);
+        });
+    ASSERT_TRUE(r.ok());
+    CampaignResult res = r.take();
+    EXPECT_EQ(res.completedCells(), 2u);
+    ASSERT_EQ(res.quarantined.size(), 1u);
+    EXPECT_EQ(res.quarantined[0].index, 1u);
+    EXPECT_TRUE(res.quarantined[0].timedOut);
+    EXPECT_EQ(res.quarantined[0].kind, ErrorKind::Timeout);
+}
+
+TEST(CampaignRunnerTest, ResultJsonIndependentOfRestoredCount)
+{
+    CampaignResult a, b;
+    a.summaries = {cellSummary(0)};
+    a.completed = {true};
+    b = a;
+    b.restored = 1;
+    EXPECT_EQ(campaignResultToJson(a), campaignResultToJson(b));
+}
+
+} // namespace
+} // namespace vrc

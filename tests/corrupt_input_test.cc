@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Corrupt- and truncated-input robustness tests.
+ *
+ * Every loader must turn bad bytes into a structured Error -- with the
+ * offending file and line -- through the Result-returning API, and
+ * must never crash, allocate absurdly, or accept garbage. The legacy
+ * wrappers' process-exit behaviour is covered by the existing
+ * trace_io/profile_io death tests; these exercise the recoverable
+ * path the campaign engine relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "trace/profile_io.hh"
+#include "trace/trace_io.hh"
+
+namespace vrc
+{
+namespace
+{
+
+std::string
+binaryTraceBytes(const std::vector<TraceRecord> &records)
+{
+    std::ostringstream os(std::ios::binary);
+    writeTraceBinary(os, records);
+    return os.str();
+}
+
+std::vector<TraceRecord>
+sampleTrace()
+{
+    return {
+        makeRef(0, RefType::Instr, 1, VirtAddr(0x1000)),
+        makeRef(1, RefType::Read, 2, VirtAddr(0x2000)),
+        makeRef(0, RefType::Write, 1, VirtAddr(0x3000)),
+    };
+}
+
+TEST(CorruptInputTest, BinaryBadMagicIsFormatError)
+{
+    std::istringstream is("XXXXXXXXXXXXXXXX", std::ios::binary);
+    auto r = tryReadTraceBinary(is, "bad.vrct");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().kind, ErrorKind::Format);
+    EXPECT_NE(r.error().message.find("bad magic"), std::string::npos);
+    EXPECT_EQ(r.error().context, "bad.vrct");
+}
+
+TEST(CorruptInputTest, BinaryTruncatedHeaderIsParseError)
+{
+    std::istringstream is("VR", std::ios::binary);
+    auto r = tryReadTraceBinary(is, "tiny.vrct");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().kind, ErrorKind::Parse);
+}
+
+TEST(CorruptInputTest, BinaryBodyShorterThanHeaderClaims)
+{
+    std::string bytes = binaryTraceBytes(sampleTrace());
+    // Drop the last record: the header still claims three.
+    bytes.resize(bytes.size() - sizeof(TraceRecord));
+    std::istringstream is(bytes, std::ios::binary);
+    auto r = tryReadTraceBinary(is, "short.vrct");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().kind, ErrorKind::Bounds);
+    EXPECT_NE(r.error().message.find("truncated"), std::string::npos);
+}
+
+TEST(CorruptInputTest, BinaryHugeCountRejectedBeforeAllocating)
+{
+    // A header claiming 2^60 records over an empty body must fail on
+    // the size check, not by attempting a petabyte allocation.
+    std::string bytes = binaryTraceBytes(sampleTrace());
+    std::uint64_t huge = std::uint64_t{1} << 60;
+    bytes.replace(8, 8, reinterpret_cast<const char *>(&huge), 8);
+    std::istringstream is(bytes, std::ios::binary);
+    auto r = tryReadTraceBinary(is, "huge.vrct");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().kind, ErrorKind::Bounds);
+}
+
+TEST(CorruptInputTest, BinaryBadRefTypeByte)
+{
+    std::string bytes = binaryTraceBytes(sampleTrace());
+    bytes[bytes.size() - 1] = 0x7F; // type byte of the last record
+    std::istringstream is(bytes, std::ios::binary);
+    auto r = tryReadTraceBinary(is, "types.vrct");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().message.find("bad reference type"),
+              std::string::npos);
+}
+
+TEST(CorruptInputTest, TextMalformedRecordCarriesLine)
+{
+    std::istringstream is("0 I 1 1000\nnot a record\n");
+    auto r = tryReadTraceText(is, "t.trace");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().kind, ErrorKind::Parse);
+    EXPECT_EQ(r.error().context, "t.trace");
+    EXPECT_EQ(r.error().line, 2u);
+}
+
+TEST(CorruptInputTest, TextBadRefLetterCarriesLine)
+{
+    std::istringstream is("0 I 1 1000\n0 q 1 2000\n");
+    auto r = tryReadTraceText(is, "t.trace");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().message.find("'q'"), std::string::npos);
+    EXPECT_EQ(r.error().line, 2u);
+}
+
+TEST(CorruptInputTest, TextCpuOutOfRangeIsBoundsError)
+{
+    std::istringstream is("99999 I 1 1000\n");
+    auto r = tryReadTraceText(is, "t.trace");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().kind, ErrorKind::Bounds);
+}
+
+TEST(CorruptInputTest, MissingTraceFileIsIoError)
+{
+    auto r = tryLoadTrace("/nonexistent/trace.vrct");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().kind, ErrorKind::Io);
+}
+
+TEST(CorruptInputTest, ProfileLineWithoutEquals)
+{
+    std::istringstream is("name=ok\nbogus line\n");
+    auto r = tryReadProfile(is, "p.profile");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().kind, ErrorKind::Parse);
+    EXPECT_EQ(r.error().line, 2u);
+    EXPECT_NE(r.error().message.find("no '='"), std::string::npos);
+}
+
+TEST(CorruptInputTest, ProfileUnknownKey)
+{
+    std::istringstream is("definitely_not_a_key=3\n");
+    auto r = tryReadProfile(is, "p.profile");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().message.find("unknown profile key"),
+              std::string::npos);
+}
+
+TEST(CorruptInputTest, ProfileBadNumericValue)
+{
+    std::istringstream is("num_cpus=banana\n");
+    auto r = tryReadProfile(is, "p.profile");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().line, 1u);
+}
+
+TEST(CorruptInputTest, ProfileBadDataLevels)
+{
+    std::istringstream is("data_levels=1024\n");
+    auto r = tryReadProfile(is, "p.profile");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().message.find("data_levels"),
+              std::string::npos);
+}
+
+TEST(CorruptInputTest, GoodInputsStillLoad)
+{
+    // The validating path must not reject what the writers produce.
+    std::string bytes = binaryTraceBytes(sampleTrace());
+    std::istringstream bin(bytes, std::ios::binary);
+    auto rb = tryReadTraceBinary(bin, "ok.vrct");
+    ASSERT_TRUE(rb.ok());
+    EXPECT_EQ(rb.value().size(), 3u);
+
+    std::istringstream txt("0 I 1 1000\n1 R 2 2000\n");
+    auto rt = tryReadTraceText(txt, "ok.trace");
+    ASSERT_TRUE(rt.ok());
+    EXPECT_EQ(rt.value().size(), 2u);
+
+    std::istringstream prof("name=t\nnum_cpus=2\n");
+    auto rp = tryReadProfile(prof, "ok.profile");
+    ASSERT_TRUE(rp.ok());
+    EXPECT_EQ(rp.value().numCpus, 2u);
+}
+
+} // namespace
+} // namespace vrc

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tests for the recoverable error taxonomy (base/error.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "base/error.hh"
+
+namespace vrc
+{
+namespace
+{
+
+TEST(ErrorTest, DescribeIncludesKindContextAndLine)
+{
+    Error e = makeErrorAt(ErrorKind::Parse, "pops.trace", 12,
+                          "bad type letter '", 'Q', "'");
+    EXPECT_EQ(e.kind, ErrorKind::Parse);
+    EXPECT_EQ(e.message, "bad type letter 'Q'");
+    EXPECT_EQ(e.describe(),
+              "parse error in pops.trace, line 12: "
+              "bad type letter 'Q'");
+
+    Error bare = makeError(ErrorKind::Io, "disk on fire");
+    EXPECT_EQ(bare.describe(), "io error: disk on fire");
+}
+
+TEST(ErrorTest, KindNamesAreStable)
+{
+    EXPECT_STREQ(errorKindName(ErrorKind::Io), "io");
+    EXPECT_STREQ(errorKindName(ErrorKind::Parse), "parse");
+    EXPECT_STREQ(errorKindName(ErrorKind::Timeout), "timeout");
+    EXPECT_STREQ(errorKindName(ErrorKind::Injected), "injected");
+    EXPECT_STREQ(errorKindName(ErrorKind::Mismatch), "mismatch");
+}
+
+TEST(ResultTest, ValueAndErrorPaths)
+{
+    Result<int> good(7);
+    ASSERT_TRUE(good.ok());
+    EXPECT_TRUE(static_cast<bool>(good));
+    EXPECT_EQ(good.value(), 7);
+    EXPECT_EQ(good.valueOr(9), 7);
+
+    Result<int> bad(makeError(ErrorKind::Bounds, "too big"));
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error().kind, ErrorKind::Bounds);
+    EXPECT_EQ(bad.valueOr(9), 9);
+}
+
+TEST(ResultTest, TakeMovesTheValue)
+{
+    Result<std::string> r(std::string(100, 'x'));
+    std::string s = r.take();
+    EXPECT_EQ(s.size(), 100u);
+}
+
+TEST(ResultTest, OrThrowRaisesErrorException)
+{
+    Result<int> bad(makeError(ErrorKind::Worker, "boom"));
+    try {
+        std::move(bad).orThrow();
+        FAIL() << "expected ErrorException";
+    } catch (const ErrorException &e) {
+        EXPECT_EQ(e.err().kind, ErrorKind::Worker);
+        EXPECT_NE(std::string(e.what()).find("boom"),
+                  std::string::npos);
+    }
+    EXPECT_EQ(Result<int>(3).orThrow(), 3);
+}
+
+TEST(ResultTest, StatusCarriesNoValue)
+{
+    Status ok = okStatus();
+    EXPECT_TRUE(ok.ok());
+    Status bad = makeError(ErrorKind::Cancelled, "stop");
+    EXPECT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error().kind, ErrorKind::Cancelled);
+}
+
+} // namespace
+} // namespace vrc

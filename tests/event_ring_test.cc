@@ -57,8 +57,9 @@ TEST(EventRingTest, SequenceStampsAreGloballyOrdered)
     std::uint64_t prev = 0;
     bool first = true;
     ring.forEach([&](const ProtocolEvent &e) {
-        if (!first)
+        if (!first) {
             EXPECT_EQ(e.seq, prev + 1);
+        }
         prev = e.seq;
         first = false;
     });

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <string>
 #include <tuple>
 
@@ -176,6 +178,25 @@ TEST(FuzzTest, ReplayRejectsGarbage)
     EXPECT_FALSE(replayFromJson("", out));
     EXPECT_FALSE(replayFromJson("{\"seed\": 3}", out));
     EXPECT_FALSE(replayFromJson("{\"format\": 2, \"seed\": 3}", out));
+}
+
+TEST(FuzzTest, TryLoadReplayReportsStructuredErrors)
+{
+    auto missing = tryLoadReplay("/nonexistent/replay.json");
+    ASSERT_FALSE(missing.ok());
+    EXPECT_EQ(missing.error().kind, ErrorKind::Io);
+
+    std::string path =
+        std::string(::testing::TempDir()) + "corrupt_replay.json";
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << "this is not a replay file\n";
+    }
+    auto corrupt = tryLoadReplay(path);
+    ASSERT_FALSE(corrupt.ok());
+    EXPECT_EQ(corrupt.error().kind, ErrorKind::Parse);
+    EXPECT_EQ(corrupt.error().context, path);
+    std::remove(path.c_str());
 }
 
 TEST(FuzzTest, MutationSmokeDetectsPlantedBug)

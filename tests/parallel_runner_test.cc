@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <stdexcept>
+#include <string>
 
 #include "sim/experiment.hh"
 #include "sim/json_stats.hh"
@@ -57,6 +58,34 @@ TEST(ParallelRunnerTest, ExceptionsPropagateToCaller)
                                            throw std::runtime_error("x");
                                    }),
                  std::runtime_error);
+}
+
+TEST(ParallelRunnerTest, CollectsEveryFailureWithItsIndex)
+{
+    // All failing jobs must be reported -- sorted by index, each with
+    // its own message -- and the healthy jobs must still all run.
+    for (unsigned workers : {1u, 4u}) {
+        ParallelRunner pool(workers);
+        std::atomic<unsigned> ran{0};
+        try {
+            pool.forEachIndex(20, [&](std::size_t i) {
+                ++ran;
+                if (i % 7 == 3)
+                    throw std::runtime_error(
+                        "boom " + std::to_string(i));
+            });
+            FAIL() << "expected ParallelJobError";
+        } catch (const ParallelJobError &e) {
+            EXPECT_EQ(ran.load(), 20u);
+            ASSERT_EQ(e.failures().size(), 3u); // i = 3, 10, 17
+            EXPECT_EQ(e.failures()[0].index, 3u);
+            EXPECT_EQ(e.failures()[1].index, 10u);
+            EXPECT_EQ(e.failures()[2].index, 17u);
+            EXPECT_EQ(e.failures()[1].message, "boom 10");
+            EXPECT_NE(std::string(e.what()).find("[job 17: boom 17]"),
+                      std::string::npos);
+        }
+    }
 }
 
 TEST(ParallelRunnerTest, DefaultJobsOverride)

@@ -226,15 +226,13 @@ main(int argc, char **argv)
         return runSmoke();
 
     if (!replay_path.empty()) {
-        std::ifstream is(replay_path);
-        if (!is)
-            fatal("cannot open replay file ", replay_path);
-        std::stringstream buf;
-        buf << is.rdbuf();
-        FuzzOptions opt;
-        if (!replayFromJson(buf.str(), opt))
-            fatal("unrecognized replay file ", replay_path);
-        return runOne(opt, minimize, artifacts, json);
+        Result<FuzzOptions> opt = tryLoadReplay(replay_path);
+        if (!opt) {
+            std::cerr << "vrc-fuzz: " << opt.error().describe()
+                      << "\n";
+            return 2;
+        }
+        return runOne(opt.take(), minimize, artifacts, json);
     }
 
     int rc = 0;

@@ -12,16 +12,24 @@
  *           [--l1=16384] [--l2=262144] [--assoc1=1] [--assoc2=1]
  *           [--block1=16] [--block2=16] [--split] [--scale=1.0]
  *           [--check] [--per-cpu]
+ *
+ * Campaign mode (`--sweep`) runs the paper's 3-organization x 3-size
+ * grid as a fault-tolerant campaign: checkpointed to a journal,
+ * resumable after a kill, watchdogged, with failing cells retried and
+ * then quarantined instead of aborting the sweep.
  */
 
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
+#include "base/fault.hh"
 #include "base/log.hh"
 #include "base/table.hh"
 #include "core/timing.hh"
+#include "sim/campaign.hh"
 #include "sim/experiment.hh"
 #include "sim/json_stats.hh"
 #include "core/events.hh"
@@ -54,7 +62,20 @@ usage()
         "  --json           machine-readable JSON output only\n"
         "  --events=<n>     print the first n hierarchy events\n"
         "  --warmup=<f>     reset statistics after fraction f of the\n"
-        "                   trace (steady-state measurement)\n";
+        "                   trace (steady-state measurement)\n"
+        "campaign mode:\n"
+        "  --sweep          run the 3-org x 3-size grid as a campaign\n"
+        "  --checkpoint=<path>  journal completed cells; with --resume,\n"
+        "                   a killed sweep restarts where it stopped\n"
+        "  --resume         load the checkpoint journal before running\n"
+        "  --deadline=<s>   per-cell watchdog deadline (wall-clock)\n"
+        "  --max-retries=<n>  retries before a cell is quarantined\n"
+        "  --manifest=<path>  write the failure manifest JSON here\n"
+        "  --out=<path>     write the campaign result JSON here\n"
+        "  --jobs=<n>       worker threads for the sweep\n"
+        "  --inject-faults=<spec>  arm deterministic fault injection\n"
+        "                   (seed=N[,corrupt=P][,truncate=P][,throw=P]\n"
+        "                   [,stall=P][,stall_ms=M])\n";
     std::exit(2);
 }
 
@@ -81,6 +102,81 @@ parseOrg(const std::string &s)
     fatal("unknown organization: ", s);
 }
 
+/** The paper's grid: every organization at every large size pair. */
+std::vector<SimJob>
+sweepJobs()
+{
+    std::vector<SimJob> jobs;
+    for (HierarchyKind kind :
+         {HierarchyKind::VirtualReal, HierarchyKind::RealRealIncl,
+          HierarchyKind::RealRealNoIncl}) {
+        for (auto [l1, l2] : paperSizePairs())
+            jobs.push_back({kind, l1, l2, false, 0});
+    }
+    return jobs;
+}
+
+int
+runSweep(const TraceBundle &bundle, const CampaignOptions &opt,
+         bool json, const std::string &out_path)
+{
+    std::vector<SimJob> jobs = sweepJobs();
+    Result<CampaignResult> run =
+        runSimulationCampaign(bundle, jobs, opt);
+    if (!run) {
+        std::cerr << "vrc_sim: " << run.error().describe() << "\n";
+        return 2;
+    }
+    CampaignResult res = run.take();
+
+    std::string result_json = campaignResultToJson(res);
+    if (!out_path.empty()) {
+        std::ofstream out(out_path, std::ios::trunc);
+        if (!out)
+            fatal("cannot write campaign result: ", out_path);
+        out << result_json << "\n";
+    }
+    if (json) {
+        std::cout << result_json << "\n";
+    } else {
+        TextTable t;
+        t.row()
+            .cell("org")
+            .cell("l1/l2")
+            .cell("h1")
+            .cell("h2")
+            .cell("bus txns")
+            .cell("status");
+        t.separator();
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            auto &row = t.row()
+                .cell(hierarchyKindName(jobs[i].kind))
+                .cell(sizeLabel(jobs[i].l1Size, jobs[i].l2Size));
+            if (res.completed[i]) {
+                row.cell(res.summaries[i].h1, 4)
+                    .cell(res.summaries[i].h2, 4)
+                    .cell(res.summaries[i].busTransactions)
+                    .cell("ok");
+            } else {
+                row.cell("-").cell("-").cell("-").cell("quarantined");
+            }
+        }
+        std::cout << t;
+        std::cout << "\ncompleted " << res.completedCells() << "/"
+                  << jobs.size() << " cells";
+        if (res.restored > 0)
+            std::cout << " (" << res.restored
+                      << " restored from checkpoint)";
+        std::cout << "\n";
+        for (const CellFailure &f : res.quarantined)
+            std::cout << "quarantined cell " << f.index << " after "
+                      << f.attempts << " attempt"
+                      << (f.attempts == 1 ? "" : "s") << ": "
+                      << f.error << "\n";
+    }
+    return res.allOk() ? 0 : 3;
+}
+
 } // namespace
 
 int
@@ -92,6 +188,9 @@ main(int argc, char **argv)
     std::uint32_t assoc1 = 1, assoc2 = 1, block1 = 16, block2 = 16;
     bool split = false, check = false, per_cpu = false;
     bool json = false, stream = false;
+    bool sweep = false;
+    CampaignOptions campaign;
+    std::string out_path;
     std::uint64_t events = 0;
     double warmup = 0.0;
     double scale = 1.0;
@@ -133,7 +232,29 @@ main(int argc, char **argv)
             events = std::strtoull(value.c_str(), nullptr, 0);
         else if (argValue(argv[i], "--warmup", value))
             warmup = std::atof(value.c_str());
-        else
+        else if (std::strcmp(argv[i], "--sweep") == 0)
+            sweep = true;
+        else if (argValue(argv[i], "--checkpoint", value))
+            campaign.checkpoint = value;
+        else if (std::strcmp(argv[i], "--resume") == 0)
+            campaign.resume = true;
+        else if (argValue(argv[i], "--deadline", value))
+            campaign.deadlineSeconds = std::atof(value.c_str());
+        else if (argValue(argv[i], "--max-retries", value))
+            campaign.maxRetries = static_cast<unsigned>(
+                std::strtoul(value.c_str(), nullptr, 0));
+        else if (argValue(argv[i], "--manifest", value))
+            campaign.manifest = value;
+        else if (argValue(argv[i], "--out", value))
+            out_path = value;
+        else if (argValue(argv[i], "--jobs", value))
+            campaign.jobs = static_cast<unsigned>(
+                std::strtoul(value.c_str(), nullptr, 0));
+        else if (argValue(argv[i], "--inject-faults", value)) {
+            Status armed = configureFaultInjection(value);
+            if (!armed)
+                fatal(armed.error().describe());
+        } else
             usage();
     }
     if (profile_name.empty() && profile_file.empty())
@@ -145,6 +266,26 @@ main(int argc, char **argv)
     profile = scaled(profile, scale);
     if (stream && (!trace_path.empty() || warmup > 0.0))
         fatal("--stream cannot be combined with --trace or --warmup");
+    if (sweep) {
+        if (stream)
+            fatal("--sweep cannot be combined with --stream");
+        TraceBundle bundle;
+        if (!trace_path.empty()) {
+            Result<std::vector<TraceRecord>> loaded =
+                tryLoadTrace(trace_path);
+            if (!loaded) {
+                std::cerr << "vrc_sim: " << loaded.error().describe()
+                          << "\n";
+                return 2;
+            }
+            bundle.profile = profile;
+            bundle.records = loaded.take();
+        } else {
+            bundle = generateTrace(profile);
+        }
+        return runSweep(bundle, campaign, json, out_path);
+    }
+
     std::vector<TraceRecord> records;
     if (!trace_path.empty()) {
         records = loadTrace(trace_path);
