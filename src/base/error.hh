@@ -46,6 +46,7 @@ enum class ErrorKind : std::uint8_t
     Cancelled, ///< cooperative cancellation observed
     Injected,  ///< deliberately injected by the fault harness
     Mismatch,  ///< checkpoint/journal belongs to a different campaign
+    Unrecoverable, ///< simulated machine check (uncorrectable soft error)
 };
 
 /** Printable taxonomy name. */
@@ -71,6 +72,8 @@ errorKindName(ErrorKind k)
         return "injected";
       case ErrorKind::Mismatch:
         return "mismatch";
+      case ErrorKind::Unrecoverable:
+        return "unrecoverable";
     }
     return "unknown";
 }

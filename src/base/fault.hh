@@ -56,30 +56,26 @@ class InjectedFault : public ErrorException
     }
 };
 
-#ifdef VRC_FAULTS_ENABLED
-
-/** True when the hooks are compiled in (VRC_FAULTS=ON). */
-inline constexpr bool
-faultsCompiledIn()
+/**
+ * Exception raised when the simulated hardware hits an uncorrectable
+ * soft error it cannot recover from (a dirty line with detected-corrupt
+ * array bits, or a bus transaction lost beyond the retry budget): the
+ * machine-check semantics. The campaign layer quarantines the cell like
+ * any other worker error; interactive tools report and exit.
+ */
+class FaultUnrecoverable : public ErrorException
 {
-    return true;
-}
+  public:
+    explicit FaultUnrecoverable(const std::string &what)
+        : ErrorException(makeError(ErrorKind::Unrecoverable, what))
+    {
+    }
+};
 
-/** Process-wide injector configuration. */
-inline FaultConfig &
-faultConfig()
-{
-    static FaultConfig cfg;
-    return cfg;
-}
-
-/** True when a nonzero seed armed the injector. */
-inline bool
-faultsArmed()
-{
-    return faultConfig().seed != 0;
-}
-
+/**
+ * Hash helpers shared by the campaign injector and the soft-error
+ * model. Always compiled (either subsystem may be enabled alone).
+ */
 namespace fault_detail
 {
 
@@ -103,6 +99,30 @@ hashSite(const char *site)
 }
 
 } // namespace fault_detail
+
+#ifdef VRC_FAULTS_ENABLED
+
+/** True when the hooks are compiled in (VRC_FAULTS=ON). */
+inline constexpr bool
+faultsCompiledIn()
+{
+    return true;
+}
+
+/** Process-wide injector configuration. */
+inline FaultConfig &
+faultConfig()
+{
+    static FaultConfig cfg;
+    return cfg;
+}
+
+/** True when a nonzero seed armed the injector. */
+inline bool
+faultsArmed()
+{
+    return faultConfig().seed != 0;
+}
 
 /**
  * Deterministic verdict for one potential fault: true with
@@ -298,6 +318,213 @@ disarmFaultInjection()
 }
 
 #endif // VRC_FAULTS_ENABLED
+
+// ===== soft errors inside the simulated hardware (VRC_SOFT_ERRORS) ===
+//
+// A second, independent fault domain: where the campaign injector above
+// attacks the *experiment harness* (inputs, workers), the soft-error
+// model attacks the *simulated machine* -- tag arrays, coherence-state
+// bits, r-/v-pointer metadata and in-flight bus transactions. The
+// scheduling discipline is identical: every strike is a pure hash of
+// (seed, site, keys), so a schedule reproduces from its spec string at
+// any --jobs count, and an unarmed run takes one branch per reference.
+
+/** Strike probabilities per fault site. All off by default. */
+struct SoftErrorConfig
+{
+    std::uint64_t seed = 0; ///< 0 = disarmed
+    double tag = 0.0;       ///< P(strike a level-1 tag array) per ref
+    double state = 0.0;     ///< P(strike a level-2 state array) per ref
+    double ptr = 0.0;       ///< P(strike r-/v-pointer metadata) per ref
+    double bus = 0.0;       ///< P(one bus broadcast attempt is lost)
+    unsigned busRetryLimit = 4; ///< lost attempts before machine check
+};
+
+#ifdef VRC_SOFT_ERRORS_ENABLED
+
+/** True when the soft-error model is compiled in. */
+inline constexpr bool
+softErrorsCompiledIn()
+{
+    return true;
+}
+
+/** Process-wide soft-error configuration. */
+inline SoftErrorConfig &
+softErrorConfig()
+{
+    static SoftErrorConfig cfg;
+    return cfg;
+}
+
+/** True when a nonzero seed armed the soft-error model. */
+inline bool
+softErrorsArmed()
+{
+    return softErrorConfig().seed != 0;
+}
+
+/** Pure strike-parameter hash of (seed, site, a, b). */
+inline std::uint64_t
+softErrorHash(const char *site, std::uint64_t a, std::uint64_t b)
+{
+    return fault_detail::splitmix64(
+        softErrorConfig().seed ^ fault_detail::hashSite(site) ^
+        fault_detail::splitmix64(a * 2 + 1) ^
+        fault_detail::splitmix64(~b));
+}
+
+/**
+ * Deterministic strike verdict: true with probability @p p as a pure
+ * function of (seed, site, a, b) -- thread- and schedule-independent.
+ */
+inline bool
+softErrorDecision(const char *site, std::uint64_t a, std::uint64_t b,
+                  double p)
+{
+    if (p <= 0.0 || !softErrorsArmed())
+        return false;
+    double u =
+        static_cast<double>(softErrorHash(site, a, b) >> 11) * 0x1.0p-53;
+    return u < p;
+}
+
+/**
+ * Flip count of one strike, drawn from the same hash stream: single-bit
+ * upsets dominate real soft-error data; one strike in eight flips two
+ * adjacent bits (defeating SECDED correction, aliasing past parity).
+ */
+inline unsigned
+softErrorFlips(std::uint64_t h)
+{
+    return (h >> 17) % 8 == 0 ? 2 : 1;
+}
+
+/**
+ * Arm the soft-error model from a spec string:
+ * "seed=N[,tag=P][,state=P][,ptr=P][,bus=P][,retry=N]".
+ * A bare number is shorthand for "seed=N" with default probabilities
+ * (tag/state/ptr 1e-3, bus 1e-4).
+ */
+inline Status
+configureSoftErrors(const std::string &spec)
+{
+    SoftErrorConfig cfg;
+    bool any_prob = false;
+    std::istringstream is(spec);
+    std::string item;
+    while (std::getline(is, item, ',')) {
+        if (item.empty())
+            continue;
+        std::size_t eq = item.find('=');
+        std::string key =
+            eq == std::string::npos ? item : item.substr(0, eq);
+        std::string val =
+            eq == std::string::npos ? "" : item.substr(eq + 1);
+        char *end = nullptr;
+        if (eq == std::string::npos &&
+            (cfg.seed = std::strtoull(key.c_str(), &end, 10),
+             end && *end == '\0' && cfg.seed)) {
+            continue; // bare "--soft-errors=7"
+        }
+        double num = std::strtod(val.c_str(), &end);
+        if (val.empty() || !end || *end != '\0')
+            return makeError(ErrorKind::Parse,
+                             "bad soft-error spec entry '", item,
+                             "' (expected key=number)");
+        if (key == "seed") {
+            cfg.seed = static_cast<std::uint64_t>(num);
+        } else if (key == "tag") {
+            cfg.tag = num;
+            any_prob = true;
+        } else if (key == "state") {
+            cfg.state = num;
+            any_prob = true;
+        } else if (key == "ptr") {
+            cfg.ptr = num;
+            any_prob = true;
+        } else if (key == "bus") {
+            cfg.bus = num;
+            any_prob = true;
+        } else if (key == "retry") {
+            cfg.busRetryLimit = static_cast<unsigned>(num);
+        } else {
+            return makeError(ErrorKind::Parse,
+                             "unknown soft-error spec key '", key, "'");
+        }
+    }
+    if (!cfg.seed)
+        return makeError(ErrorKind::Parse,
+                         "soft-error spec needs a nonzero seed: '",
+                         spec, "'");
+    if (!any_prob) {
+        cfg.tag = cfg.state = cfg.ptr = 1e-3;
+        cfg.bus = 1e-4;
+    }
+    softErrorConfig() = cfg;
+    return okStatus();
+}
+
+/** Disarm (tests). */
+inline void
+disarmSoftErrors()
+{
+    softErrorConfig() = SoftErrorConfig{};
+}
+
+#else // !VRC_SOFT_ERRORS_ENABLED
+
+inline constexpr bool
+softErrorsCompiledIn()
+{
+    return false;
+}
+
+inline const SoftErrorConfig &
+softErrorConfig()
+{
+    static const SoftErrorConfig cfg;
+    return cfg;
+}
+
+inline constexpr bool
+softErrorsArmed()
+{
+    return false;
+}
+
+inline constexpr std::uint64_t
+softErrorHash(const char *, std::uint64_t, std::uint64_t)
+{
+    return 0;
+}
+
+inline constexpr bool
+softErrorDecision(const char *, std::uint64_t, std::uint64_t, double)
+{
+    return false;
+}
+
+inline constexpr unsigned
+softErrorFlips(std::uint64_t)
+{
+    return 1;
+}
+
+inline Status
+configureSoftErrors(const std::string &)
+{
+    return makeError(ErrorKind::Io,
+                     "the soft-error model is not compiled in "
+                     "(reconfigure with -DVRC_SOFT_ERRORS=ON)");
+}
+
+inline void
+disarmSoftErrors()
+{
+}
+
+#endif // VRC_SOFT_ERRORS_ENABLED
 
 } // namespace vrc
 

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Array-protection policies for tag/state/pointer arrays.
+ *
+ * A soft error (particle strike) flips bits in an SRAM array. What the
+ * hardware *sees* depends on the check bits stored next to the data:
+ *
+ *   none    - no check bits: every strike is silent data corruption.
+ *   parity  - one parity bit per entry: an odd number of flipped bits
+ *             is detected (never corrected); an even number aliases to
+ *             a valid codeword and stays silent.
+ *   SECDED  - single-error-correct, double-error-detect ECC: one flip
+ *             is corrected in place, two are detected, three or more
+ *             can alias and stay silent.
+ *
+ * The TagStore applies a policy to everything it holds per line -- tag
+ * bits, valid/state bits and the Meta payload (r-pointers, inclusion
+ * subentries) -- and keeps per-array outcome counters. What happens
+ * *after* detection (refetch, machine check) is the owning hierarchy's
+ * recovery protocol, not the array's concern.
+ */
+
+#ifndef VRC_CACHE_PROTECTION_HH
+#define VRC_CACHE_PROTECTION_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace vrc
+{
+
+/** Check-bit scheme protecting one tag/state array. */
+enum class ArrayProtection : std::uint8_t
+{
+    None,    ///< no check bits: strikes are silent
+    Parity,  ///< detect odd-bit errors
+    Secded   ///< correct 1-bit, detect 2-bit errors
+};
+
+/** Printable policy name. */
+inline const char *
+arrayProtectionName(ArrayProtection p)
+{
+    switch (p) {
+      case ArrayProtection::None:
+        return "none";
+      case ArrayProtection::Parity:
+        return "parity";
+      case ArrayProtection::Secded:
+        return "secded";
+    }
+    return "?";
+}
+
+/** Parse a policy name ("none"/"parity"/"secded", case-sensitive). */
+inline std::optional<ArrayProtection>
+parseArrayProtection(const std::string &name)
+{
+    if (name == "none")
+        return ArrayProtection::None;
+    if (name == "parity")
+        return ArrayProtection::Parity;
+    if (name == "secded" || name == "SECDED")
+        return ArrayProtection::Secded;
+    return std::nullopt;
+}
+
+/** What the array logic reported for one absorbed strike. */
+enum class FaultOutcome : std::uint8_t
+{
+    Silent,    ///< undetected corruption (SDC window)
+    Corrected, ///< fixed in place by ECC; no recovery needed
+    Detected   ///< flagged uncorrectable-by-the-array; owner must recover
+};
+
+/** Per-array soft-error outcome counters (plain values, not stats). */
+struct ArrayFaultStats
+{
+    std::uint64_t silent = 0;
+    std::uint64_t corrected = 0;
+    std::uint64_t detected = 0;
+    std::uint64_t uncorrectable = 0; ///< detected faults the owner could
+                                     ///< not recover (machine checks)
+};
+
+/** Classify a strike of @p flips flipped bits under policy @p p. */
+inline FaultOutcome
+classifyArrayFault(ArrayProtection p, unsigned flips)
+{
+    switch (p) {
+      case ArrayProtection::None:
+        return FaultOutcome::Silent;
+      case ArrayProtection::Parity:
+        return (flips % 2 == 1) ? FaultOutcome::Detected
+                                : FaultOutcome::Silent;
+      case ArrayProtection::Secded:
+        if (flips == 1)
+            return FaultOutcome::Corrected;
+        if (flips == 2)
+            return FaultOutcome::Detected;
+        return FaultOutcome::Silent;
+    }
+    return FaultOutcome::Silent;
+}
+
+} // namespace vrc
+
+#endif // VRC_CACHE_PROTECTION_HH

@@ -22,6 +22,7 @@
 
 #include "base/rng.hh"
 #include "cache/cache_geometry.hh"
+#include "cache/protection.hh"
 #include "cache/replacement.hh"
 
 namespace vrc
@@ -228,6 +229,41 @@ class TagStore
         return n;
     }
 
+    // --- array protection (soft errors) ------------------------------
+
+    /** Check-bit scheme covering tag, valid/state bits and Meta. */
+    ArrayProtection protection() const { return _protection; }
+    void setProtection(ArrayProtection p) { _protection = p; }
+
+    /**
+     * Absorb one soft-error strike of @p flips flipped bits and report
+     * what the array's check logic sees under the configured policy.
+     * Counts the outcome in faultStats(); the caller owns recovery.
+     */
+    FaultOutcome
+    absorbFault(unsigned flips)
+    {
+        FaultOutcome out = classifyArrayFault(_protection, flips);
+        switch (out) {
+          case FaultOutcome::Silent:
+            _faultStats.silent += 1;
+            break;
+          case FaultOutcome::Corrected:
+            _faultStats.corrected += 1;
+            break;
+          case FaultOutcome::Detected:
+            _faultStats.detected += 1;
+            break;
+        }
+        return out;
+    }
+
+    /** A detected fault the owner could not recover (machine check). */
+    void noteUncorrectable() { _faultStats.uncorrectable += 1; }
+
+    /** Per-array detected/corrected/uncorrectable counters. */
+    const ArrayFaultStats &faultStats() const { return _faultStats; }
+
   private:
     /** Policy choice among eligible valid ways; nullopt if none. */
     template <typename Pred>
@@ -259,6 +295,8 @@ class TagStore
     Rng _rng;
     std::uint64_t _clock = 0;
     std::vector<Line> _lines;
+    ArrayProtection _protection = ArrayProtection::Secded;
+    ArrayFaultStats _faultStats;
 };
 
 } // namespace vrc

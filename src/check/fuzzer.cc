@@ -137,6 +137,7 @@ runFuzz(const FuzzOptions &opt)
             // consulting opMask (see the RNG-stream discipline in the
             // header).
             std::uint64_t slot = rng.below(32);
+            try {
             if (slot < 24) {
                 CpuId cpu = static_cast<CpuId>(rng.below(opt.cpus));
                 std::uint32_t k = static_cast<std::uint32_t>(
@@ -194,6 +195,15 @@ runFuzz(const FuzzOptions &opt)
                                   pool_base + frame);
                 }
             }
+            } catch (const FaultUnrecoverable &mc) {
+                // Uncorrectable soft error: the machine halts. Not a
+                // coherence violation, and the interrupted operation
+                // may have left mid-flight state, so stop here without
+                // a final sweep.
+                result.machineCheck = true;
+                result.machineCheckReason = mc.what();
+                break;
+            }
 
             if (failed) {
                 result.failingOp = i;
@@ -213,7 +223,7 @@ runFuzz(const FuzzOptions &opt)
         }
         result.opsRun = i;
 
-        if (!failed) {
+        if (!failed && !result.machineCheck) {
             oracle.sweep();
             if (failed)
                 result.failingOp = i;

@@ -102,6 +102,14 @@ struct FuzzResult
     std::uint64_t failingOp = 0;       ///< op index of the violation
     std::string violation;             ///< first violation message
     std::string ringJson;              ///< oracle dump (JSON), on failure
+
+    /**
+     * The run hit a simulated machine check (uncorrectable soft error
+     * under --soft-errors). Terminal but not a coherence violation:
+     * the episode halts like the hardware would, with ok still true.
+     */
+    bool machineCheck = false;
+    std::string machineCheckReason;
 };
 
 /** Run one deterministic fuzz episode. */

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "base/counter.hh"
+#include "base/fault.hh"
 #include "coherence/snoop.hh"
 #include "coherence/transaction.hh"
 
@@ -108,6 +109,9 @@ class SharedBus
     BusResult
     broadcast(const BusTransaction &tx)
     {
+        if (softErrorsArmed())
+            absorbLostAttempts(tx);
+        ++_txSeq;
         (*_txCtr)++;
         (*_opCtrs[static_cast<int>(tx.op)])++;
         _opCounts[static_cast<int>(tx.op)] += 1;
@@ -173,6 +177,25 @@ class SharedBus
         it->second &= ~(AgentMask{1} << cpu);
         if (it->second == 0)
             _presence.erase(it);
+    }
+
+    /**
+     * Drop agent @p cpu's presence bit from every entry (soft-error
+     * recovery: the filter state is suspect and must be rebuilt from
+     * the agent's second-level directory via noteBlockCached).
+     */
+    void
+    clearPresence(CpuId cpu)
+    {
+        if (cpu >= maxFilterableAgents || !_agents[cpu].filterable)
+            return;
+        for (auto it = _presence.begin(); it != _presence.end();) {
+            it->second &= ~(AgentMask{1} << cpu);
+            if (it->second == 0)
+                it = _presence.erase(it);
+            else
+                ++it;
+        }
     }
 
     /** Enable/disable presence-based snoop skipping (default on). */
@@ -249,6 +272,46 @@ class SharedBus
     using AgentMask = std::uint64_t;
     static constexpr std::size_t maxFilterableAgents = 64;
 
+    /**
+     * Soft-error model: an armed bus may lose a broadcast in flight.
+     * The source times out waiting for the snoop responses and
+     * re-arbitrates; each lost attempt occupies a real bus slot (it is
+     * counted like a transaction, so the recovery cost is visible in
+     * every report) but reaches no snooper and moves no data. A
+     * transaction lost more times than the retry budget allows is a
+     * machine check. Keyed by (source, op, block, sequence, attempt):
+     * a pure function of simulated history, so the schedule is
+     * identical at any --jobs count, and a doomed attempt's retry can
+     * draw a fresh verdict.
+     */
+    void
+    absorbLostAttempts(const BusTransaction &tx)
+    {
+        const SoftErrorConfig &sc = softErrorConfig();
+        if (sc.bus <= 0.0)
+            return;
+        std::uint64_t key =
+            (static_cast<std::uint64_t>(tx.source) << 40) ^
+            (static_cast<std::uint64_t>(tx.op) << 32) ^
+            tx.blockAddr.value();
+        for (unsigned attempt = 0;
+             softErrorDecision("bus-drop", key,
+                               _txSeq * 16 + attempt, sc.bus);
+             ++attempt) {
+            (*_txCtr)++;
+            (*_opCtrs[static_cast<int>(tx.op)])++;
+            _opCounts[static_cast<int>(tx.op)] += 1;
+            if (tx.source < _perCpuTx.size())
+                _perCpuTx[tx.source] += 1;
+            _stats.counter("soft_timeouts")++;
+            if (attempt + 1 > sc.busRetryLimit) {
+                throw FaultUnrecoverable(
+                    "bus transaction lost beyond the retry budget");
+            }
+            _stats.counter("soft_retries")++;
+        }
+    }
+
     std::vector<Snooper *> _snoopers;
     std::vector<SnoopAgentInfo> _agents;
     std::vector<std::uint64_t> _perCpuTx;
@@ -260,6 +323,8 @@ class SharedBus
     std::unordered_map<std::uint32_t, AgentMask> _presence;
     bool _filterEnabled = true;
     std::uint64_t _snoopsFiltered = 0;
+    /** Broadcasts to date; a soft-error determinism key, never reset. */
+    std::uint64_t _txSeq = 0;
     BusObserver *_observer = nullptr;
 };
 

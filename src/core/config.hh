@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <string>
 
+#include "cache/protection.hh"
 #include "cache/replacement.hh"
 #include "coherence/protocol.hh"
 
@@ -22,6 +23,9 @@ struct CacheParams
     std::uint32_t blockBytes = 16;
     std::uint32_t assoc = 1;  ///< direct-mapped, as the paper simulates
     ReplPolicy policy = ReplPolicy::LRU;
+
+    /** Check-bit scheme of the tag/state arrays (soft-error model). */
+    ArrayProtection protection = ArrayProtection::Secded;
 };
 
 /** Which organization a hierarchy implements. */

@@ -41,7 +41,10 @@ enum class EventKind : std::uint8_t
     BufferFlush,       ///< bus-induced flush hit the write buffer
     BufferInvalidation,///< bus-induced invalidation hit the buffer
     ContextSwitch,
-    L2Evict            ///< local replacement dropped a level-2 line
+    L2Evict,           ///< local replacement dropped a level-2 line
+    FaultDetected,     ///< array check logic flagged a soft error
+    FaultCorrected,    ///< soft error repaired (ECC or refetch recovery)
+    FaultUnrecoverable ///< machine check: dirty data lost to a soft error
 };
 
 /** Printable event name. */
@@ -83,6 +86,12 @@ eventKindName(EventKind k)
         return "context-switch";
       case EventKind::L2Evict:
         return "l2-evict";
+      case EventKind::FaultDetected:
+        return "fault-detected";
+      case EventKind::FaultCorrected:
+        return "fault-corrected";
+      case EventKind::FaultUnrecoverable:
+        return "fault-unrecoverable";
     }
     return "?";
 }

@@ -19,6 +19,16 @@ RCache::RCache(const CacheParams &params, std::uint32_t l1_block,
     panicIfNot(params.blockBytes % l1_block == 0 && _subCount >= 1,
                "level-2 block size must be a multiple of level-1's");
     panicIfNot(isPowerOfTwo(_subCount), "sub-block count not a power of 2");
+    _tags.setProtection(params.protection);
+}
+
+LineRef
+RCache::faultTarget(std::uint64_t h) const
+{
+    const CacheGeometry &g = _tags.geometry();
+    return LineRef{static_cast<std::uint32_t>(h % g.numSets()),
+                   static_cast<std::uint32_t>((h / g.numSets()) %
+                                              g.assoc())};
 }
 
 std::optional<LineRef>

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "base/fault.hh"
 #include "base/log.hh"
 #include "vm/addr_space.hh"
 
@@ -28,6 +29,9 @@ RrNoInclHierarchy::RrNoInclHierarchy(const HierarchyParams &params,
     _l1[0] = std::make_unique<L1Store>(g1, l1.policy, 0xaaaa);
     if (params.splitL1)
         _l1[1] = std::make_unique<L1Store>(g1, l1.policy, 0xbbbb);
+    for (unsigned i = 0; i < l1Count(); ++i)
+        _l1[i]->setProtection(params.l1.protection);
+    _l2.setProtection(params.l2.protection);
     _wb.setDrainHandler(
         [this](const WriteBufferEntry &e) { onWriteBufferDrain(e); });
 
@@ -111,12 +115,147 @@ RrNoInclHierarchy::writeToShared(PhysAddr pa, CoherenceState &state)
     return false;
 }
 
+// ===== soft-error strikes and recovery (no-inclusion baseline) ======
+//
+// State-preserving like VrHierarchy's model (see vr_hierarchy.cc), but
+// with the recovery options this organization actually has: a detected
+// clean level-1 line may find a copy in level 2 or must refetch over
+// the bus, and a detected *dirty* level-1 line is lost outright --
+// there is no inclusion parent holding the only other copy's metadata.
+
+namespace
+{
+
+template <typename Store>
+LineRef
+strikeTarget(const Store &s, std::uint64_t h)
+{
+    const CacheGeometry &g = s.geometry();
+    return LineRef{static_cast<std::uint32_t>(h % g.numSets()),
+                   static_cast<std::uint32_t>((h / g.numSets()) %
+                                              g.assoc())};
+}
+
+} // namespace
+
+void
+RrNoInclHierarchy::maybeInjectSoftErrors()
+{
+    const SoftErrorConfig &sc = softErrorConfig();
+    const std::uint64_t cpu = cpuId();
+    if (softErrorDecision("l1-tag", cpu, _refIndex, sc.tag)) {
+        strikeL1("soft_faults_tag",
+                 softErrorHash("l1-tag-cell", cpu, _refIndex));
+    }
+    if (softErrorDecision("l2-state", cpu, _refIndex, sc.state)) {
+        strikeL2("soft_faults_state",
+                 softErrorHash("l2-state-cell", cpu, _refIndex));
+    }
+    // No ptr site: this organization keeps no pointer metadata. Fewer
+    // vulnerable arrays -- but costlier recovery for the ones it has.
+}
+
+void
+RrNoInclHierarchy::strikeL1(const char *ctr, std::uint64_t h)
+{
+    unsigned ci = static_cast<unsigned>((h >> 7) % l1Count());
+    L1Store &store = *_l1[ci];
+    LineRef ref = strikeTarget(store, h >> 9);
+    softCounter(ctr)++;
+    L1Store::Line &l = store.line(ref);
+    if (!l.valid) {
+        softCounter("soft_masked")++;
+        return;
+    }
+    std::uint32_t block_addr = store.lineAddr(ref);
+    switch (store.absorbFault(softErrorFlips(h))) {
+      case FaultOutcome::Silent:
+        softCounter("soft_silent")++;
+        return;
+      case FaultOutcome::Corrected:
+        softCounter("soft_corrected")++;
+        emitEvent(EventKind::FaultCorrected, _refIndex, block_addr,
+                  block_addr);
+        return;
+      case FaultOutcome::Detected:
+        break;
+    }
+    softCounter("soft_detected")++;
+    emitEvent(EventKind::FaultDetected, _refIndex, block_addr,
+              block_addr);
+    if (l.meta.dirty) {
+        // No inclusion parent: the dirty data existed nowhere else.
+        store.noteUncorrectable();
+        store.invalidate(ref);
+        softCounter("machine_checks")++;
+        emitEvent(EventKind::FaultUnrecoverable, _refIndex, 0,
+                  block_addr);
+        throw FaultUnrecoverable(
+            "uncorrectable soft error in a dirty level-1 line "
+            "(no inclusion parent)");
+    }
+    // Clean: level 2 *may* still hold the line -- nothing guarantees
+    // it. Probe; on absence pay a full bus refetch.
+    softCounter("soft_recovered")++;
+    if (_l2.find(block_addr)) {
+        softCounter("soft_refetches_l2")++;
+    } else {
+        softCounter("soft_refetches_bus")++;
+        _bus.broadcast(BusTransaction{
+            BusOp::ReadMiss, PhysAddr(l2Block(block_addr)), cpuId()});
+    }
+    emitEvent(EventKind::FaultCorrected, _refIndex, block_addr,
+              block_addr);
+}
+
+void
+RrNoInclHierarchy::strikeL2(const char *ctr, std::uint64_t h)
+{
+    LineRef ref = strikeTarget(_l2, h >> 9);
+    softCounter(ctr)++;
+    L2Store::Line &l = _l2.line(ref);
+    if (!l.valid) {
+        softCounter("soft_masked")++;
+        return;
+    }
+    std::uint32_t line_addr = _l2.lineAddr(ref);
+    switch (_l2.absorbFault(softErrorFlips(h))) {
+      case FaultOutcome::Silent:
+        softCounter("soft_silent")++;
+        return;
+      case FaultOutcome::Corrected:
+        softCounter("soft_corrected")++;
+        emitEvent(EventKind::FaultCorrected, _refIndex, 0, line_addr);
+        return;
+      case FaultOutcome::Detected:
+        break;
+    }
+    softCounter("soft_detected")++;
+    emitEvent(EventKind::FaultDetected, _refIndex, 0, line_addr);
+    if (l.meta.rdirty) {
+        _l2.noteUncorrectable();
+        _l2.invalidate(ref);
+        softCounter("machine_checks")++;
+        emitEvent(EventKind::FaultUnrecoverable, _refIndex, 0,
+                  line_addr);
+        throw FaultUnrecoverable(
+            "uncorrectable soft error in a dirty level-2 line");
+    }
+    softCounter("soft_recovered")++;
+    softCounter("soft_refetches_bus")++;
+    _bus.broadcast(
+        BusTransaction{BusOp::ReadMiss, PhysAddr(line_addr), cpuId()});
+    emitEvent(EventKind::FaultCorrected, _refIndex, 0, line_addr);
+}
+
 AccessOutcome
 RrNoInclHierarchy::access(const MemAccess &acc)
 {
     ++_refIndex;
     _wb.tick(_refIndex);
     noteRef(acc.type);
+    if (softErrorsArmed())
+        maybeInjectSoftErrors();
 
     PhysAddr pa = translate(acc);
     std::uint32_t pa_block = l1Block(pa.value());

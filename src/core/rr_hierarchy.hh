@@ -121,6 +121,29 @@ class RrNoInclHierarchy : public CacheHierarchy
      */
     bool writeToShared(PhysAddr pa, CoherenceState &state);
 
+    // --- soft-error model (base/fault.hh, VRC_SOFT_ERRORS) -----------
+    //
+    // The no-inclusion contrast case: with no r-pointer/v-pointer
+    // metadata there is no ptr fault site, but a detected-corrupt
+    // level-1 line has no *guaranteed* parent either -- recovery must
+    // probe level 2 and fall back to a bus refetch, and a dirty level-1
+    // line is immediately unrecoverable.
+
+    /** Schedule this reference's array strikes (pure seed hash). */
+    void maybeInjectSoftErrors();
+
+    /** One strike on a level-1 array. */
+    void strikeL1(const char *ctr, std::uint64_t h);
+
+    /** One strike on the level-2 array. */
+    void strikeL2(const char *ctr, std::uint64_t h);
+
+    /** Lazily created soft-error counters (see VrHierarchy). */
+    Counter &softCounter(const char *name)
+    {
+        return stats().counter(name);
+    }
+
     HierarchyParams _params;
     AddressSpaceManager &_spaces;
     SharedBus &_bus;

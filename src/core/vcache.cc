@@ -16,6 +16,7 @@ VCache::VCache(const CacheParams &params, std::uint32_t page_size,
     panicIfNot(isPowerOfTwo(page_size), "page size not a power of two");
     panicIfNot(l2_size >= page_size,
                "R-cache smaller than a page makes the r-pointer empty");
+    _tags.setProtection(params.protection);
 }
 
 std::optional<LineRef>
@@ -81,6 +82,15 @@ std::optional<LineRef>
 VCache::findOccupied(std::uint32_t va_block) const
 {
     return _tags.find(va_block);
+}
+
+LineRef
+VCache::faultTarget(std::uint64_t h) const
+{
+    const CacheGeometry &g = _tags.geometry();
+    return LineRef{static_cast<std::uint32_t>(h % g.numSets()),
+                   static_cast<std::uint32_t>((h / g.numSets()) %
+                                              g.assoc())};
 }
 
 } // namespace vrc

@@ -116,6 +116,13 @@ class VCache
      */
     std::optional<LineRef> findOccupied(std::uint32_t va_block) const;
 
+    /**
+     * Location a soft-error strike with parameter hash @p h lands on
+     * (uniform over the array; the cell may well be invalid, in which
+     * case the strike is architecturally masked).
+     */
+    LineRef faultTarget(std::uint64_t h) const;
+
     /** Architected r-pointer bits for a physical block address. */
     std::uint32_t
     rPointerBits(std::uint32_t pa) const

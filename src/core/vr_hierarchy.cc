@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "base/bitops.hh"
+#include "base/fault.hh"
 #include "base/log.hh"
 #include "core/mutation.hh"
 #include "vm/addr_space.hh"
@@ -136,6 +137,8 @@ VrHierarchy::access(const MemAccess &acc)
     ++_refIndex;
     _wb.tick(_refIndex);
     noteRef(acc.type);
+    if (softErrorsArmed())
+        maybeInjectSoftErrors();
 
     unsigned ci = l1IndexFor(acc.type);
     VCache &vc = *_l1[ci];
@@ -416,6 +419,215 @@ VrHierarchy::evictRLine(LineRef rslot, bool forced)
     _bus.noteBlockUncached(cpuId(), line_addr);
     if (forced)
         (*_c.forcedRReplacements)++;
+}
+
+// ===== soft-error strikes and recovery ==============================
+//
+// The model is state-preserving: a strike corrupts *array bits*, not
+// the data the simulator tracks, and every successful recovery refetches
+// bit-identical content -- so with strikes confined to recoverable
+// sites, all architectural statistics stay equal to an unarmed run and
+// only the soft_* counters, the recovery events and the real extra bus
+// transactions differ. That is also what makes the coherence oracle's
+// job tractable: post-recovery state *is* pre-fault state.
+
+void
+VrHierarchy::maybeInjectSoftErrors()
+{
+    const SoftErrorConfig &sc = softErrorConfig();
+    const std::uint64_t cpu = cpuId();
+    if (softErrorDecision("l1-tag", cpu, _refIndex, sc.tag)) {
+        strikeL1("soft_faults_tag",
+                 softErrorHash("l1-tag-cell", cpu, _refIndex));
+    }
+    if (softErrorDecision("l2-state", cpu, _refIndex, sc.state)) {
+        strikeL2("soft_faults_state",
+                 softErrorHash("l2-state-cell", cpu, _refIndex));
+    }
+    if (softErrorDecision("meta-ptr", cpu, _refIndex, sc.ptr)) {
+        // Pointer metadata lives on both sides of the hierarchy: the
+        // V-cache r-pointer array or an R-cache subentry (v-pointer,
+        // inclusion bits), chosen by one more hash bit.
+        std::uint64_t h = softErrorHash("meta-ptr-cell", cpu, _refIndex);
+        if (h & 1)
+            strikeL1("soft_faults_ptr", h >> 1);
+        else
+            strikeL2("soft_faults_ptr", h >> 1);
+    }
+}
+
+void
+VrHierarchy::strikeL1(const char *ctr, std::uint64_t h)
+{
+    unsigned ci = static_cast<unsigned>((h >> 7) % l1Count());
+    VCache &vc = *_l1[ci];
+    LineRef ref = vc.faultTarget(h >> 9);
+    softCounter(ctr)++;
+    VCache::Line &l = vc.line(ref);
+    if (!l.valid) {
+        // The struck cell holds no line: architecturally masked.
+        softCounter("soft_masked")++;
+        return;
+    }
+    switch (vc.tags().absorbFault(softErrorFlips(h))) {
+      case FaultOutcome::Silent:
+        softCounter("soft_silent")++;
+        return;
+      case FaultOutcome::Corrected:
+        softCounter("soft_corrected")++;
+        emitEvent(EventKind::FaultCorrected, _refIndex,
+                  vc.lineVAddr(ref), l.meta.physBlockAddr);
+        return;
+      case FaultOutcome::Detected:
+        break;
+    }
+    softCounter("soft_detected")++;
+    emitEvent(EventKind::FaultDetected, _refIndex, vc.lineVAddr(ref),
+              l.meta.physBlockAddr);
+    if (l.meta.dirty)
+        machineCheckV(ci, ref);
+    recoverVLine(ci, ref);
+}
+
+void
+VrHierarchy::strikeL2(const char *ctr, std::uint64_t h)
+{
+    LineRef rref = _r.faultTarget(h >> 9);
+    softCounter(ctr)++;
+    RCache::Line &rl = _r.line(rref);
+    if (!rl.valid) {
+        softCounter("soft_masked")++;
+        return;
+    }
+    std::uint32_t line_addr = _r.lineAddr(rref);
+    switch (_r.tags().absorbFault(softErrorFlips(h))) {
+      case FaultOutcome::Silent:
+        softCounter("soft_silent")++;
+        return;
+      case FaultOutcome::Corrected:
+        softCounter("soft_corrected")++;
+        emitEvent(EventKind::FaultCorrected, _refIndex, 0, line_addr);
+        return;
+      case FaultOutcome::Detected:
+        break;
+    }
+    softCounter("soft_detected")++;
+    emitEvent(EventKind::FaultDetected, _refIndex, 0, line_addr);
+
+    bool dirty_below = rl.meta.rdirty;
+    for (std::uint32_t i = 0; i < _r.subCount(); ++i)
+        dirty_below |= rl.meta.subs[i].vdirty;
+    if (dirty_below)
+        machineCheckR(rref);
+    recoverRLine(rref);
+}
+
+void
+VrHierarchy::recoverVLine(unsigned ci, LineRef ref)
+{
+    // Inclusion guarantees the line has an R-cache parent, and the
+    // r-pointer (plus the page offset) addresses it without translating:
+    // hardware invalidates the corrupt line and refetches it from the
+    // parent. The refetched bits are identical to what the strike hit,
+    // so architectural state is unchanged -- the cost is one extra
+    // level-2 access, no bus traffic. This is the cheap-recovery story
+    // inclusion buys the V-R design.
+    VCache &vc = *_l1[ci];
+    VCache::Line &l = vc.line(ref);
+    PhysAddr pa(l.meta.physBlockAddr);
+    auto rref = _r.probe(pa);
+    panicIfNot(rref.has_value(),
+               "detected-corrupt V line has no R-cache parent");
+    softCounter("soft_recovered")++;
+    softCounter("soft_refetches_l2")++;
+    emitEvent(EventKind::FaultCorrected, _refIndex, vc.lineVAddr(ref),
+              pa.value());
+}
+
+void
+VrHierarchy::recoverRLine(LineRef rref)
+{
+    // Nothing below the line is dirty, so memory holds current data:
+    // refetch the same physical line over the bus. Clean level-1
+    // children hold identical content and survive; the directory
+    // subentries are rebuilt by walking the children's reverse links.
+    // The snoop-filter presence bits were derived from the now-suspect
+    // directory, so they are scrubbed and rebuilt too.
+    std::uint32_t line_addr = _r.lineAddr(rref);
+    softCounter("soft_recovered")++;
+    softCounter("soft_refetches_bus")++;
+    _bus.broadcast(
+        BusTransaction{BusOp::ReadMiss, PhysAddr(line_addr), cpuId()});
+    rebuildPresence();
+    emitEvent(EventKind::FaultCorrected, _refIndex, 0, line_addr);
+}
+
+void
+VrHierarchy::machineCheckV(unsigned ci, LineRef ref)
+{
+    // A dirty line with uncorrectable array bits: the only current copy
+    // of the data is lost. Unlink it so the machine state the campaign
+    // quarantines (or the fuzzer keeps driving) is still coherent.
+    VCache &vc = *_l1[ci];
+    VCache::Line &l = vc.line(ref);
+    PhysAddr pa(l.meta.physBlockAddr);
+    auto rref = _r.probe(pa);
+    panicIfNot(rref.has_value(), "machine-checked V line has no parent");
+    RSubentry &s = _r.sub(*rref, pa);
+    s.inclusion = false;
+    s.vdirty = false;
+    vc.tags().noteUncorrectable();
+    vc.invalidate(ref);
+    softCounter("machine_checks")++;
+    emitEvent(EventKind::FaultUnrecoverable, _refIndex, 0, pa.value());
+    throw FaultUnrecoverable(
+        "uncorrectable soft error in a dirty level-1 line");
+}
+
+void
+VrHierarchy::machineCheckR(LineRef rref)
+{
+    // The line shields dirty data (its own or a child's) behind array
+    // bits that can no longer be trusted: writing any of it back would
+    // propagate corruption, so the whole line and its children are
+    // dropped and the loss reported.
+    RCache::Line &rl = _r.line(rref);
+    std::uint32_t line_addr = _r.lineAddr(rref);
+    for (std::uint32_t i = 0; i < _r.subCount(); ++i) {
+        RSubentry &s = rl.meta.subs[i];
+        std::uint32_t sub_addr = line_addr + i * _params.l1.blockBytes;
+        if (s.buffer) {
+            auto e = _wb.remove(sub_addr);
+            panicIfNot(e.has_value(), "buffer bit with no buffer entry");
+            s.buffer = false;
+        }
+        if (s.inclusion) {
+            VCache &oc = *_l1[s.l1Index];
+            auto child = oc.findOccupied(s.childAddrBlock);
+            panicIfNot(child.has_value(), "dangling inclusion pointer");
+            oc.invalidate(*child);
+            s.inclusion = false;
+        }
+        s.vdirty = false;
+    }
+    _r.tags().noteUncorrectable();
+    _r.invalidate(rref);
+    _bus.noteBlockUncached(cpuId(), line_addr);
+    softCounter("machine_checks")++;
+    emitEvent(EventKind::FaultUnrecoverable, _refIndex, 0, line_addr);
+    throw FaultUnrecoverable(
+        "uncorrectable soft error in a level-2 line covering dirty data");
+}
+
+void
+VrHierarchy::rebuildPresence()
+{
+    _bus.clearPresence(cpuId());
+    _r.tags().forEachLine([&](LineRef ref, const RCache::Line &l) {
+        if (l.valid)
+            _bus.noteBlockCached(cpuId(), _r.lineAddr(ref));
+    });
+    softCounter("presence_scrubs")++;
 }
 
 void

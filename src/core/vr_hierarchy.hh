@@ -180,6 +180,41 @@ class VrHierarchy : public CacheHierarchy
     /** Snoop handler for foreign write-update broadcasts. */
     SnoopResult snoopUpdate(LineRef rref);
 
+    // --- soft-error model (base/fault.hh, VRC_SOFT_ERRORS) -----------
+
+    /** Schedule this reference's array strikes (pure seed hash). */
+    void maybeInjectSoftErrors();
+
+    /** One strike on a level-1 array; @p ctr names the site counter. */
+    void strikeL1(const char *ctr, std::uint64_t h);
+
+    /** One strike on the level-2 (R-cache) array. */
+    void strikeL2(const char *ctr, std::uint64_t h);
+
+    /** Recover a detected-corrupt clean V-cache line via its parent. */
+    void recoverVLine(unsigned ci, LineRef ref);
+
+    /** Recover a detected-corrupt clean R-cache line from memory. */
+    void recoverRLine(LineRef rref);
+
+    /** Machine check: dirty V-cache line with uncorrectable bits. */
+    [[noreturn]] void machineCheckV(unsigned ci, LineRef ref);
+
+    /** Machine check: R-cache line covering dirty data. */
+    [[noreturn]] void machineCheckR(LineRef rref);
+
+    /** Scrub and rebuild our snoop-filter presence bits. */
+    void rebuildPresence();
+
+    /**
+     * Soft-error counters are created on first use so a run that never
+     * strikes reports exactly the seed statistics (json dumps included).
+     */
+    Counter &softCounter(const char *name)
+    {
+        return stats().counter(name);
+    }
+
     HierarchyParams _params;
     AddressSpaceManager &_spaces;
     SharedBus &_bus;

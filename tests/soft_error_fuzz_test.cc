@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Soft errors under the coherence oracle: randomized multiprocessor
+ * workloads with the strike model armed must never produce a coherence
+ * violation -- recovery either restores the exact pre-strike state or
+ * halts the episode with a machine check. This is the fuzz half of the
+ * acceptance criterion; soft_error_recovery_test.cc covers the
+ * deterministic half.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/fault.hh"
+#include "check/fuzzer.hh"
+
+namespace vrc
+{
+namespace
+{
+
+class SoftErrorFuzz : public ::testing::Test
+{
+  protected:
+    void SetUp() override { disarmSoftErrors(); }
+    void TearDown() override { disarmSoftErrors(); }
+};
+
+TEST_F(SoftErrorFuzz, RecoveryStatesPassTheOracle)
+{
+    // Rates high enough that nearly every seed takes strikes, across
+    // all three organizations and both protocols (the "mix" mapping).
+    ASSERT_TRUE(
+        configureSoftErrors("seed=29,tag=1e-4,state=2e-5,ptr=2e-5"));
+
+    unsigned machine_checks = 0;
+    std::uint64_t strikes = 0;
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+        FuzzOptions opt;
+        opt.seed = seed;
+        opt.ops = 3000;
+        opt.kind = seed % 3 == 0 ? HierarchyKind::VirtualReal
+            : seed % 3 == 1 ? HierarchyKind::RealRealIncl
+                            : HierarchyKind::RealRealNoIncl;
+        opt.protocol = (seed / 3) % 2 == 0
+            ? CoherencePolicy::WriteInvalidate
+            : CoherencePolicy::WriteUpdate;
+        opt.sweepPeriod = 128;
+        opt.invariantPeriod = 512;
+
+        FuzzResult r = runFuzz(opt);
+        EXPECT_TRUE(r.ok) << "seed " << seed << ": " << r.violation;
+        machine_checks += r.machineCheck ? 1 : 0;
+        strikes += r.refs;
+    }
+    // The campaign must have actually exercised the model (at these
+    // rates a zero-strike dozen of episodes is implausible), and a
+    // machine check, when it happens, halts without a violation.
+    EXPECT_GT(strikes, 0u);
+    (void)machine_checks;
+}
+
+TEST_F(SoftErrorFuzz, BusLossUnderFuzzKeepsCoherence)
+{
+    ASSERT_TRUE(configureSoftErrors("seed=31,bus=0.02"));
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        FuzzOptions opt;
+        opt.seed = seed;
+        opt.ops = 2000;
+        opt.kind = HierarchyKind::VirtualReal;
+        opt.sweepPeriod = 128;
+        FuzzResult r = runFuzz(opt);
+        EXPECT_TRUE(r.ok) << "seed " << seed << ": " << r.violation;
+    }
+}
+
+TEST_F(SoftErrorFuzz, DisarmedFuzzIsUnchanged)
+{
+    FuzzOptions opt;
+    opt.seed = 3;
+    opt.ops = 1500;
+    FuzzResult base = runFuzz(opt);
+    ASSERT_TRUE(base.ok);
+    EXPECT_FALSE(base.machineCheck);
+
+    // Arm-then-disarm must leave no residue in a later run.
+    ASSERT_TRUE(configureSoftErrors("seed=5,tag=0.5"));
+    disarmSoftErrors();
+    FuzzResult again = runFuzz(opt);
+    EXPECT_TRUE(again.ok);
+    EXPECT_EQ(base.busTransactions, again.busTransactions);
+    EXPECT_EQ(base.refs, again.refs);
+}
+
+} // namespace
+} // namespace vrc

@@ -27,6 +27,7 @@
 #include <sstream>
 #include <string>
 
+#include "base/fault.hh"
 #include "base/log.hh"
 #include "check/fuzzer.hh"
 
@@ -58,7 +59,11 @@ usage()
         "                    failure (default: current directory)\n"
         "  --json            machine-readable result lines\n"
         "  --smoke           mutation smoke test: inject a known bug,\n"
-        "                    succeed only if the oracle fires\n";
+        "                    succeed only if the oracle fires\n"
+        "  --soft-errors=<spec>  arm the soft-error model while fuzzing\n"
+        "                    (seed=N[,tag=P][,state=P][,ptr=P][,bus=P]);\n"
+        "                    an episode halted by a machine check still\n"
+        "                    counts as ok\n";
     std::exit(2);
 }
 
@@ -101,6 +106,8 @@ printResult(const FuzzOptions &opt, const FuzzResult &r, bool json)
                   << ", \"ops\": " << r.opsRun
                   << ", \"refs\": " << r.refs
                   << ", \"transactions\": " << r.busTransactions
+                  << ", \"machine_check\": "
+                  << (r.machineCheck ? "true" : "false")
                   << "}\n";
         return;
     }
@@ -111,6 +118,9 @@ printResult(const FuzzOptions &opt, const FuzzResult &r, bool json)
               << (r.ok ? "ok" : "VIOLATION") << " (" << r.opsRun
               << " ops, " << r.refs << " refs, " << r.busTransactions
               << " bus transactions)\n";
+    if (r.machineCheck)
+        std::cout << "  halted by machine check: "
+                  << r.machineCheckReason << "\n";
     if (!r.ok)
         std::cout << "  " << r.violation << "\n";
 }
@@ -217,6 +227,10 @@ main(int argc, char **argv)
             json = true;
         } else if (std::strcmp(argv[i], "--smoke") == 0) {
             smoke = true;
+        } else if (argValue(argv[i], "--soft-errors", value)) {
+            Status armed = configureSoftErrors(value);
+            if (!armed)
+                fatal(armed.error().describe());
         } else {
             usage();
         }

@@ -23,11 +23,13 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "base/fault.hh"
 #include "base/log.hh"
 #include "base/table.hh"
+#include "cache/protection.hh"
 #include "core/timing.hh"
 #include "sim/campaign.hh"
 #include "sim/experiment.hh"
@@ -75,8 +77,30 @@ usage()
         "  --jobs=<n>       worker threads for the sweep\n"
         "  --inject-faults=<spec>  arm deterministic fault injection\n"
         "                   (seed=N[,corrupt=P][,truncate=P][,throw=P]\n"
-        "                   [,stall=P][,stall_ms=M])\n";
+        "                   [,stall=P][,stall_ms=M])\n"
+        "soft errors:\n"
+        "  --soft-errors=<spec>  arm the in-hierarchy soft-error model\n"
+        "                   (seed=N[,tag=P][,state=P][,ptr=P][,bus=P]\n"
+        "                   [,retry=N]; a bare number is seed=N with\n"
+        "                   default rates)\n"
+        "  --protect=<none|parity|secded>  tag-array protection policy\n"
+        "                   (default secded)\n";
     std::exit(2);
+}
+
+/**
+ * Fail fast when an output path cannot be opened for writing, instead
+ * of discovering it only after a long campaign has already run.
+ * Append mode leaves any existing content untouched.
+ */
+void
+probeWritable(const char *what, const std::string &path)
+{
+    if (path.empty())
+        return;
+    std::ofstream probe(path, std::ios::app);
+    if (!probe)
+        fatal("cannot open ", what, " for writing: ", path);
 }
 
 bool
@@ -190,6 +214,7 @@ main(int argc, char **argv)
     bool json = false, stream = false;
     bool sweep = false;
     CampaignOptions campaign;
+    ArrayProtection protect = ArrayProtection::Secded;
     std::string out_path;
     std::uint64_t events = 0;
     double warmup = 0.0;
@@ -254,6 +279,15 @@ main(int argc, char **argv)
             Status armed = configureFaultInjection(value);
             if (!armed)
                 fatal(armed.error().describe());
+        } else if (argValue(argv[i], "--soft-errors", value)) {
+            Status armed = configureSoftErrors(value);
+            if (!armed)
+                fatal(armed.error().describe());
+        } else if (argValue(argv[i], "--protect", value)) {
+            std::optional<ArrayProtection> p = parseArrayProtection(value);
+            if (!p)
+                fatal("unknown protection policy: ", value);
+            protect = *p;
         } else
             usage();
     }
@@ -269,6 +303,8 @@ main(int argc, char **argv)
     if (sweep) {
         if (stream)
             fatal("--sweep cannot be combined with --stream");
+        probeWritable("campaign result (--out)", out_path);
+        probeWritable("failure manifest (--manifest)", campaign.manifest);
         TraceBundle bundle;
         if (!trace_path.empty()) {
             Result<std::vector<TraceRecord>> loaded =
@@ -299,6 +335,8 @@ main(int argc, char **argv)
     mc.hierarchy.l2.assoc = assoc2;
     mc.hierarchy.l1.blockBytes = block1;
     mc.hierarchy.l2.blockBytes = block2;
+    mc.hierarchy.l1.protection = protect;
+    mc.hierarchy.l2.protection = protect;
     if (check)
         mc.invariantPeriod = 10'000;
 
@@ -318,19 +356,26 @@ main(int argc, char **argv)
             sim.hierarchy(c).setObserver(&printer);
     }
 
-    if (stream) {
-        TraceStream src(profile);
-        sim.run(src);
-    } else if (warmup > 0.0 && warmup < 1.0) {
-        std::size_t cut = static_cast<std::size_t>(
-            records.size() * warmup);
-        for (std::size_t i = 0; i < cut; ++i)
-            sim.step(records[i]);
-        sim.resetStats();
-        for (std::size_t i = cut; i < records.size(); ++i)
-            sim.step(records[i]);
-    } else {
-        sim.run(records);
+    try {
+        if (stream) {
+            TraceStream src(profile);
+            sim.run(src);
+        } else if (warmup > 0.0 && warmup < 1.0) {
+            std::size_t cut = static_cast<std::size_t>(
+                records.size() * warmup);
+            for (std::size_t i = 0; i < cut; ++i)
+                sim.step(records[i]);
+            sim.resetStats();
+            for (std::size_t i = cut; i < records.size(); ++i)
+                sim.step(records[i]);
+        } else {
+            sim.run(records);
+        }
+    } catch (const FaultUnrecoverable &mc_fault) {
+        std::cerr << "vrc_sim: machine check after "
+                  << sim.refsProcessed()
+                  << " references: " << mc_fault.what() << "\n";
+        return 4;
     }
     if (check)
         sim.checkInvariants();
@@ -368,6 +413,36 @@ main(int argc, char **argv)
         sim.totalCounter("memory_writes"));
     t.row().cell("write-buffer stalls").cell(
         sim.totalCounter("wb_stalls"));
+    if (softErrorsArmed()) {
+        t.separator();
+        t.row().cell("protection").cell(arrayProtectionName(protect));
+        t.row().cell("soft faults tag").cell(
+            sim.totalCounter("soft_faults_tag"));
+        t.row().cell("soft faults state").cell(
+            sim.totalCounter("soft_faults_state"));
+        t.row().cell("soft faults ptr").cell(
+            sim.totalCounter("soft_faults_ptr"));
+        t.row().cell("soft masked").cell(sim.totalCounter("soft_masked"));
+        t.row().cell("soft silent").cell(sim.totalCounter("soft_silent"));
+        t.row().cell("soft corrected").cell(
+            sim.totalCounter("soft_corrected"));
+        t.row().cell("soft detected").cell(
+            sim.totalCounter("soft_detected"));
+        t.row().cell("soft recovered").cell(
+            sim.totalCounter("soft_recovered"));
+        t.row().cell("soft refetches (L2)").cell(
+            sim.totalCounter("soft_refetches_l2"));
+        t.row().cell("soft refetches (bus)").cell(
+            sim.totalCounter("soft_refetches_bus"));
+        t.row().cell("presence scrubs").cell(
+            sim.totalCounter("presence_scrubs"));
+        t.row().cell("machine checks").cell(
+            sim.totalCounter("machine_checks"));
+        t.row().cell("bus timeouts").cell(
+            sim.bus().stats().value("soft_timeouts"));
+        t.row().cell("bus retries").cell(
+            sim.bus().stats().value("soft_retries"));
+    }
     std::cout << t;
 
     TimingParams tp;
