@@ -47,7 +47,7 @@ main(int argc, char **argv)
         auto run = [&](HierarchyKind kind) {
             MachineConfig mc = makeMachineConfig(
                 kind, 8 * 1024, 128 * 1024, p.pageSize);
-            mc.busTiming.enabled = true;
+            mc.timingMode = TimingMode::Cycle;
             auto sim = std::make_unique<MpSimulator>(mc, p);
             sim->run(bundle.records);
             return sim;

@@ -24,6 +24,11 @@ JOBS_MAX=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
 
+# Cycle-engine contention sweeps: one figure bench per workload, run
+# with --contention so each CPU-count point lands as its own perf
+# section (<trace>-contention-cpusN) in the report.
+CONTENTION_BENCHES="bench_fig5_access_time bench_fig6_access_time"
+
 for jobs in 1 "$JOBS_MAX"; do
     : > "$TMP/perf_$jobs.jsonl"
     for b in $BENCHES; do
@@ -31,6 +36,13 @@ for jobs in 1 "$JOBS_MAX"; do
         echo "== $b (jobs=$jobs)" >&2
         VRC_PERF_OUT="$TMP/perf_$jobs.jsonl" \
             "$BUILD/bench/$b" $ARGS "--jobs=$jobs" > /dev/null
+    done
+    for b in $CONTENTION_BENCHES; do
+        [ -x "$BUILD/bench/$b" ] || continue
+        echo "== $b --contention (jobs=$jobs)" >&2
+        VRC_PERF_OUT="$TMP/perf_$jobs.jsonl" \
+            "$BUILD/bench/$b" --contention $ARGS "--jobs=$jobs" \
+            > /dev/null
     done
 done
 
@@ -65,6 +77,8 @@ for key, s in serial.items():
     entry = {
         "bench": key[0],
         "section": key[1],
+        "kind": ("contention-sweep" if "-contention-" in key[1]
+                 else "table"),
         "refs": s["refs"],
         "seconds_jobs1": s["seconds"],
         "refs_per_sec_jobs1": s["refs_per_sec"],

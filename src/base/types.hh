@@ -11,8 +11,13 @@
 namespace vrc
 {
 
-/** Simulated time, measured in level-1 cache access units. */
-using Tick = std::uint64_t;
+/**
+ * Simulated time, measured in level-1 cache access units (the paper's
+ * t1). Fractional: the analytic timing parameters (core/timing.hh) are
+ * real-valued and the cycle engine (core/clock.hh) must reproduce the
+ * closed form exactly in the zero-contention limit.
+ */
+using Tick = double;
 
 /** Processor identifier within a shared-bus multiprocessor. */
 using CpuId = std::uint32_t;

@@ -33,6 +33,7 @@
 
 #include "base/counter.hh"
 #include "base/fault.hh"
+#include "coherence/bus_arbiter.hh"
 #include "coherence/snoop.hh"
 #include "coherence/transaction.hh"
 
@@ -112,6 +113,8 @@ class SharedBus
         if (softErrorsArmed())
             absorbLostAttempts(tx);
         ++_txSeq;
+        if (_arbiter)
+            _arbiter->post(tx.source, tx.op);
         (*_txCtr)++;
         (*_opCtrs[static_cast<int>(tx.op)])++;
         _opCounts[static_cast<int>(tx.op)] += 1;
@@ -154,6 +157,17 @@ class SharedBus
 
     /** Attach (or detach with nullptr) a transaction observer. */
     void setObserver(BusObserver *obs) { _observer = obs; }
+
+    /**
+     * Attach (or detach with nullptr) the cycle-timing arbiter. When
+     * attached, every broadcast attempt -- including soft-error lost
+     * attempts that occupy a slot and get retried -- posts one request
+     * to the arbiter's grant queue, so arbitration latency and retry
+     * occupancy become visible queueing load. Functional behavior and
+     * every architectural counter are unaffected.
+     */
+    void setArbiter(BusArbiter *arb) { _arbiter = arb; }
+    BusArbiter *arbiter() { return _arbiter; }
 
     // --- presence notifications (snoop filter maintenance) -----------
 
@@ -298,6 +312,8 @@ class SharedBus
              softErrorDecision("bus-drop", key,
                                _txSeq * 16 + attempt, sc.bus);
              ++attempt) {
+            if (_arbiter)
+                _arbiter->post(tx.source, tx.op);
             (*_txCtr)++;
             (*_opCtrs[static_cast<int>(tx.op)])++;
             _opCounts[static_cast<int>(tx.op)] += 1;
@@ -326,6 +342,7 @@ class SharedBus
     /** Broadcasts to date; a soft-error determinism key, never reset. */
     std::uint64_t _txSeq = 0;
     BusObserver *_observer = nullptr;
+    BusArbiter *_arbiter = nullptr;
 };
 
 } // namespace vrc

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Cycle-approximate arbiter for the shared snooping bus.
+ *
+ * The bus is a serially-reusable resource: one transaction occupies it
+ * at a time, for a per-transaction-type service time (BusTimingParams).
+ * Requests enter a grant queue when they are posted by SharedBus (every
+ * broadcast posts once, and every soft-error retransmission posts again,
+ * so retries are visible queuing load) and are resolved against the
+ * requesters' simulated clocks when the owning simulator drains the
+ * queue at the end of the step that issued them.
+ *
+ * Grant policy: requests are served in order of effective start (the
+ * later of the request tick and the bus-free point), so the queue is
+ * FIFO in simulated time. Requests already waiting when the bus frees
+ * all tie at the bus-free point; ties are granted round-robin by
+ * source CPU, starting after the last CPU granted, so no requester can
+ * starve under saturation. In the sequential trace replay at most one
+ * CPU has requests outstanding per drain, so the FIFO order dominates;
+ * the round-robin path arbitrates same-tick batches from system agents
+ * (page remaps, DMA) and any future multi-ported callers.
+ *
+ * What is cycle-approximate here rather than cycle-accurate: request
+ * ticks are taken at the end of the reference that issued the
+ * transaction (after its full level cost), the functional broadcast has
+ * already completed when timing is charged, and dependent transactions
+ * from one reference are posted with the same request tick and simply
+ * serialize back-to-back.
+ */
+
+#ifndef VRC_COHERENCE_BUS_ARBITER_HH
+#define VRC_COHERENCE_BUS_ARBITER_HH
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+#include "coherence/transaction.hh"
+#include "core/clock.hh"
+#include "core/timing.hh"
+
+namespace vrc
+{
+
+/** FIFO/round-robin grant queue over the single shared bus. */
+class BusArbiter
+{
+  public:
+    explicit BusArbiter(const BusTimingParams &svc)
+        : _service{svc.readMissService, svc.invalidateService,
+                   svc.readMissService + svc.invalidateService,
+                   svc.updateService}
+    {
+    }
+
+    /** One resolved grant (all ticks absolute simulated time). */
+    struct Grant
+    {
+        CpuId source = invalidCpu;
+        BusOp op = BusOp::ReadMiss;
+        Tick request = 0.0; ///< when the requester asked for the bus
+        Tick start = 0.0;   ///< when the bus was granted
+        Tick end = 0.0;     ///< when the transaction left the bus
+    };
+
+    /**
+     * Enqueue a bus request from @p source (SharedBus calls this once
+     * per broadcast attempt, including lost attempts that will be
+     * retried). The request tick is bound later, at drain time, from
+     * the source's clock.
+     */
+    void
+    post(CpuId source, BusOp op)
+    {
+        _pending.push_back(Pending{source, op});
+    }
+
+    /** Queued requests not yet granted. */
+    std::size_t pendingCount() const { return _pending.size(); }
+
+    /**
+     * Resolve every pending request against the per-CPU clocks and
+     * charge the requesters.
+     *
+     * @param clocks  per-CPU simulated clocks, indexed by CpuId; a
+     *                source outside the array (a system agent such as a
+     *                page-remap flush or DMA) is granted back-to-back
+     *                at the bus-free point and charged to no CPU clock.
+     *
+     * Each granted request stalls its requester until the grant, then
+     * occupies the bus for the service time; the requester's clock ends
+     * at the transaction's completion, so a later reference from the
+     * same CPU naturally queues behind it.
+     */
+    void
+    drain(std::vector<CpuClock> &clocks)
+    {
+        while (!_pending.empty()) {
+            std::size_t pick = choose(clocks);
+            Pending req = _pending[pick];
+            _pending.erase(_pending.begin() +
+                           static_cast<std::ptrdiff_t>(pick));
+            grantOne(req, clocks);
+        }
+    }
+
+    // --- counters ----------------------------------------------------
+
+    /** Total grants issued (includes retransmitted attempts). */
+    std::uint64_t grants() const { return _grants; }
+
+    /** Grants of one transaction kind. */
+    std::uint64_t
+    grantsFor(BusOp op) const
+    {
+        return _grantsByOp[static_cast<int>(op)];
+    }
+
+    /** Ticks the bus spent occupied by transactions. */
+    Tick busyTicks() const { return _busy; }
+
+    /** Ticks requesters spent queued for grants, all CPUs. */
+    Tick waitTicks() const { return _wait; }
+
+    /** Queueing delay charged to one CPU (system agents excluded). */
+    Tick
+    waitTicksFor(CpuId cpu) const
+    {
+        return cpu < _waitByCpu.size() ? _waitByCpu[cpu] : 0.0;
+    }
+
+    /** The instant the bus next becomes free. */
+    Tick freeAt() const { return _free; }
+
+    /** Busy fraction of the given time horizon (0 when idle). */
+    double
+    utilization(Tick horizon) const
+    {
+        return horizon > 0.0 ? _busy / horizon : 0.0;
+    }
+
+    /** Zero all counters and the bus-free point (warm-up support). */
+    void
+    reset()
+    {
+        _pending.clear();
+        _free = 0.0;
+        _busy = 0.0;
+        _wait = 0.0;
+        _grants = 0;
+        _grantsByOp = {};
+        std::fill(_waitByCpu.begin(), _waitByCpu.end(), 0.0);
+        _lastGranted = invalidCpu;
+    }
+
+  private:
+    struct Pending
+    {
+        CpuId source;
+        BusOp op;
+    };
+
+    /** Request tick of one pending entry under the given clocks. */
+    static Tick
+    requestTick(const Pending &p, const std::vector<CpuClock> &clocks,
+                Tick free)
+    {
+        // System agents have no clock: they ask at the bus-free point,
+        // so they serialize back-to-back with zero booked wait.
+        return p.source < clocks.size() ? clocks[p.source].now() : free;
+    }
+
+    /**
+     * Index of the next request to grant: earliest effective start
+     * first, where a request's effective start is the later of its
+     * request tick and the bus-free point. Requests already waiting
+     * when the bus frees all tie at the bus-free point, and ties are
+     * broken round-robin by source starting after the last granted
+     * CPU.
+     */
+    std::size_t
+    choose(const std::vector<CpuClock> &clocks) const
+    {
+        std::size_t best = 0;
+        Tick best_start =
+            std::max(requestTick(_pending[0], clocks, _free), _free);
+        for (std::size_t i = 1; i < _pending.size(); ++i) {
+            Tick start =
+                std::max(requestTick(_pending[i], clocks, _free), _free);
+            if (start < best_start ||
+                (start == best_start &&
+                 rrRank(_pending[i].source) <
+                     rrRank(_pending[best].source))) {
+                best = i;
+                best_start = start;
+            }
+        }
+        return best;
+    }
+
+    /** Round-robin distance of @p cpu from the last granted CPU. */
+    std::uint64_t
+    rrRank(CpuId cpu) const
+    {
+        // System agents rank last among ready requesters.
+        if (cpu == invalidCpu)
+            return ~std::uint64_t{0};
+        std::uint64_t base = _lastGranted == invalidCpu
+            ? 0
+            : static_cast<std::uint64_t>(_lastGranted) + 1;
+        constexpr std::uint64_t wrap = std::uint64_t{1} << 32;
+        return (static_cast<std::uint64_t>(cpu) + wrap - base) % wrap;
+    }
+
+    void
+    grantOne(const Pending &req, std::vector<CpuClock> &clocks)
+    {
+        Tick service = _service[static_cast<int>(req.op)];
+        if (req.source < clocks.size()) {
+            CpuClock &clk = clocks[req.source];
+            Tick asked = clk.now();
+            Tick start = std::max(asked, _free);
+            clk.waitUntil(start);
+            clk.chargeBusService(service);
+            _free = start + service;
+            Tick waited = start - asked;
+            _wait += waited;
+            if (req.source >= _waitByCpu.size())
+                _waitByCpu.resize(req.source + 1, 0.0);
+            _waitByCpu[req.source] += waited;
+            _lastGranted = req.source;
+        } else {
+            // Unclocked system agent: back-to-back occupancy.
+            _free += service;
+        }
+        _busy += service;
+        ++_grants;
+        ++_grantsByOp[static_cast<int>(req.op)];
+    }
+
+    std::array<Tick, 4> _service;
+    std::vector<Pending> _pending;
+    Tick _free = 0.0;
+    Tick _busy = 0.0;
+    Tick _wait = 0.0;
+    std::uint64_t _grants = 0;
+    std::array<std::uint64_t, 4> _grantsByOp{};
+    std::vector<Tick> _waitByCpu;
+    CpuId _lastGranted = invalidCpu;
+};
+
+} // namespace vrc
+
+#endif // VRC_COHERENCE_BUS_ARBITER_HH

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Simulated-time primitives for the cycle-approximate timing engine.
+ *
+ * The functional model stays untimed: hits, misses, coherence and
+ * soft-error behavior are decided exactly as before, and the timing
+ * engine is layered on top as pure accounting. Ticks are expressed in
+ * level-1 access-time units (the paper's t1), so the cycle engine and
+ * the Section-4 analytic model (core/timing.hh) speak the same unit
+ * and can be cross-checked against each other: with one CPU and
+ * zero-cost bus service the per-reference cycle count must reproduce
+ * avgAccessTime() exactly.
+ */
+
+#ifndef VRC_CORE_CLOCK_HH
+#define VRC_CORE_CLOCK_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "base/types.hh"
+
+namespace vrc
+{
+
+/** How the simulator accounts access time. */
+enum class TimingMode : std::uint8_t
+{
+    /**
+     * The paper's post-hoc model: per-reference level costs are summed
+     * and the Section-4 closed form over the end-state hit ratios
+     * partitions them exactly. Bus overhead is folded into tm; no
+     * clocks, no contention.
+     */
+    Analytic,
+
+    /**
+     * Cycle-approximate engine: every CPU owns a simulated clock, each
+     * reference advances it by the level cost reported by the caches,
+     * and every bus transaction must win the shared bus through the
+     * BusArbiter, charging queueing delay plus a per-transaction-type
+     * service time. In this mode timing.tm is the memory latency
+     * excluding the bus, which is modeled explicitly.
+     */
+    Cycle,
+};
+
+/** Printable mode name (also the --timing=<mode> spelling). */
+inline const char *
+timingModeName(TimingMode m)
+{
+    return m == TimingMode::Cycle ? "cycle" : "analytic";
+}
+
+/** Parse a --timing=<mode> value; nullopt when unrecognized. */
+inline std::optional<TimingMode>
+parseTimingMode(const std::string &s)
+{
+    if (s == "analytic")
+        return TimingMode::Analytic;
+    if (s == "cycle")
+        return TimingMode::Cycle;
+    return std::nullopt;
+}
+
+/**
+ * One CPU's simulated clock plus its latency accumulators.
+ *
+ * The clock only ever moves forward. Three disjoint buckets partition
+ * everything that advanced it, so reports can decompose a CPU's
+ * elapsed time into useful work, bus occupancy and queueing:
+ *
+ *   now() == accessTicks() + busServiceTicks() + busWaitTicks()
+ */
+class CpuClock
+{
+  public:
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /** Charge one reference's level cost (t1/t2/tm composition). */
+    void
+    chargeAccess(Tick cost)
+    {
+        _now += cost;
+        _access += cost;
+    }
+
+    /** Stall until @p grant_start, booking the delay as bus queueing. */
+    void
+    waitUntil(Tick grant_start)
+    {
+        if (grant_start > _now) {
+            _wait += grant_start - _now;
+            _now = grant_start;
+        }
+    }
+
+    /** Occupy the bus for @p service ticks (transaction in flight). */
+    void
+    chargeBusService(Tick service)
+    {
+        _now += service;
+        _service += service;
+    }
+
+    /** Level-cost ticks accumulated (analytic-comparable portion). */
+    Tick accessTicks() const { return _access; }
+
+    /** Ticks spent queued for bus grants. */
+    Tick busWaitTicks() const { return _wait; }
+
+    /** Ticks the bus spent serving this CPU's transactions. */
+    Tick busServiceTicks() const { return _service; }
+
+    /** Zero the clock and every accumulator (warm-up support). */
+    void
+    reset()
+    {
+        _now = 0.0;
+        _access = 0.0;
+        _wait = 0.0;
+        _service = 0.0;
+    }
+
+  private:
+    Tick _now = 0.0;
+    Tick _access = 0.0;
+    Tick _wait = 0.0;
+    Tick _service = 0.0;
+};
+
+} // namespace vrc
+
+#endif // VRC_CORE_CLOCK_HH

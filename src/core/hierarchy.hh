@@ -20,7 +20,9 @@
 #include "base/types.hh"
 #include "coherence/protocol.hh"
 #include "coherence/snoop.hh"
+#include "core/clock.hh"
 #include "core/events.hh"
+#include "core/timing.hh"
 #include "trace/record.hh"
 
 namespace vrc
@@ -140,6 +142,17 @@ class CacheHierarchy : public Snooper
      * through the coherent physical level (MpSimulator::remapPage).
      */
     virtual void tlbShootdown(ProcessId pid, Vpn vpn) = 0;
+
+    /**
+     * Per-reference level cost (in t1 units) a reference with outcome
+     * @p o charges under @p p. Composed from the hierarchy's own
+     * caches, so organization-specific effects -- the V-cache's
+     * translation-free t1 versus a physically-tagged level 1 paying
+     * the translation slowdown -- are reported by the level that
+     * causes them. Pure accounting: must not disturb any state.
+     */
+    virtual Tick levelCost(AccessOutcome o,
+                           const TimingParams &p) const = 0;
 
     /**
      * Report everything this hierarchy holds of the second-level line at

@@ -29,7 +29,9 @@
 #include "base/addr.hh"
 #include "cache/tag_store.hh"
 #include "coherence/protocol.hh"
+#include "core/clock.hh"
 #include "core/config.hh"
+#include "core/timing.hh"
 
 namespace vrc
 {
@@ -164,6 +166,17 @@ class RCache
     const CacheGeometry &geometry() const { return _tags.geometry(); }
     Store &tags() { return _tags; }
     const Store &tags() const { return _tags; }
+
+    /**
+     * Per-access hit cost of this level under @p p (t1 units): the
+     * R-cache is physically addressed behind the level-1 lookup, so a
+     * local second-level hit costs t2 regardless of organization.
+     */
+    Tick
+    hitCost(const TimingParams &p) const
+    {
+        return p.t2;
+    }
 
   private:
     Store _tags;

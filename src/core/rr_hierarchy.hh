@@ -85,6 +85,27 @@ class RrNoInclHierarchy : public CacheHierarchy
 
     const HierarchyParams &params() const { return _params; }
 
+    /**
+     * Per-reference latency of the non-inclusive baseline: both levels
+     * are physically addressed, so the level-1 hit pays the translation
+     * slowdown (the TLB is in front of the cache), a second-level hit
+     * costs t2, and a full miss pays tm.
+     */
+    Tick
+    levelCost(AccessOutcome o, const TimingParams &p) const override
+    {
+        switch (o) {
+          case AccessOutcome::L1Hit:
+            return p.effectiveT1();
+          case AccessOutcome::L2Hit:
+          case AccessOutcome::SynonymHit:
+            return p.t2;
+          case AccessOutcome::Miss:
+            return p.tm;
+        }
+        return 0.0;
+    }
+
   private:
     unsigned
     l1IndexFor(RefType t) const

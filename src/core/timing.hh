@@ -55,17 +55,29 @@ double crossoverSlowdownPct(double h1_vr, double h2_vr, double h1_rr,
                             double h2_rr, const TimingParams &p);
 
 /**
- * Bus service times (in t1 units) for the contention model. The paper
- * folds bus overhead into tm; modeling the single shared bus as a
- * serially reusable resource lets experiments measure utilization and
- * queueing delay as the processor count grows.
+ * Bus service times (in t1 units) for the cycle-approximate contention
+ * model (TimingMode::Cycle). The paper folds bus overhead into tm;
+ * modeling the single shared bus as a serially reusable resource lets
+ * experiments measure utilization and queueing delay as the processor
+ * count grows. A read-modified-write transaction is charged as one
+ * read-miss transfer plus one invalidate broadcast.
  */
 struct BusTimingParams
 {
-    bool enabled = false;
     double readMissService = 8.0;   ///< block transfer from memory/cache
     double invalidateService = 2.0; ///< address-only broadcast
     double updateService = 3.0;     ///< word broadcast + memory update
+
+    /**
+     * Zero-contention service table: the bus grants instantly and for
+     * free, so the cycle engine degenerates to the analytic model (the
+     * cross-check CI and the equivalence tests rely on this).
+     */
+    static BusTimingParams
+    zero()
+    {
+        return BusTimingParams{0.0, 0.0, 0.0};
+    }
 };
 
 } // namespace vrc

@@ -29,7 +29,9 @@
 #include "base/addr.hh"
 #include "base/types.hh"
 #include "cache/tag_store.hh"
+#include "core/clock.hh"
 #include "core/config.hh"
+#include "core/timing.hh"
 
 namespace vrc
 {
@@ -134,10 +136,30 @@ class VCache
     Store &tags() { return _tags; }
     const Store &tags() const { return _tags; }
 
+    // --- per-access timing (cycle engine) ----------------------------
+
+    /**
+     * Whether a level-1 lookup is translation-free. True for the
+     * paper's V-cache (virtual tags: the TLB sits behind it, so the
+     * translation slowdown never applies); the R-R hierarchies set it
+     * false because their physically-tagged level 1 translates on
+     * every access and pays TimingParams::l1SlowdownPct.
+     */
+    void setTranslationFree(bool on) { _translationFree = on; }
+    bool translationFree() const { return _translationFree; }
+
+    /** This cache's per-access hit cost under @p p (t1 units). */
+    Tick
+    hitCost(const TimingParams &p) const
+    {
+        return _translationFree ? p.t1 : p.effectiveT1();
+    }
+
   private:
     Store _tags;
     std::uint32_t _pageSize;
     std::uint32_t _rPointerSpan;  ///< R-cache size / page size
+    bool _translationFree = true;
 };
 
 } // namespace vrc

@@ -35,6 +35,13 @@ VrHierarchy::VrHierarchy(const HierarchyParams &params,
         _l1[0] = std::make_unique<VCache>(l1, params.pageSize,
                                           params.l2.sizeBytes, 0xdada);
     }
+    // Virtual level-1 tags translate behind the cache (no per-access
+    // translation cost); physical tags (R-R mode) pay the slowdown.
+    for (auto &vc : _l1) {
+        if (vc)
+            vc->setTranslationFree(l1_virtual);
+    }
+
     _wb.setDrainHandler(
         [this](const WriteBufferEntry &e) { onWriteBufferDrain(e); });
 

@@ -85,6 +85,28 @@ class VrHierarchy : public CacheHierarchy
     void forEachCachedLine(
         const std::function<void(PhysAddr)> &fn) const override;
 
+    /**
+     * Compose the per-reference latency from the levels that serviced
+     * it: the level-1 cache prices its own lookup (translation-free in
+     * V-R mode, slowed by l1SlowdownPct in R-R mode), the R-cache
+     * prices a local second-level hit, and a full miss pays tm. A
+     * synonym hit costs one second-level access, as the paper argues.
+     */
+    Tick
+    levelCost(AccessOutcome o, const TimingParams &p) const override
+    {
+        switch (o) {
+          case AccessOutcome::L1Hit:
+            return _l1[0]->hitCost(p);
+          case AccessOutcome::L2Hit:
+          case AccessOutcome::SynonymHit:
+            return _r.hitCost(p);
+          case AccessOutcome::Miss:
+            return p.tm;
+        }
+        return 0.0;
+    }
+
     void
     tlbShootdown(ProcessId pid, Vpn vpn) override
     {

@@ -147,7 +147,9 @@ encodeSummaryLine(std::size_t index, const SimSummary &s)
        << ' ' << s.synonymMoves << ' ' << s.writebackCancels << ' '
        << s.swappedWritebacks << ' ' << s.writeBufferStalls << ' '
        << s.busTransactions << ' ' << s.memoryWrites << ' ' << s.refs
-       << " end";
+       << ' ' << static_cast<unsigned>(s.timingMode) << ' '
+       << std::hexfloat << s.avgAccessTime << ' ' << s.avgAccessCycles
+       << ' ' << s.busUtilization << ' ' << s.avgBusWait << " end";
     return os.str();
 }
 
@@ -159,7 +161,7 @@ decodeSummaryLine(const std::string &line)
     std::string t;
     while (is >> t)
         tok.push_back(t);
-    if (tok.size() != 22 || tok.front() != "cell" ||
+    if (tok.size() != 27 || tok.front() != "cell" ||
         tok.back() != "end")
         return makeError(ErrorKind::Parse,
                          "malformed checkpoint cell line");
@@ -208,6 +210,19 @@ decodeSummaryLine(const std::string &line)
                              "malformed checkpoint counter '",
                              tok[12 + i], "'");
 
+    std::uint64_t timing_mode;
+    if (!parseU64(tok[21], timing_mode) || timing_mode > 1)
+        return makeError(ErrorKind::Parse,
+                         "malformed checkpoint timing mode");
+    s.timingMode = static_cast<TimingMode>(timing_mode);
+    double *timing_doubles[] = {&s.avgAccessTime, &s.avgAccessCycles,
+                                &s.busUtilization, &s.avgBusWait};
+    for (std::size_t i = 0; i < 4; ++i)
+        if (!parseDouble(tok[22 + i], *timing_doubles[i]))
+            return makeError(ErrorKind::Parse,
+                             "malformed checkpoint timing field '",
+                             tok[22 + i], "'");
+
     return std::make_pair(static_cast<std::size_t>(idx), s);
 }
 
@@ -224,6 +239,7 @@ campaignKey(const TraceBundle &bundle, const std::vector<SimJob> &jobs)
         h = fnv1a(h, j.l2Size);
         h = fnv1a(h, j.split ? 1 : 0);
         h = fnv1a(h, j.invariantPeriod);
+        h = fnv1a(h, static_cast<std::uint64_t>(j.timingMode));
     }
     std::ostringstream os;
     os << std::hex << h;

@@ -49,18 +49,32 @@ summarizeSimulation(const MpSimulator &sim, const SimJob &job)
     s.busTransactions = sim.bus().transactions();
     s.memoryWrites = sim.totalCounter("memory_writes");
     s.refs = sim.refsProcessed();
+    s.timingMode = sim.timingMode();
+    s.avgAccessTime = sim.measuredAccessTime();
+    s.avgAccessCycles = sim.avgAccessCycles();
+    s.busUtilization = sim.busUtilization();
+    s.avgBusWait = sim.avgBusWait();
     return s;
 }
 
 SimSummary
 runSimulation(const TraceBundle &bundle, HierarchyKind kind,
               std::uint32_t l1_size, std::uint32_t l2_size, bool split,
-              std::uint64_t invariant_period)
+              std::uint64_t invariant_period, TimingMode timing_mode)
 {
-    SimJob job{kind, l1_size, l2_size, split, invariant_period};
-    MachineConfig mc = makeMachineConfig(kind, l1_size, l2_size,
-                                         bundle.profile.pageSize, split);
-    mc.invariantPeriod = invariant_period;
+    return runSimulationJob(bundle, SimJob{kind, l1_size, l2_size, split,
+                                           invariant_period,
+                                           timing_mode});
+}
+
+SimSummary
+runSimulationJob(const TraceBundle &bundle, const SimJob &job)
+{
+    MachineConfig mc =
+        makeMachineConfig(job.kind, job.l1Size, job.l2Size,
+                          bundle.profile.pageSize, job.split);
+    mc.invariantPeriod = job.invariantPeriod;
+    mc.timingMode = job.timingMode;
     MpSimulator sim(mc, bundle.profile);
     sim.run(bundle.records);
     return summarizeSimulation(sim, job);
@@ -74,6 +88,7 @@ runSimulationCancellable(const TraceBundle &bundle, const SimJob &job,
         makeMachineConfig(job.kind, job.l1Size, job.l2Size,
                           bundle.profile.pageSize, job.split);
     mc.invariantPeriod = job.invariantPeriod;
+    mc.timingMode = job.timingMode;
     MpSimulator sim(mc, bundle.profile);
     constexpr std::size_t pollMask = 0x1FFF; // every 8192 records
     for (std::size_t i = 0; i < bundle.records.size(); ++i) {
@@ -92,9 +107,7 @@ runSimulations(const TraceBundle &bundle, const std::vector<SimJob> &jobs,
 {
     ParallelRunner pool(threads);
     return pool.map(jobs.size(), [&](std::size_t i) {
-        const SimJob &j = jobs[i];
-        return runSimulation(bundle, j.kind, j.l1Size, j.l2Size, j.split,
-                             j.invariantPeriod);
+        return runSimulationJob(bundle, jobs[i]);
     });
 }
 

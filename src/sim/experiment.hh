@@ -44,6 +44,19 @@ struct SimSummary
     std::uint64_t busTransactions = 0;
     std::uint64_t memoryWrites = 0;
     std::uint64_t refs = 0;
+
+    // --- timing engine (core/clock.hh) -------------------------------
+
+    /** Timing engine the cell ran under. */
+    TimingMode timingMode = TimingMode::Analytic;
+
+    /** Measured per-reference level cost (both engines). */
+    double avgAccessTime = 0.0;
+
+    /** Cycle engine only (zero under the analytic model): */
+    double avgAccessCycles = 0.0;  ///< per-ref latency incl. bus
+    double busUtilization = 0.0;   ///< bus busy fraction of horizon
+    double avgBusWait = 0.0;       ///< per-ref bus queueing delay
 };
 
 /** Default machine configuration for a size pair and organization. */
@@ -61,7 +74,8 @@ MachineConfig makeMachineConfig(HierarchyKind kind, std::uint32_t l1_size,
 SimSummary runSimulation(const TraceBundle &bundle, HierarchyKind kind,
                          std::uint32_t l1_size, std::uint32_t l2_size,
                          bool split = false,
-                         std::uint64_t invariant_period = 0);
+                         std::uint64_t invariant_period = 0,
+                         TimingMode timing_mode = TimingMode::Analytic);
 
 /** One cell of an experiment table: a config to simulate. */
 struct SimJob
@@ -71,7 +85,13 @@ struct SimJob
     std::uint32_t l2Size = 0;
     bool split = false;
     std::uint64_t invariantPeriod = 0;
+
+    /** Timing engine for this cell (functional results identical). */
+    TimingMode timingMode = TimingMode::Analytic;
 };
+
+/** runSimulation() spelled with a SimJob (all knobs, incl. timing). */
+SimSummary runSimulationJob(const TraceBundle &bundle, const SimJob &job);
 
 /** Collect the table-facing counters from a finished simulator. */
 SimSummary summarizeSimulation(const MpSimulator &sim,

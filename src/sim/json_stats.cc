@@ -64,6 +64,11 @@ toJson(const SimSummary &s)
           first);
     field(os, "bus_transactions", s.busTransactions, first);
     field(os, "memory_writes", s.memoryWrites, first);
+    field(os, "timing_mode", timingModeName(s.timingMode), first);
+    field(os, "avg_access_time", s.avgAccessTime, first);
+    field(os, "avg_access_cycles", s.avgAccessCycles, first);
+    field(os, "bus_utilization", s.busUtilization, first);
+    field(os, "avg_bus_wait", s.avgBusWait, first);
     if (!first)
         os << ",";
     os << "\"l1_msgs_per_cpu\":[";
@@ -88,6 +93,13 @@ toJson(const MpSimulator &sim)
     field(os, "h1", sim.h1(), first);
     field(os, "h2", sim.h2(), first);
     field(os, "bus_transactions", sim.bus().transactions(), first);
+    field(os, "timing_mode", timingModeName(sim.timingMode()), first);
+    field(os, "avg_access_time", sim.measuredAccessTime(), first);
+    field(os, "avg_access_cycles", sim.avgAccessCycles(), first);
+    field(os, "bus_utilization", sim.busUtilization(), first);
+    field(os, "avg_bus_wait", sim.avgBusWait(), first);
+    field(os, "bus_busy_ticks", sim.busBusyTime(), first);
+    field(os, "bus_wait_ticks", sim.busWaitTime(), first);
     os << ",\"bus\":{";
     bool bfirst = true;
     for (const auto &[key, ctr] : sim.bus().stats().all())

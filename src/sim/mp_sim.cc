@@ -17,12 +17,24 @@ MpSimulator::MpSimulator(const MachineConfig &config,
     panicIfNot(config.hierarchy.pageSize == profile.pageSize,
                "hierarchy/profile page size mismatch");
     setupAddressSpaces(profile, _spaces);
-    _cpuClock.assign(profile.numCpus, 0.0);
     for (CpuId c = 0; c < profile.numCpus; ++c) {
         _cpus.push_back(
             makeHierarchy(config.kind, config.hierarchy, _spaces, _bus));
         panicIfNot(_cpus.back()->cpuId() == c,
                    "bus assigned an unexpected CPU id");
+        // Resolve the per-outcome level costs once: the composition is
+        // a pure function of the organization and the timing params.
+        std::array<Tick, 4> costs{};
+        for (int o = 0; o < 4; ++o) {
+            costs[o] = _cpus.back()->levelCost(
+                static_cast<AccessOutcome>(o), config.timing);
+        }
+        _costs.push_back(costs);
+    }
+    if (config.timingMode == TimingMode::Cycle) {
+        _clocks.resize(profile.numCpus);
+        _arbiter = std::make_unique<BusArbiter>(config.busTiming);
+        _bus.setArbiter(_arbiter.get());
     }
 }
 
@@ -33,26 +45,23 @@ MpSimulator::step(const TraceRecord &r)
     CacheHierarchy &h = *_cpus[r.cpu];
     if (r.type == RefType::ContextSwitch) {
         h.contextSwitch(r.pid);
+        // A switch issues no reference, but any transactions it did
+        // queue (none today) must not leak into the next reference.
+        if (_arbiter)
+            _arbiter->drain(_clocks);
         return;
     }
     AccessOutcome outcome = h.access(MemAccess{r.type, r.va(), r.pid});
-    double cost = 0.0;
-    switch (outcome) {
-      case AccessOutcome::L1Hit:
-        cost = _config.timing.effectiveT1();
-        break;
-      case AccessOutcome::L2Hit:
-      case AccessOutcome::SynonymHit:
-        cost = _config.timing.t2;
-        break;
-      case AccessOutcome::Miss:
-        cost = _config.timing.tm;
-        break;
-    }
+    Tick cost = _costs[r.cpu][static_cast<int>(outcome)];
     _cycles += cost;
-    if (_config.busTiming.enabled) {
-        _cpuClock[r.cpu] += cost;
-        chargeBusTransactions(r.cpu);
+    if (_arbiter) {
+        // Cycle engine: the reference advances its CPU's clock by the
+        // composed level cost, then every bus transaction it issued
+        // (posted to the arbiter by SharedBus during access(),
+        // including soft-error retransmissions) wins the bus in grant
+        // order, stalling this CPU for queueing delay plus service.
+        _clocks[r.cpu].chargeAccess(cost);
+        _arbiter->drain(_clocks);
     }
     ++_refs;
     if (_config.invariantPeriod != 0 &&
@@ -145,6 +154,10 @@ MpSimulator::remapPage(ProcessId pid, Vpn vpn, Ppn new_ppn)
     for (auto &cpu : _cpus)
         cpu->tlbShootdown(pid, vpn);
     _spaces.pageTable(pid).map(vpn, new_ppn);
+    // The flush transactions came from an unclocked system agent; they
+    // occupy bus slots back-to-back at the bus-free point.
+    if (_arbiter)
+        _arbiter->drain(_clocks);
 }
 
 void
@@ -155,45 +168,37 @@ MpSimulator::resetStats()
     _bus.resetStats();
     _refs = 0;
     _cycles = 0.0;
-    _cpuClock.assign(_cpuClock.size(), 0.0);
-    _busFree = 0.0;
-    _busBusy = 0.0;
-    _busWait = 0.0;
-    _lastOpCounts = {};
-}
-
-void
-MpSimulator::chargeBusTransactions(CpuId cpu)
-{
-    // Compare per-operation bus counters against the last snapshot and
-    // charge the requester queueing delay plus service time for each
-    // transaction issued during this step.
-    const BusTimingParams &bt = _config.busTiming;
-    const double service[4] = {
-        bt.readMissService, bt.invalidateService,
-        bt.readMissService + bt.invalidateService, bt.updateService};
-
-    double &clk = _cpuClock[cpu];
-    for (int i = 0; i < 4; ++i) {
-        std::uint64_t now = _bus.opCount(static_cast<BusOp>(i));
-        for (std::uint64_t k = _lastOpCounts[i]; k < now; ++k) {
-            double start = std::max(clk, _busFree);
-            _busWait += start - clk;
-            clk = start + service[i];
-            _busFree = clk;
-            _busBusy += service[i];
-        }
-        _lastOpCounts[i] = now;
-    }
+    for (CpuClock &c : _clocks)
+        c.reset();
+    if (_arbiter)
+        _arbiter->reset();
 }
 
 double
 MpSimulator::busUtilization() const
 {
-    double horizon = 0.0;
-    for (double c : _cpuClock)
-        horizon = std::max(horizon, c);
-    return horizon > 0.0 ? _busBusy / horizon : 0.0;
+    if (!_arbiter)
+        return 0.0;
+    // Horizon: the furthest simulated instant any agent reached. The
+    // bus-free point covers unclocked system transactions that may
+    // extend past every CPU's clock.
+    Tick horizon = _arbiter->freeAt();
+    for (const CpuClock &c : _clocks)
+        horizon = std::max(horizon, c.now());
+    return _arbiter->utilization(horizon);
+}
+
+double
+MpSimulator::avgAccessCycles() const
+{
+    if (!_arbiter)
+        return measuredAccessTime();
+    if (_refs == 0)
+        return 0.0;
+    Tick total = 0.0;
+    for (const CpuClock &c : _clocks)
+        total += c.now();
+    return total / static_cast<double>(_refs);
 }
 
 void

@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "coherence/bus.hh"
+#include "coherence/bus_arbiter.hh"
+#include "core/clock.hh"
 #include "core/timing.hh"
 #include "core/config.hh"
 #include "core/factory.hh"
@@ -49,13 +51,20 @@ struct MachineConfig
     TimingParams timing;
 
     /**
-     * Optional bus-contention model: when enabled, every bus
-     * transaction must acquire the single shared bus, serializing
-     * against transactions from all CPUs. Requesters stall for the
-     * queueing delay plus the service time; the simulator reports bus
-     * utilization and total waiting. (In this mode `timing.tm` is the
-     * memory latency excluding the bus, which is modeled explicitly.)
+     * Timing engine selection. Analytic (the default) keeps the
+     * paper's post-hoc accounting only. Cycle layers the
+     * cycle-approximate engine on top: per-CPU clocks advance by the
+     * level costs the hierarchies report, and every bus transaction
+     * must win the single shared bus through the BusArbiter,
+     * serializing against all CPUs and charging queueing delay plus a
+     * per-type service time. (In cycle mode `timing.tm` is the memory
+     * latency excluding the bus, which is modeled explicitly.)
+     * Architectural counters are bit-identical across modes: timing is
+     * pure accounting layered on the functional model.
      */
+    TimingMode timingMode = TimingMode::Analytic;
+
+    /** Bus service times for the cycle engine (ignored in analytic). */
     BusTimingParams busTiming;
 };
 
@@ -115,17 +124,62 @@ class MpSimulator
     /** Accumulated access cost (in t1 units) over all references. */
     double cycles() const { return _cycles; }
 
-    /** Per-CPU clock under the bus-contention model (t1 units). */
-    double cpuClock(CpuId cpu) const { return _cpuClock.at(cpu); }
+    /** Active timing engine. */
+    TimingMode timingMode() const { return _config.timingMode; }
+
+    /** Per-CPU clock under the cycle engine (0 in analytic mode). */
+    double
+    cpuClock(CpuId cpu) const
+    {
+        return cpu < _clocks.size() ? _clocks[cpu].now() : 0.0;
+    }
+
+    /** Full clock (accumulator breakdown) of one CPU (cycle engine). */
+    const CpuClock &
+    clock(CpuId cpu) const
+    {
+        // In analytic mode the clocks never advance; hand back a shared
+        // zero clock so report code can stay mode-agnostic.
+        static const CpuClock zero{};
+        return cpu < _clocks.size() ? _clocks[cpu] : zero;
+    }
+
+    /** The bus arbiter, or nullptr in analytic mode. */
+    const BusArbiter *arbiter() const { return _arbiter.get(); }
 
     /** Total time the bus spent serving transactions. */
-    double busBusyTime() const { return _busBusy; }
+    double busBusyTime() const
+    {
+        return _arbiter ? _arbiter->busyTicks() : 0.0;
+    }
 
     /** Total time requesters queued waiting for the bus. */
-    double busWaitTime() const { return _busWait; }
+    double busWaitTime() const
+    {
+        return _arbiter ? _arbiter->waitTicks() : 0.0;
+    }
 
-    /** Bus utilization: busy time over the slowest CPU's clock. */
+    /** Bus utilization: busy time over the simulated horizon. */
     double busUtilization() const;
+
+    /**
+     * Average per-reference latency under the cycle engine: every
+     * CPU's elapsed clock (level costs + bus service + queueing) over
+     * all references. In analytic mode this equals
+     * measuredAccessTime(), and so it does under the cycle engine with
+     * one CPU and a zero bus service table -- the closed-form
+     * cross-check the tests and CI enforce.
+     */
+    double avgAccessCycles() const;
+
+    /** Average per-reference bus queueing delay (t1 units). */
+    double
+    avgBusWait() const
+    {
+        return _refs && _arbiter
+            ? _arbiter->waitTicks() / static_cast<double>(_refs)
+            : 0.0;
+    }
 
     /**
      * Measured average access time: counted cost per reference. Agrees
@@ -164,17 +218,21 @@ class MpSimulator
     MachineConfig _config;
     AddressSpaceManager _spaces;
     SharedBus _bus;
-    /** Charge queueing + service for transactions issued in one step. */
-    void chargeBusTransactions(CpuId cpu);
 
     std::vector<std::unique_ptr<CacheHierarchy>> _cpus;
     std::uint64_t _refs = 0;
     double _cycles = 0.0;
-    std::vector<double> _cpuClock;
-    double _busFree = 0.0;
-    double _busBusy = 0.0;
-    double _busWait = 0.0;
-    std::array<std::uint64_t, 4> _lastOpCounts{};
+
+    /**
+     * Level costs by (cpu, outcome), resolved once at construction
+     * from each hierarchy's levelCost() so the replay hot path never
+     * pays a virtual call per reference.
+     */
+    std::vector<std::array<Tick, 4>> _costs;
+
+    /** Cycle engine state (empty clocks / null arbiter in analytic). */
+    std::vector<CpuClock> _clocks;
+    std::unique_ptr<BusArbiter> _arbiter;
 };
 
 } // namespace vrc

@@ -18,7 +18,7 @@ contentionConfig(std::uint32_t page_size)
     MachineConfig mc = makeMachineConfig(HierarchyKind::VirtualReal,
                                          4 * 1024, 64 * 1024,
                                          page_size);
-    mc.busTiming.enabled = true;
+    mc.timingMode = TimingMode::Cycle;
     return mc;
 }
 
@@ -27,7 +27,7 @@ TEST(BusContentionTest, DisabledModelKeepsClocksAtZero)
     WorkloadProfile p = scaled(popsProfile(), 0.005);
     TraceBundle b = generateTrace(p);
     MachineConfig mc = contentionConfig(p.pageSize);
-    mc.busTiming.enabled = false;
+    mc.timingMode = TimingMode::Analytic;
     MpSimulator sim(mc, p);
     sim.run(b.records);
     EXPECT_DOUBLE_EQ(sim.busBusyTime(), 0.0);

@@ -96,6 +96,41 @@ TEST(TimingTest, CrossoverNegativeWhenVrAlreadyWins)
     EXPECT_LT(x, 0.0) << "V-R faster even with no translation penalty";
 }
 
+TEST(TimingTest, CrossoverGuardsDegenerateRrH1)
+{
+    TimingParams p;
+    // With no R-R level-1 hits there is no translation-sensitive term
+    // to slow down: the solver's documented guard returns 0.0 instead
+    // of dividing by zero.
+    EXPECT_DOUBLE_EQ(crossoverSlowdownPct(0.95, 0.6, 0.0, 0.6, p), 0.0);
+    EXPECT_DOUBLE_EQ(crossoverSlowdownPct(0.95, 0.6, -0.1, 0.6, p),
+                     0.0);
+}
+
+TEST(TimingTest, DegeneratePerfectL1)
+{
+    TimingParams p;
+    // h1 = 1.0: the second and third terms vanish entirely, whatever
+    // h2 claims, and only the slowdown moves the result.
+    EXPECT_DOUBLE_EQ(avgAccessTime(1.0, 0.7, p), p.t1);
+    EXPECT_DOUBLE_EQ(avgAccessTimeTwoTerm(1.0, 0.7, p), p.t1);
+    p.l1SlowdownPct = 25.0;
+    EXPECT_DOUBLE_EQ(avgAccessTime(1.0, 0.7, p), 1.25 * p.t1);
+    // Both hierarchies perfect at level 1: the crossover is exactly
+    // zero -- any slowdown at all makes the R-R lose.
+    p.l1SlowdownPct = 0.0;
+    EXPECT_NEAR(crossoverSlowdownPct(1.0, 0.0, 1.0, 0.0, p), 0.0,
+                1e-12);
+}
+
+TEST(TimingTest, ZeroServiceTableIsAllZeros)
+{
+    BusTimingParams z = BusTimingParams::zero();
+    EXPECT_DOUBLE_EQ(z.readMissService, 0.0);
+    EXPECT_DOUBLE_EQ(z.invalidateService, 0.0);
+    EXPECT_DOUBLE_EQ(z.updateService, 0.0);
+}
+
 TEST(TimingTest, PaperFigure6Crossover)
 {
     // Using the paper's own Table 6 abaqus numbers at 16K/256K, the

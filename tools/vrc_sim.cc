@@ -11,7 +11,7 @@
  *   vrc_sim --profile=pops [--trace=file.vrct] [--org=vr|rr|rr-noincl]
  *           [--l1=16384] [--l2=262144] [--assoc1=1] [--assoc2=1]
  *           [--block1=16] [--block2=16] [--split] [--scale=1.0]
- *           [--check] [--per-cpu]
+ *           [--timing=analytic|cycle] [--check] [--per-cpu]
  *
  * Campaign mode (`--sweep`) runs the paper's 3-organization x 3-size
  * grid as a fault-tolerant campaign: checkpointed to a journal,
@@ -30,6 +30,7 @@
 #include "base/log.hh"
 #include "base/table.hh"
 #include "cache/protection.hh"
+#include "core/clock.hh"
 #include "core/timing.hh"
 #include "sim/campaign.hh"
 #include "sim/experiment.hh"
@@ -57,6 +58,10 @@ usage()
         "  --assoc1/--assoc2, --block1/--block2   geometry\n"
         "  --split          split level 1 into I and D halves\n"
         "  --scale=<f>      rescale the generated trace\n"
+        "  --timing=<analytic|cycle>  access-time engine: the paper's\n"
+        "                   closed form, or the cycle-approximate bus-\n"
+        "                   contention model (default analytic; the\n"
+        "                   architectural counters are identical)\n"
         "  --stream         generate records on the fly instead of\n"
         "                   materializing the trace (lower peak RSS)\n"
         "  --check          verify invariants during the run\n"
@@ -128,23 +133,23 @@ parseOrg(const std::string &s)
 
 /** The paper's grid: every organization at every large size pair. */
 std::vector<SimJob>
-sweepJobs()
+sweepJobs(TimingMode timing_mode)
 {
     std::vector<SimJob> jobs;
     for (HierarchyKind kind :
          {HierarchyKind::VirtualReal, HierarchyKind::RealRealIncl,
           HierarchyKind::RealRealNoIncl}) {
         for (auto [l1, l2] : paperSizePairs())
-            jobs.push_back({kind, l1, l2, false, 0});
+            jobs.push_back({kind, l1, l2, false, 0, timing_mode});
     }
     return jobs;
 }
 
 int
 runSweep(const TraceBundle &bundle, const CampaignOptions &opt,
-         bool json, const std::string &out_path)
+         bool json, const std::string &out_path, TimingMode timing_mode)
 {
-    std::vector<SimJob> jobs = sweepJobs();
+    std::vector<SimJob> jobs = sweepJobs(timing_mode);
     Result<CampaignResult> run =
         runSimulationCampaign(bundle, jobs, opt);
     if (!run) {
@@ -213,6 +218,7 @@ main(int argc, char **argv)
     bool split = false, check = false, per_cpu = false;
     bool json = false, stream = false;
     bool sweep = false;
+    TimingMode timing_mode = TimingMode::Analytic;
     CampaignOptions campaign;
     ArrayProtection protect = ArrayProtection::Secded;
     std::string out_path;
@@ -243,7 +249,12 @@ main(int argc, char **argv)
             block2 = std::strtoul(value.c_str(), nullptr, 0);
         else if (argValue(argv[i], "--scale", value))
             scale = std::atof(value.c_str());
-        else if (std::strcmp(argv[i], "--split") == 0)
+        else if (argValue(argv[i], "--timing", value)) {
+            std::optional<TimingMode> m = parseTimingMode(value);
+            if (!m)
+                fatal("unknown timing mode: ", value);
+            timing_mode = *m;
+        } else if (std::strcmp(argv[i], "--split") == 0)
             split = true;
         else if (std::strcmp(argv[i], "--stream") == 0)
             stream = true;
@@ -319,7 +330,7 @@ main(int argc, char **argv)
         } else {
             bundle = generateTrace(profile);
         }
-        return runSweep(bundle, campaign, json, out_path);
+        return runSweep(bundle, campaign, json, out_path, timing_mode);
     }
 
     std::vector<TraceRecord> records;
@@ -337,6 +348,7 @@ main(int argc, char **argv)
     mc.hierarchy.l2.blockBytes = block2;
     mc.hierarchy.l1.protection = protect;
     mc.hierarchy.l2.protection = protect;
+    mc.timingMode = timing_mode;
     if (check)
         mc.invariantPeriod = 10'000;
 
@@ -413,6 +425,16 @@ main(int argc, char **argv)
         sim.totalCounter("memory_writes"));
     t.row().cell("write-buffer stalls").cell(
         sim.totalCounter("wb_stalls"));
+    t.separator();
+    t.row().cell("timing mode").cell(timingModeName(sim.timingMode()));
+    t.row().cell("avg access time").cell(sim.measuredAccessTime(), 4);
+    if (sim.timingMode() == TimingMode::Cycle) {
+        t.row().cell("avg access cycles").cell(sim.avgAccessCycles(), 4);
+        t.row().cell("bus utilization").cell(sim.busUtilization(), 4);
+        t.row().cell("avg bus wait/ref").cell(sim.avgBusWait(), 4);
+        t.row().cell("bus busy ticks").cell(sim.busBusyTime(), 1);
+        t.row().cell("bus wait ticks").cell(sim.busWaitTime(), 1);
+    }
     if (softErrorsArmed()) {
         t.separator();
         t.row().cell("protection").cell(arrayProtectionName(protect));
@@ -451,23 +473,30 @@ main(int argc, char **argv)
 
     if (per_cpu) {
         TextTable pc;
-        pc.row()
+        bool cycle = sim.timingMode() == TimingMode::Cycle;
+        auto &hdr = pc.row()
             .cell("cpu")
             .cell("refs")
             .cell("h1")
             .cell("h2")
             .cell("l1 msgs")
             .cell("writebacks");
+        if (cycle)
+            hdr.cell("clock").cell("bus wait");
         pc.separator();
         for (CpuId c = 0; c < sim.cpuCount(); ++c) {
             const auto &h = sim.hierarchy(c);
-            pc.row()
+            auto &row = pc.row()
                 .cell(c)
                 .cell(h.stats().value("refs"))
                 .cell(h.h1(), 4)
                 .cell(h.h2(), 4)
                 .cell(h.stats().value("l1_coherence_msgs"))
                 .cell(h.stats().value("writebacks"));
+            if (cycle) {
+                row.cell(sim.cpuClock(c), 1)
+                    .cell(sim.clock(c).busWaitTicks(), 1);
+            }
         }
         std::cout << "\n" << pc;
     }
