@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Perf regression gate over BENCH_perf.json reports.
+
+Compares a freshly measured report against the committed baseline and
+fails (exit 1) when any table bench's single-threaded throughput drops
+more than the tolerance below the baseline, or when a baseline table
+vanished from the measurement. Contention sweeps are informational
+(they measure the simulated machine, not the simulator) and faster-
+than-baseline results never fail.
+
+Usage: perf_gate.py BASELINE.json MEASURED.json [--tolerance 0.15]
+"""
+
+import argparse
+import json
+import sys
+
+
+def tables(report):
+    return {
+        (b["bench"], b["section"]): b["refs_per_sec_jobs1"]
+        for b in report["benches"]
+        if b.get("kind") == "table"
+    }
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("measured")
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="allowed fractional drop (default 0.15)")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        base = tables(json.load(f))
+    with open(args.measured) as f:
+        meas = tables(json.load(f))
+
+    if not base:
+        print("perf gate: baseline has no table benches", file=sys.stderr)
+        return 1
+
+    failures = []
+    for key, base_rate in sorted(base.items()):
+        rate = meas.get(key)
+        name = f"{key[0]}/{key[1]}"
+        if rate is None:
+            failures.append(f"{name}: missing from measured report")
+            continue
+        ratio = rate / base_rate if base_rate else 0.0
+        status = "ok"
+        if ratio < 1.0 - args.tolerance:
+            failures.append(
+                f"{name}: {rate / 1e6:.2f}M refs/s is "
+                f"{(1.0 - ratio) * 100:.1f}% below baseline "
+                f"{base_rate / 1e6:.2f}M")
+            status = "FAIL"
+        print(f"  {status:4} {name}: {rate / 1e6:.2f}M vs "
+              f"{base_rate / 1e6:.2f}M baseline ({ratio:.2f}x)")
+
+    if failures:
+        print(f"perf gate: {len(failures)} regression(s) beyond "
+              f"{args.tolerance * 100:.0f}%:", file=sys.stderr)
+        for f_ in failures:
+            print(f"  {f_}", file=sys.stderr)
+        return 1
+    print(f"perf gate: {len(base)} table benches within "
+          f"{args.tolerance * 100:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,7 @@
 #define VRC_BASE_COUNTER_HH
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <ostream>
 #include <string>
@@ -40,21 +41,38 @@ class Counter
  * and the simulator aggregates groups for reporting.
  *
  * Registered-handle contract: counter() returns a reference that stays
- * valid for the lifetime of the group (node-based map, no rehashing).
- * Hot-path code must resolve its handles once at construction and
- * increment through them; string-keyed lookups are for registration and
- * reporting only.
+ * valid for the lifetime of the group. Hot-path code must resolve its
+ * handles once at construction and increment through them;
+ * string-keyed lookups are for registration and reporting only.
+ *
+ * Storage is split for locality: the Counter payloads live packed in a
+ * deque (stable addresses, a whole group's counters typically within
+ * one chunk, so per-reference increments touch one or two cache lines
+ * instead of a node per counter), while the name index is a side map
+ * used only by registration and reporting.
  */
 class StatGroup
 {
   public:
     explicit StatGroup(std::string name) : _name(std::move(name)) {}
 
+    // Handles point into _slots; copying would silently dangle them.
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+    StatGroup(StatGroup &&) = default;
+    StatGroup &operator=(StatGroup &&) = default;
+
     /** Fetch (creating on first use) the counter called @p key. */
     Counter &
     counter(const std::string &key)
     {
-        return _counters[key];
+        auto it = _byName.find(key);
+        if (it != _byName.end())
+            return *it->second;
+        _slots.emplace_back();
+        Counter *slot = &_slots.back();
+        _byName.emplace(key, slot);
+        return *slot;
     }
 
     /**
@@ -65,39 +83,48 @@ class StatGroup
     Counter &
     handle(const std::string &key)
     {
-        return _counters[key];
+        return counter(key);
     }
 
     /** Read-only lookup; returns 0 for unknown keys. */
     std::uint64_t
     value(const std::string &key) const
     {
-        auto it = _counters.find(key);
-        return it == _counters.end() ? 0 : it->second.value();
+        auto it = _byName.find(key);
+        return it == _byName.end() ? 0 : it->second->value();
     }
 
     const std::string &name() const { return _name; }
 
-    const std::map<std::string, Counter> &all() const { return _counters; }
+    /** Name-sorted snapshot of every counter (reporting only). */
+    std::map<std::string, Counter>
+    all() const
+    {
+        std::map<std::string, Counter> out;
+        for (const auto &[key, slot] : _byName)
+            out.emplace(key, *slot);
+        return out;
+    }
 
     /** Zero every counter in the group. */
     void
     reset()
     {
-        for (auto &[key, ctr] : _counters)
+        for (Counter &ctr : _slots)
             ctr.reset();
     }
 
     void
     print(std::ostream &os) const
     {
-        for (const auto &[key, ctr] : _counters)
-            os << _name << "." << key << " = " << ctr.value() << '\n';
+        for (const auto &[key, slot] : _byName)
+            os << _name << "." << key << " = " << slot->value() << '\n';
     }
 
   private:
     std::string _name;
-    std::map<std::string, Counter> _counters;
+    std::deque<Counter> _slots;
+    std::map<std::string, Counter *> _byName;
 };
 
 } // namespace vrc

@@ -41,6 +41,7 @@ class CacheGeometry
         panicIfNot(isPowerOfTwo(_numSets), "set count not a power of 2");
         _blockShift = log2Exact(block_bytes);
         _setMask = _numSets - 1;
+        _setShift = log2Exact(_numSets);
     }
 
     std::uint32_t size() const { return _size; }
@@ -75,14 +76,14 @@ class CacheGeometry
     std::uint32_t
     tag(std::uint32_t addr) const
     {
-        return blockNumber(addr) >> log2Exact(_numSets);
+        return blockNumber(addr) >> _setShift;
     }
 
     /** Rebuild a block-aligned address from (tag, set). */
     std::uint32_t
     rebuildAddr(std::uint32_t tag_v, std::uint32_t set) const
     {
-        return ((tag_v << log2Exact(_numSets)) | set) << _blockShift;
+        return ((tag_v << _setShift) | set) << _blockShift;
     }
 
     bool
@@ -100,6 +101,7 @@ class CacheGeometry
     std::uint32_t _numSets = 0;
     unsigned _blockShift = 0;
     std::uint32_t _setMask = 0;
+    unsigned _setShift = 0;
 };
 
 } // namespace vrc

@@ -11,18 +11,39 @@
  * Lines are addressed as (set, way) pairs; the owner is free to iterate
  * a set and apply its own victim predicate (the R-cache's relaxed
  * inclusion replacement rule needs exactly that).
+ *
+ * Storage is structure-of-arrays: the valid bytes, tags and recency
+ * stamps live in three flat parallel arrays (optionally carved out of
+ * the owning hierarchy's Arena) so the lookup inner loop touches only
+ * the handful of contiguous cache lines holding one set's tags, and the
+ * compiler can keep the tag-compare scan branch-free. Line is therefore
+ * a *view*: a bundle of references into the arrays, cheap to copy and
+ * source-compatible with the original array-of-structures layout.
+ *
+ * Under the VRC_REFERENCE_MODEL build option the original AoS
+ * implementation (tag_store_legacy.hh) stays linked in behind a runtime
+ * switch (reference_mode.hh) as a differential-testing oracle; TagStore
+ * then dispatches to whichever model was selected when the store was
+ * constructed. Both models consume their Rng identically, so
+ * replacement decisions -- and with them every architectural counter --
+ * are bit-identical across the two.
  */
 
 #ifndef VRC_CACHE_TAG_STORE_HH
 #define VRC_CACHE_TAG_STORE_HH
 
+#include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "base/arena.hh"
+#include "base/log.hh"
 #include "base/rng.hh"
 #include "cache/cache_geometry.hh"
 #include "cache/protection.hh"
+#include "cache/reference_mode.hh"
 #include "cache/replacement.hh"
 
 namespace vrc
@@ -37,41 +58,96 @@ struct LineRef
     bool operator==(const LineRef &) const = default;
 };
 
-/** A set-associative array of tagged lines with Meta payloads. */
+/**
+ * One cache line, as a view: references to the valid byte, tag bits,
+ * recency stamp and the owner's payload wherever they are stored. The
+ * view is cheap to copy; copies alias the same line. The const
+ * overloads of line()/forEachWay()/forEachLine() hand out the same view
+ * type -- read-only use on const paths is enforced by convention, as
+ * the simulator's const paths (probes, invariant checks) never write.
+ */
 template <typename Meta>
-class TagStore
+struct TagLineView
+{
+    std::uint8_t &valid;
+    std::uint32_t &tag;
+    std::uint64_t &stamp;
+    Meta &meta;
+};
+
+/**
+ * Reset a payload for reuse by fill()/invalidateAll(). Prefers the
+ * payload's resetForFill() when it has one (RLineMeta keeps its
+ * subentry vector's capacity that way, so refills never allocate);
+ * value-reassignment otherwise. Both leave the payload value-equal to a
+ * freshly constructed Meta{}.
+ */
+template <typename Meta>
+inline void
+resetTagMeta(Meta &m)
+{
+    if constexpr (requires { m.resetForFill(); })
+        m.resetForFill();
+    else
+        m = Meta{};
+}
+
+/** The structure-of-arrays tag store (the production engine). */
+template <typename Meta>
+class SoaTagStore
 {
   public:
-    /** One cache line: tag bits, recency stamp and the owner's payload. */
-    struct Line
-    {
-        bool valid = false;
-        std::uint32_t tag = 0;
-        std::uint64_t stamp = 0;
-        Meta meta{};
-    };
+    using Line = TagLineView<Meta>;
 
-    TagStore(const CacheGeometry &geom, ReplPolicy policy,
-             std::uint64_t seed = 0x5eed)
+    SoaTagStore(const CacheGeometry &geom, ReplPolicy policy,
+                std::uint64_t seed = 0x5eed, Arena *arena = nullptr)
         : _geom(geom), _policy(policy), _rng(seed),
-          _lines(geom.numBlocks())
+          _assoc(geom.assoc()),
+          _lruMulti(policy == ReplPolicy::LRU && geom.assoc() > 1),
+          _meta(geom.numBlocks())
     {
+        // The lookup scan encodes validity in the tag array (kNoTag in
+        // every invalid way), so a real tag must never collide with the
+        // sentinel. tag() = addr >> (blockShift + setShift); any cache
+        // with more than one byte-sized block keeps it below 2^32 - 1.
+        panicIfNot(geom.blockBytes() > 1 || geom.numSets() > 1,
+                   "degenerate geometry: tag sentinel not representable");
+        const std::size_t n = geom.numBlocks();
+        // One contiguous block holds all three arrays, widest first so
+        // every array is naturally aligned. Both sources are zeroed:
+        // value-initialized new[] or the (memset) arena.
+        const std::size_t bytes =
+            n * (sizeof(std::uint64_t) + sizeof(std::uint32_t) + 1);
+        std::byte *base;
+        if (arena) {
+            base = static_cast<std::byte *>(
+                arena->allocate(bytes, alignof(std::uint64_t)));
+        } else {
+            _owned = std::make_unique<std::byte[]>(bytes);
+            base = _owned.get();
+        }
+        _stamp = reinterpret_cast<std::uint64_t *>(base);
+        _tag = reinterpret_cast<std::uint32_t *>(_stamp + n);
+        _valid = reinterpret_cast<std::uint8_t *>(_tag + n);
+        for (std::size_t i = 0; i < n; ++i)
+            _tag[i] = kNoTag;
     }
 
     const CacheGeometry &geometry() const { return _geom; }
     ReplPolicy policy() const { return _policy; }
 
     /** Access a line by location. */
-    Line &
+    Line
     line(LineRef ref)
     {
-        return _lines[ref.set * _geom.assoc() + ref.way];
+        const std::size_t i = index(ref);
+        return Line{_valid[i], _tag[i], _stamp[i], _meta[i]};
     }
 
-    const Line &
+    Line
     line(LineRef ref) const
     {
-        return _lines[ref.set * _geom.assoc() + ref.way];
+        return const_cast<SoaTagStore *>(this)->line(ref);
     }
 
     /**
@@ -83,22 +159,35 @@ class TagStore
     std::optional<LineRef>
     find(std::uint32_t addr) const
     {
-        std::uint32_t set = _geom.setIndex(addr);
-        std::uint32_t tag = _geom.tag(addr);
-        for (std::uint32_t w = 0; w < _geom.assoc(); ++w) {
-            const Line &l = _lines[set * _geom.assoc() + w];
-            if (l.valid && l.tag == tag)
-                return LineRef{set, w};
+        const std::uint32_t set = _geom.setIndex(addr);
+        const std::uint32_t tag = _geom.tag(addr);
+        const std::uint32_t *tags = _tag + std::size_t(set) * _assoc;
+        // Branch-free scan of the set's ways, over the tag array alone:
+        // invalid ways hold kNoTag, which no real tag equals, so the
+        // hit path touches exactly the cache lines holding this set's
+        // tags. Scanning downward keeps the legacy first-match
+        // (lowest-way) semantics even if an owner ever duplicates a tag
+        // within a set.
+        std::uint32_t hit = _assoc;
+        for (std::uint32_t w = _assoc; w-- > 0;) {
+            if (tags[w] == tag)
+                hit = w;
         }
-        return std::nullopt;
+        if (hit == _assoc)
+            return std::nullopt;
+        return LineRef{set, hit};
     }
 
-    /** Mark a line most-recently-used (no-op for FIFO/Random). */
+    /**
+     * Mark a line most-recently-used. A no-op for FIFO/Random, and for
+     * direct-mapped stores: with one way the stamps can never influence
+     * a victim choice, so the store skips the write entirely.
+     */
     void
     touch(LineRef ref)
     {
-        if (_policy == ReplPolicy::LRU)
-            line(ref).stamp = ++_clock;
+        if (_lruMulti)
+            _stamp[index(ref)] = ++_clock;
     }
 
     /**
@@ -123,10 +212,10 @@ class TagStore
     LineRef
     victimWhere(std::uint32_t set, Pred eligible)
     {
-        const std::uint32_t assoc = _geom.assoc();
+        const std::size_t base = std::size_t(set) * _assoc;
         // Invalid way first.
-        for (std::uint32_t w = 0; w < assoc; ++w) {
-            if (!_lines[set * assoc + w].valid)
+        for (std::uint32_t w = 0; w < _assoc; ++w) {
+            if (!_valid[base + w])
                 return LineRef{set, w};
         }
         // Policy choice among eligible valid ways.
@@ -140,35 +229,39 @@ class TagStore
 
     /**
      * Install @p addr's tag into @p ref, overwriting the line. The
-     * payload is value-initialized; the caller fills it in.
+     * payload is reset to a fresh value; the caller fills it in.
      *
-     * @return reference to the fresh line.
+     * @return a view of the fresh line.
      */
-    Line &
+    Line
     fill(LineRef ref, std::uint32_t addr)
     {
-        Line &l = line(ref);
-        l.valid = true;
-        l.tag = _geom.tag(addr);
-        l.stamp = ++_clock;
-        l.meta = Meta{};
-        return l;
+        const std::size_t i = index(ref);
+        _valid[i] = 1;
+        _tag[i] = _geom.tag(addr);
+        _stamp[i] = ++_clock;
+        resetTagMeta(_meta[i]);
+        return Line{_valid[i], _tag[i], _stamp[i], _meta[i]};
     }
 
     /** Invalidate one line. */
     void
     invalidate(LineRef ref)
     {
-        line(ref).valid = false;
+        const std::size_t i = index(ref);
+        _valid[i] = 0;
+        _tag[i] = kNoTag;
     }
 
     /** Invalidate every line; payloads are reset. */
     void
     invalidateAll()
     {
-        for (Line &l : _lines) {
-            l.valid = false;
-            l.meta = Meta{};
+        const std::size_t n = _geom.numBlocks();
+        for (std::size_t i = 0; i < n; ++i) {
+            _valid[i] = 0;
+            _tag[i] = kNoTag;
+            resetTagMeta(_meta[i]);
         }
     }
 
@@ -176,7 +269,7 @@ class TagStore
     std::uint32_t
     lineAddr(LineRef ref) const
     {
-        return _geom.rebuildAddr(line(ref).tag, ref.set);
+        return _geom.rebuildAddr(_tag[index(ref)], ref.set);
     }
 
     /** Apply @p fn(LineRef, Line&) to every way of @p set. */
@@ -184,21 +277,18 @@ class TagStore
     void
     forEachWay(std::uint32_t set, Fn fn)
     {
-        for (std::uint32_t w = 0; w < _geom.assoc(); ++w) {
+        for (std::uint32_t w = 0; w < _assoc; ++w) {
             LineRef ref{set, w};
-            fn(ref, line(ref));
+            Line view = line(ref);
+            fn(ref, view);
         }
     }
 
-    /** Apply @p fn(LineRef, const Line&) to every way of @p set. */
     template <typename Fn>
     void
     forEachWay(std::uint32_t set, Fn fn) const
     {
-        for (std::uint32_t w = 0; w < _geom.assoc(); ++w) {
-            LineRef ref{set, w};
-            fn(ref, line(ref));
-        }
+        const_cast<SoaTagStore *>(this)->forEachWay(set, fn);
     }
 
     /** Apply @p fn(LineRef, Line&) to every line in the store. */
@@ -210,7 +300,6 @@ class TagStore
             forEachWay(s, fn);
     }
 
-    /** Apply @p fn(LineRef, const Line&) to every line in the store. */
     template <typename Fn>
     void
     forEachLine(Fn fn) const
@@ -223,10 +312,11 @@ class TagStore
     std::uint32_t
     validCount() const
     {
-        std::uint32_t n = 0;
-        for (const Line &l : _lines)
-            n += l.valid ? 1 : 0;
-        return n;
+        const std::size_t n = _geom.numBlocks();
+        std::uint32_t count = 0;
+        for (std::size_t i = 0; i < n; ++i)
+            count += _valid[i] ? 1 : 0;
+        return count;
     }
 
     // --- array protection (soft errors) ------------------------------
@@ -265,16 +355,28 @@ class TagStore
     const ArrayFaultStats &faultStats() const { return _faultStats; }
 
   private:
-    /** Policy choice among eligible valid ways; nullopt if none. */
+    std::size_t
+    index(LineRef ref) const
+    {
+        return std::size_t(ref.set) * _assoc + ref.way;
+    }
+
+    /**
+     * Policy choice among eligible valid ways; nullopt if none. The
+     * iteration order and Rng consumption mirror the legacy model
+     * exactly (one below() draw per eligible way under Random).
+     */
     template <typename Pred>
     std::optional<LineRef>
     choose(std::uint32_t set, Pred eligible)
     {
-        const std::uint32_t assoc = _geom.assoc();
+        const std::size_t base = std::size_t(set) * _assoc;
         std::optional<LineRef> best;
+        std::uint64_t best_stamp = 0;
         std::uint32_t eligible_count = 0;
-        for (std::uint32_t w = 0; w < assoc; ++w) {
-            const Line &l = _lines[set * assoc + w];
+        for (std::uint32_t w = 0; w < _assoc; ++w) {
+            const std::size_t i = base + w;
+            Line l{_valid[i], _tag[i], _stamp[i], _meta[i]};
             if (!eligible(l))
                 continue;
             ++eligible_count;
@@ -283,20 +385,250 @@ class TagStore
                 // Reservoir-sample one eligible way uniformly.
                 if (_rng.below(eligible_count) == 0)
                     best = ref;
-            } else if (!best || l.stamp < line(*best).stamp) {
+            } else if (!best || _stamp[i] < best_stamp) {
                 best = ref;
+                best_stamp = _stamp[i];
             }
         }
         return best;
     }
 
+    /**
+     * Tag-array value of an invalid way. Unreachable as a real tag for
+     * any non-degenerate geometry (checked at construction), which lets
+     * find() scan the tag array alone. The valid array remains the
+     * authoritative validity bit for every other reader; fill(),
+     * invalidate() and invalidateAll() keep the two in sync. (Owners
+     * only ever write Line::tag on valid lines -- the V-cache synonym
+     * retag -- which preserves the invariant.)
+     */
+    static constexpr std::uint32_t kNoTag = 0xFFFFFFFFu;
+
     CacheGeometry _geom;
     ReplPolicy _policy;
     Rng _rng;
     std::uint64_t _clock = 0;
-    std::vector<Line> _lines;
+    std::uint32_t _assoc;
+    bool _lruMulti;  ///< stamps can matter: LRU and more than one way
+    std::unique_ptr<std::byte[]> _owned; ///< backing block sans arena
+    std::uint64_t *_stamp = nullptr;
+    std::uint32_t *_tag = nullptr;
+    std::uint8_t *_valid = nullptr;
+    std::vector<Meta> _meta;
     ArrayProtection _protection = ArrayProtection::Secded;
     ArrayFaultStats _faultStats;
+};
+
+} // namespace vrc
+
+#include "cache/tag_store_legacy.hh"
+
+namespace vrc
+{
+
+/**
+ * The tag store the rest of the simulator uses: the SoA engine, plus --
+ * in VRC_REFERENCE_MODEL builds -- per-call dispatch to the retained
+ * legacy model when reference mode was enabled at construction time.
+ * In regular builds legacyActive() folds to false and every method
+ * compiles down to the bare SoA call.
+ */
+template <typename Meta>
+class TagStore
+{
+  public:
+    using Line = TagLineView<Meta>;
+
+    TagStore(const CacheGeometry &geom, ReplPolicy policy,
+             std::uint64_t seed = 0x5eed, Arena *arena = nullptr)
+        : _soa(geom, policy, seed, arena)
+    {
+        if (referenceModeEnabled())
+            _legacy =
+                std::make_unique<LegacyTagStore<Meta>>(geom, policy, seed);
+    }
+
+    const CacheGeometry &geometry() const { return _soa.geometry(); }
+    ReplPolicy policy() const { return _soa.policy(); }
+
+    /** True when this store was constructed onto the legacy model. */
+    bool
+    legacyActive() const
+    {
+        if constexpr (referenceModelBuilt())
+            return _legacy != nullptr;
+        else
+            return false;
+    }
+
+    Line
+    line(LineRef ref)
+    {
+        if (legacyActive())
+            return _legacy->line(ref);
+        return _soa.line(ref);
+    }
+
+    Line
+    line(LineRef ref) const
+    {
+        if (legacyActive())
+            return _legacy->line(ref);
+        return _soa.line(ref);
+    }
+
+    std::optional<LineRef>
+    find(std::uint32_t addr) const
+    {
+        if (legacyActive())
+            return _legacy->find(addr);
+        return _soa.find(addr);
+    }
+
+    void
+    touch(LineRef ref)
+    {
+        if (legacyActive())
+            return _legacy->touch(ref);
+        _soa.touch(ref);
+    }
+
+    LineRef
+    victim(std::uint32_t addr)
+    {
+        if (legacyActive())
+            return _legacy->victim(addr);
+        return _soa.victim(addr);
+    }
+
+    template <typename Pred>
+    LineRef
+    victimWhere(std::uint32_t set, Pred eligible)
+    {
+        if (legacyActive())
+            return _legacy->victimWhere(set, eligible);
+        return _soa.victimWhere(set, eligible);
+    }
+
+    Line
+    fill(LineRef ref, std::uint32_t addr)
+    {
+        if (legacyActive())
+            return _legacy->fill(ref, addr);
+        return _soa.fill(ref, addr);
+    }
+
+    void
+    invalidate(LineRef ref)
+    {
+        if (legacyActive())
+            return _legacy->invalidate(ref);
+        _soa.invalidate(ref);
+    }
+
+    void
+    invalidateAll()
+    {
+        if (legacyActive())
+            return _legacy->invalidateAll();
+        _soa.invalidateAll();
+    }
+
+    std::uint32_t
+    lineAddr(LineRef ref) const
+    {
+        if (legacyActive())
+            return _legacy->lineAddr(ref);
+        return _soa.lineAddr(ref);
+    }
+
+    template <typename Fn>
+    void
+    forEachWay(std::uint32_t set, Fn fn)
+    {
+        if (legacyActive())
+            return _legacy->forEachWay(set, fn);
+        _soa.forEachWay(set, fn);
+    }
+
+    template <typename Fn>
+    void
+    forEachWay(std::uint32_t set, Fn fn) const
+    {
+        if (legacyActive())
+            return _legacy->forEachWay(set, fn);
+        _soa.forEachWay(set, fn);
+    }
+
+    template <typename Fn>
+    void
+    forEachLine(Fn fn)
+    {
+        if (legacyActive())
+            return _legacy->forEachLine(fn);
+        _soa.forEachLine(fn);
+    }
+
+    template <typename Fn>
+    void
+    forEachLine(Fn fn) const
+    {
+        if (legacyActive())
+            return _legacy->forEachLine(fn);
+        _soa.forEachLine(fn);
+    }
+
+    std::uint32_t
+    validCount() const
+    {
+        if (legacyActive())
+            return _legacy->validCount();
+        return _soa.validCount();
+    }
+
+    ArrayProtection
+    protection() const
+    {
+        if (legacyActive())
+            return _legacy->protection();
+        return _soa.protection();
+    }
+
+    void
+    setProtection(ArrayProtection p)
+    {
+        if (legacyActive())
+            _legacy->setProtection(p);
+        _soa.setProtection(p);
+    }
+
+    FaultOutcome
+    absorbFault(unsigned flips)
+    {
+        if (legacyActive())
+            return _legacy->absorbFault(flips);
+        return _soa.absorbFault(flips);
+    }
+
+    void
+    noteUncorrectable()
+    {
+        if (legacyActive())
+            return _legacy->noteUncorrectable();
+        _soa.noteUncorrectable();
+    }
+
+    const ArrayFaultStats &
+    faultStats() const
+    {
+        if (legacyActive())
+            return _legacy->faultStats();
+        return _soa.faultStats();
+    }
+
+  private:
+    SoaTagStore<Meta> _soa;
+    std::unique_ptr<LegacyTagStore<Meta>> _legacy;
 };
 
 } // namespace vrc

@@ -45,7 +45,11 @@ class WriteBuffer
      */
     WriteBuffer(std::uint32_t capacity, std::uint64_t drain_latency)
         : _capacity(capacity), _drainLatency(drain_latency),
-          _stats("write_buffer")
+          _stats("write_buffer"), _stalls(&_stats.handle("stalls")),
+          _pushes(&_stats.handle("pushes")),
+          _removes(&_stats.handle("removes")),
+          _coherenceFlushes(&_stats.handle("coherence_flushes")),
+          _drains(&_stats.handle("drains"))
     {
     }
 
@@ -56,10 +60,11 @@ class WriteBuffer
     void
     tick(std::uint64_t now)
     {
-        while (!_entries.empty() &&
-               now >= _entries.front().pushTick + _drainLatency) {
+        // Hot path: one compare against the cached retirement time of
+        // the oldest entry (kNeverDrains when empty). The FIFO order
+        // means no other entry can be due before the front one.
+        while (now >= _nextDrain)
             retireFront();
-        }
     }
 
     /**
@@ -75,10 +80,12 @@ class WriteBuffer
         if (_entries.size() >= _capacity) {
             retireFront();
             stalled = true;
-            _stats.counter("stalls")++;
+            (*_stalls)++;
         }
         _entries.push_back(WriteBufferEntry{phys_block_addr, now});
-        _stats.counter("pushes")++;
+        if (_entries.size() == 1)
+            _nextDrain = now + _drainLatency;
+        (*_pushes)++;
         return stalled;
     }
 
@@ -106,7 +113,8 @@ class WriteBuffer
             if (it->physBlockAddr == phys_block_addr) {
                 WriteBufferEntry e = *it;
                 _entries.erase(it);
-                _stats.counter("removes")++;
+                refreshNextDrain();
+                (*_removes)++;
                 return e;
             }
         }
@@ -125,7 +133,8 @@ class WriteBuffer
             if (it->physBlockAddr == phys_block_addr) {
                 WriteBufferEntry e = *it;
                 _entries.erase(it);
-                _stats.counter("coherence_flushes")++;
+                refreshNextDrain();
+                (*_coherenceFlushes)++;
                 if (_onDrain)
                     _onDrain(e);
                 return true;
@@ -155,9 +164,9 @@ class WriteBuffer
     std::uint32_t capacity() const { return _capacity; }
     bool empty() const { return _entries.empty(); }
 
-    std::uint64_t stalls() const { return _stats.value("stalls"); }
-    std::uint64_t pushes() const { return _stats.value("pushes"); }
-    std::uint64_t drains() const { return _stats.value("drains"); }
+    std::uint64_t stalls() const { return _stalls->value(); }
+    std::uint64_t pushes() const { return _pushes->value(); }
+    std::uint64_t drains() const { return _drains->value(); }
 
     const StatGroup &stats() const { return _stats; }
 
@@ -167,16 +176,41 @@ class WriteBuffer
     {
         WriteBufferEntry e = _entries.front();
         _entries.pop_front();
-        _stats.counter("drains")++;
+        refreshNextDrain();
+        (*_drains)++;
         if (_onDrain)
             _onDrain(e);
     }
 
+    /** Re-derive the cached due time of the (new) oldest entry. */
+    void
+    refreshNextDrain()
+    {
+        _nextDrain = _entries.empty()
+            ? kNeverDrains
+            : _entries.front().pushTick + _drainLatency;
+    }
+
+    static constexpr std::uint64_t kNeverDrains = ~std::uint64_t{0};
+
     std::uint32_t _capacity;
     std::uint64_t _drainLatency;
+    /** Due time of the oldest entry; kNeverDrains while empty. */
+    std::uint64_t _nextDrain = kNeverDrains;
     std::deque<WriteBufferEntry> _entries;
     DrainHandler _onDrain;
     StatGroup _stats;
+
+    /**
+     * Handles resolved once at construction (StatGroup handle
+     * contract): the push/remove/flush/retire paths increment through
+     * these and never perform a string-keyed lookup.
+     */
+    Counter *_stalls;
+    Counter *_pushes;
+    Counter *_removes;
+    Counter *_coherenceFlushes;
+    Counter *_drains;
 };
 
 } // namespace vrc

@@ -28,12 +28,12 @@
 #include <algorithm>
 #include <array>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "base/counter.hh"
 #include "base/fault.hh"
 #include "coherence/bus_arbiter.hh"
+#include "coherence/presence_map.hh"
 #include "coherence/snoop.hh"
 #include "coherence/transaction.hh"
 
@@ -122,10 +122,8 @@ class SharedBus
             _perCpuTx[tx.source] += 1;
 
         AgentMask present = ~AgentMask{0};
-        if (_filterEnabled) {
-            auto it = _presence.find(tx.blockAddr.value());
-            present = it == _presence.end() ? 0 : it->second;
-        }
+        if (_filterEnabled)
+            present = _presence.lookup(tx.blockAddr.value());
 
         SnoopResult merged;
         for (std::size_t i = 0; i < _snoopers.size(); ++i) {
@@ -176,7 +174,7 @@ class SharedBus
     noteBlockCached(CpuId cpu, std::uint32_t line_addr)
     {
         if (cpu < maxFilterableAgents && _agents[cpu].filterable)
-            _presence[line_addr] |= AgentMask{1} << cpu;
+            _presence.setBits(line_addr, AgentMask{1} << cpu);
     }
 
     /** Agent @p cpu dropped the second-level line at @p line_addr. */
@@ -185,12 +183,7 @@ class SharedBus
     {
         if (cpu >= maxFilterableAgents || !_agents[cpu].filterable)
             return;
-        auto it = _presence.find(line_addr);
-        if (it == _presence.end())
-            return;
-        it->second &= ~(AgentMask{1} << cpu);
-        if (it->second == 0)
-            _presence.erase(it);
+        _presence.clearBits(line_addr, AgentMask{1} << cpu);
     }
 
     /**
@@ -203,13 +196,7 @@ class SharedBus
     {
         if (cpu >= maxFilterableAgents || !_agents[cpu].filterable)
             return;
-        for (auto it = _presence.begin(); it != _presence.end();) {
-            it->second &= ~(AgentMask{1} << cpu);
-            if (it->second == 0)
-                it = _presence.erase(it);
-            else
-                ++it;
-        }
+        _presence.clearBitsEverywhere(AgentMask{1} << cpu);
     }
 
     /** Enable/disable presence-based snoop skipping (default on). */
@@ -234,9 +221,7 @@ class SharedBus
     bool
     presenceBit(CpuId cpu, std::uint32_t line_addr) const
     {
-        auto it = _presence.find(line_addr);
-        return it != _presence.end() &&
-            ((it->second >> cpu) & AgentMask{1}) != 0;
+        return ((_presence.lookup(line_addr) >> cpu) & AgentMask{1}) != 0;
     }
 
     /** Visit the line address of every presence entry (oracle sweeps). */
@@ -244,8 +229,8 @@ class SharedBus
     void
     forEachPresence(Fn fn) const
     {
-        for (const auto &kv : _presence)
-            fn(kv.first);
+        _presence.forEach(
+            [&](std::uint32_t key, AgentMask) { fn(key); });
     }
 
     // --- counters ----------------------------------------------------
@@ -336,7 +321,7 @@ class SharedBus
     Counter *_memSupplyCtr;
     Counter *_opCtrs[4];
     std::array<std::uint64_t, 4> _opCounts{};
-    std::unordered_map<std::uint32_t, AgentMask> _presence;
+    PresenceMap _presence;
     bool _filterEnabled = true;
     std::uint64_t _snoopsFiltered = 0;
     /** Broadcasts to date; a soft-error determinism key, never reset. */

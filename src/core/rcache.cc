@@ -8,10 +8,10 @@ namespace vrc
 
 RCache::RCache(const CacheParams &params, std::uint32_t l1_block,
                std::uint32_t l1_size, std::uint32_t page_size,
-               std::uint64_t seed)
+               std::uint64_t seed, Arena *arena)
     : _tags(CacheGeometry(params.sizeBytes, params.blockBytes,
                           params.assoc),
-            params.policy, seed),
+            params.policy, seed, arena),
       _l1Block(l1_block), _subCount(params.blockBytes / l1_block),
       _pageSize(page_size),
       _vPointerSpan(std::max<std::uint32_t>(1, l1_size / page_size))
@@ -57,10 +57,10 @@ RCache::victimFor(PhysAddr pa)
     return {slot, forced};
 }
 
-RCache::Line &
+RCache::Line
 RCache::install(LineRef slot, PhysAddr pa, CoherenceState state)
 {
-    Line &l = _tags.fill(slot, pa.value());
+    Line l = _tags.fill(slot, pa.value());
     l.meta.state = state;
     l.meta.rdirty = false;
     l.meta.subs.assign(_subCount, RSubentry{});

@@ -73,6 +73,19 @@ struct RLineMeta
         }
         return true;
     }
+
+    /**
+     * Reset for a refill (see resetTagMeta): value-equal to a fresh
+     * RLineMeta{} but keeps the subentry vector's capacity so the
+     * install() that follows every fill never reallocates.
+     */
+    void
+    resetForFill()
+    {
+        state = CoherenceState::Invalid;
+        rdirty = false;
+        subs.clear();
+    }
 };
 
 /** The physically-indexed, physically-tagged level-2 cache. */
@@ -87,7 +100,7 @@ class RCache
      */
     RCache(const CacheParams &params, std::uint32_t l1_block,
            std::uint32_t l1_size, std::uint32_t page_size,
-           std::uint64_t seed = 0x2ca1e);
+           std::uint64_t seed = 0x2ca1e, Arena *arena = nullptr);
 
     using Store = TagStore<RLineMeta>;
     using Line = Store::Line;
@@ -109,7 +122,7 @@ class RCache
     std::pair<LineRef, bool> victimFor(PhysAddr pa);
 
     /** Install a line for @p pa into @p slot with empty subentries. */
-    Line &install(LineRef slot, PhysAddr pa, CoherenceState state);
+    Line install(LineRef slot, PhysAddr pa, CoherenceState state);
 
     /** Invalidate one line. */
     void invalidate(LineRef slot) { _tags.invalidate(slot); }
@@ -157,8 +170,8 @@ class RCache
      */
     LineRef faultTarget(std::uint64_t h) const;
 
-    Line &line(LineRef ref) { return _tags.line(ref); }
-    const Line &line(LineRef ref) const { return _tags.line(ref); }
+    Line line(LineRef ref) { return _tags.line(ref); }
+    Line line(LineRef ref) const { return _tags.line(ref); }
 
     /** Block-aligned physical address of a (valid) line. */
     std::uint32_t lineAddr(LineRef ref) const { return _tags.lineAddr(ref); }

@@ -15,7 +15,7 @@ RrNoInclHierarchy::RrNoInclHierarchy(const HierarchyParams &params,
     : _params(params), _spaces(spaces), _bus(bus),
       _l2(CacheGeometry(params.l2.sizeBytes, params.l2.blockBytes,
                         params.l2.assoc),
-          params.l2.policy, 0xbeef),
+          params.l2.policy, 0xbeef, &_arena),
       _wb(params.writeBufferDepth, params.writeBufferDrainLatency),
       _tlb(params.tlbEntries, params.tlbAssoc)
 {
@@ -26,9 +26,10 @@ RrNoInclHierarchy::RrNoInclHierarchy(const HierarchyParams &params,
         l1.sizeBytes /= 2;
     }
     CacheGeometry g1(l1.sizeBytes, l1.blockBytes, l1.assoc);
-    _l1[0] = std::make_unique<L1Store>(g1, l1.policy, 0xaaaa);
+    _l1[0] = std::make_unique<L1Store>(g1, l1.policy, 0xaaaa, &_arena);
     if (params.splitL1)
-        _l1[1] = std::make_unique<L1Store>(g1, l1.policy, 0xbbbb);
+        _l1[1] = std::make_unique<L1Store>(g1, l1.policy, 0xbbbb,
+                                           &_arena);
     for (unsigned i = 0; i < l1Count(); ++i)
         _l1[i]->setProtection(params.l1.protection);
     _l2.setProtection(params.l2.protection);
@@ -162,7 +163,7 @@ RrNoInclHierarchy::strikeL1(const char *ctr, std::uint64_t h)
     L1Store &store = *_l1[ci];
     LineRef ref = strikeTarget(store, h >> 9);
     softCounter(ctr)++;
-    L1Store::Line &l = store.line(ref);
+    L1Store::Line l = store.line(ref);
     if (!l.valid) {
         softCounter("soft_masked")++;
         return;
@@ -213,7 +214,7 @@ RrNoInclHierarchy::strikeL2(const char *ctr, std::uint64_t h)
 {
     LineRef ref = strikeTarget(_l2, h >> 9);
     softCounter(ctr)++;
-    L2Store::Line &l = _l2.line(ref);
+    L2Store::Line l = _l2.line(ref);
     if (!l.valid) {
         softCounter("soft_masked")++;
         return;
@@ -265,7 +266,7 @@ RrNoInclHierarchy::access(const MemAccess &acc)
     // 1. Level-1 lookup (physical).
     if (auto hit = store.find(pa_block)) {
         store.touch(*hit);
-        L1Store::Line &l = store.line(*hit);
+        L1Store::Line l = store.line(*hit);
         if (acc.type == RefType::Write && !l.meta.dirty) {
             bool dirty = true;
             if (l.meta.state == CoherenceState::Shared) {
@@ -286,7 +287,7 @@ RrNoInclHierarchy::access(const MemAccess &acc)
 
     // 2. Level-1 miss: replace, parking a dirty victim.
     LineRef slot = store.victim(pa_block);
-    L1Store::Line &victim = store.line(slot);
+    L1Store::Line victim = store.line(slot);
     if (victim.valid && victim.meta.dirty) {
         if (_wb.push(store.lineAddr(slot), _refIndex))
             (*_c.wbStalls)++;
@@ -297,7 +298,7 @@ RrNoInclHierarchy::access(const MemAccess &acc)
 
     // 2a. The block may be sitting in our own write buffer.
     if (auto pulled = _wb.remove(pa_block)) {
-        L1Store::Line &l = store.fill(slot, pa_block);
+        L1Store::Line l = store.fill(slot, pa_block);
         l.meta.dirty = true;
         l.meta.state = CoherenceState::Private;
         (*_c.writebackCancels)++;
@@ -309,7 +310,7 @@ RrNoInclHierarchy::access(const MemAccess &acc)
     // 3. Level-2 lookup.
     if (auto l2ref = _l2.find(pa_block)) {
         _l2.touch(*l2ref);
-        L2Store::Line &l2l = _l2.line(*l2ref);
+        L2Store::Line l2l = _l2.line(*l2ref);
         CoherenceState st = l2l.meta.state;
         bool dirty = acc.type == RefType::Write;
         if (acc.type == RefType::Write) {
@@ -319,7 +320,7 @@ RrNoInclHierarchy::access(const MemAccess &acc)
                 st = CoherenceState::Private;
             l2l.meta.state = st;
         }
-        L1Store::Line &l = store.fill(slot, pa_block);
+        L1Store::Line l = store.fill(slot, pa_block);
         l.meta.dirty = dirty;
         l.meta.state = st;
         (*_c.l2Hits)++;
@@ -329,7 +330,7 @@ RrNoInclHierarchy::access(const MemAccess &acc)
     // 4. Miss in both levels: bus transaction and fills.
     std::uint32_t line_addr = l2Block(pa.value());
     LineRef l2slot = _l2.victim(line_addr);
-    L2Store::Line &l2victim = _l2.line(l2slot);
+    L2Store::Line l2victim = _l2.line(l2slot);
     if (l2victim.valid) {
         if (l2victim.meta.rdirty)
             (*_c.memoryWrites)++;
@@ -366,11 +367,11 @@ RrNoInclHierarchy::access(const MemAccess &acc)
         }
     }
 
-    L2Store::Line &l2l = _l2.fill(l2slot, line_addr);
+    L2Store::Line l2l = _l2.fill(l2slot, line_addr);
     l2l.meta.state = st;
     l2l.meta.rdirty = false;
 
-    L1Store::Line &l = store.fill(slot, pa_block);
+    L1Store::Line l = store.fill(slot, pa_block);
     l.meta.dirty = dirty;
     l.meta.state = st;
     return AccessOutcome::Miss;
@@ -403,7 +404,7 @@ RrNoInclHierarchy::snoop(const BusTransaction &tx)
                 line_addr + i * _params.l1.blockBytes;
             for (unsigned ci = 0; ci < l1Count(); ++ci) {
                 if (auto hit = _l1[ci]->find(sub_addr)) {
-                    L1Store::Line &l = _l1[ci]->line(*hit);
+                    L1Store::Line l = _l1[ci]->line(*hit);
                     l.meta.dirty = false;
                     l.meta.state = CoherenceState::Shared;
                     res.sharedAck = true;
@@ -412,7 +413,7 @@ RrNoInclHierarchy::snoop(const BusTransaction &tx)
             }
         }
         if (auto l2ref = _l2.find(line_addr)) {
-            L2Store::Line &l2l = _l2.line(*l2ref);
+            L2Store::Line l2l = _l2.line(*l2ref);
             l2l.meta.rdirty = false;
             l2l.meta.state = CoherenceState::Shared;
             res.sharedAck = true;
@@ -429,7 +430,7 @@ RrNoInclHierarchy::snoop(const BusTransaction &tx)
             auto hit = _l1[ci]->find(sub_addr);
             if (!hit)
                 continue;
-            L1Store::Line &l = _l1[ci]->line(*hit);
+            L1Store::Line l = _l1[ci]->line(*hit);
             if (read_part) {
                 res.sharedAck = true;
                 if (l.meta.dirty) {
@@ -460,7 +461,7 @@ RrNoInclHierarchy::snoop(const BusTransaction &tx)
 
     // Level 2 snoops independently.
     if (auto l2ref = _l2.find(line_addr)) {
-        L2Store::Line &l2l = _l2.line(*l2ref);
+        L2Store::Line l2l = _l2.line(*l2ref);
         if (read_part) {
             res.sharedAck = true;
             if (l2l.meta.rdirty) {
@@ -485,7 +486,7 @@ RrNoInclHierarchy::probeBlock(PhysAddr l2_line) const
     std::uint32_t line_addr = l2Block(l2_line.value());
 
     if (auto l2ref = _l2.find(line_addr)) {
-        const L2Store::Line &l = _l2.line(*l2ref);
+        const L2Store::Line l = _l2.line(*l2ref);
         p.l2Present = true;
         p.state = l.meta.state;
         p.l2Dirty = l.meta.rdirty;
@@ -499,7 +500,7 @@ RrNoInclHierarchy::probeBlock(PhysAddr l2_line) const
             auto hit = _l1[ci]->find(sub_addr);
             if (!hit)
                 continue;
-            const L1Store::Line &l = _l1[ci]->line(*hit);
+            const L1Store::Line l = _l1[ci]->line(*hit);
             copies += 1;
             p.l1Copies += 1;
             p.anyL1Dirty |= l.meta.dirty;

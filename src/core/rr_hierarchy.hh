@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "base/arena.hh"
 #include "cache/tag_store.hh"
 #include "cache/write_buffer.hh"
 #include "coherence/bus.hh"
@@ -52,7 +53,7 @@ struct L2LineMeta
 };
 
 /** Real-real two-level hierarchy without the inclusion property. */
-class RrNoInclHierarchy : public CacheHierarchy
+class RrNoInclHierarchy final : public CacheHierarchy
 {
   public:
     RrNoInclHierarchy(const HierarchyParams &params,
@@ -168,6 +169,9 @@ class RrNoInclHierarchy : public CacheHierarchy
     HierarchyParams _params;
     AddressSpaceManager &_spaces;
     SharedBus &_bus;
+
+    /** Per-CPU arena backing both tag stores (must precede them). */
+    Arena _arena;
     std::array<std::unique_ptr<L1Store>, 2> _l1;
     L2Store _l2;
     WriteBuffer _wb;

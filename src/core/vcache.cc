@@ -7,10 +7,10 @@ namespace vrc
 {
 
 VCache::VCache(const CacheParams &params, std::uint32_t page_size,
-               std::uint32_t l2_size, std::uint64_t seed)
+               std::uint32_t l2_size, std::uint64_t seed, Arena *arena)
     : _tags(CacheGeometry(params.sizeBytes, params.blockBytes,
                           params.assoc),
-            params.policy, seed),
+            params.policy, seed, arena),
       _pageSize(page_size), _rPointerSpan(l2_size / page_size)
 {
     panicIfNot(isPowerOfTwo(page_size), "page size not a power of two");
@@ -25,7 +25,7 @@ VCache::lookup(VirtAddr va)
     auto ref = _tags.find(va.value());
     if (!ref)
         return std::nullopt;
-    Line &l = _tags.line(*ref);
+    Line l = _tags.line(*ref);
     if (l.meta.swappedValid)
         return std::nullopt;  // present but invalid for the new process
     _tags.touch(*ref);
@@ -45,11 +45,11 @@ VCache::victimFor(VirtAddr va)
     return _tags.victim(va.value());
 }
 
-VCache::Line &
+VCache::Line
 VCache::install(LineRef slot, VirtAddr va, std::uint32_t pa_block,
                 bool dirty)
 {
-    Line &l = _tags.fill(slot, va.value());
+    Line l = _tags.fill(slot, va.value());
     l.meta.dirty = dirty;
     l.meta.swappedValid = false;
     l.meta.physBlockAddr = pa_block;
@@ -60,7 +60,7 @@ VCache::install(LineRef slot, VirtAddr va, std::uint32_t pa_block,
 void
 VCache::retag(LineRef slot, VirtAddr va)
 {
-    Line &l = _tags.line(slot);
+    Line l = _tags.line(slot);
     panicIfNot(l.valid, "retag of an empty V-cache line");
     panicIfNot(_tags.geometry().setIndex(va.value()) == slot.set,
                "retag must stay within the set");

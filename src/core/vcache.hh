@@ -54,9 +54,11 @@ class VCache
      * @param page_size  system page size (for r-pointer width)
      * @param l2_size    R-cache size in bytes (for r-pointer width)
      * @param seed       replacement randomness seed
+     * @param arena      optional arena the tag arrays are carved from
      */
     VCache(const CacheParams &params, std::uint32_t page_size,
-           std::uint32_t l2_size, std::uint64_t seed = 0x5ca1e);
+           std::uint32_t l2_size, std::uint64_t seed = 0x5ca1e,
+           Arena *arena = nullptr);
 
     using Store = TagStore<VLineMeta>;
     using Line = Store::Line;
@@ -78,8 +80,8 @@ class VCache
      * @param pa_block block-aligned physical address (sets the r-pointer)
      * @param dirty    initial dirty state
      */
-    Line &install(LineRef slot, VirtAddr va, std::uint32_t pa_block,
-                  bool dirty);
+    Line install(LineRef slot, VirtAddr va, std::uint32_t pa_block,
+                 bool dirty);
 
     /**
      * Re-tag an existing line to a new virtual address without moving
@@ -94,9 +96,9 @@ class VCache
     /** Set the swapped-valid bit on every occupied line (context switch). */
     void markAllSwapped();
 
-    /** Direct line access. */
-    Line &line(LineRef ref) { return _tags.line(ref); }
-    const Line &line(LineRef ref) const { return _tags.line(ref); }
+    /** Direct line access (a view into the tag arrays). */
+    Line line(LineRef ref) { return _tags.line(ref); }
+    Line line(LineRef ref) const { return _tags.line(ref); }
 
     /** Block-aligned *virtual* address an occupied line maps to. */
     std::uint32_t

@@ -18,7 +18,7 @@ VrHierarchy::VrHierarchy(const HierarchyParams &params,
     : _params(params), _spaces(spaces), _bus(bus), _l1Virtual(l1_virtual),
       _r(params.l2, params.l1.blockBytes,
          params.splitL1 ? params.l1.sizeBytes / 2 : params.l1.sizeBytes,
-         params.pageSize),
+         params.pageSize, 0x2ca1e, &_arena),
       _wb(params.writeBufferDepth, params.writeBufferDrainLatency),
       _tlb(params.tlbEntries, params.tlbAssoc)
 {
@@ -28,12 +28,15 @@ VrHierarchy::VrHierarchy(const HierarchyParams &params,
                    "split level-1 cache too small");
         l1.sizeBytes /= 2;  // equal I and D halves, as in the paper
         _l1[0] = std::make_unique<VCache>(l1, params.pageSize,
-                                          params.l2.sizeBytes, 0xdada);
+                                          params.l2.sizeBytes, 0xdada,
+                                          &_arena);
         _l1[1] = std::make_unique<VCache>(l1, params.pageSize,
-                                          params.l2.sizeBytes, 0x1f1f);
+                                          params.l2.sizeBytes, 0x1f1f,
+                                          &_arena);
     } else {
         _l1[0] = std::make_unique<VCache>(l1, params.pageSize,
-                                          params.l2.sizeBytes, 0xdada);
+                                          params.l2.sizeBytes, 0xdada,
+                                          &_arena);
     }
     // Virtual level-1 tags translate behind the cache (no per-access
     // translation cost); physical tags (R-R mode) pay the slowdown.
@@ -106,7 +109,7 @@ VrHierarchy::onWriteBufferDrain(const WriteBufferEntry &entry)
 void
 VrHierarchy::evictVVictim(VCache &vc, LineRef slot)
 {
-    VCache::Line &victim = vc.line(slot);
+    VCache::Line victim = vc.line(slot);
     if (!victim.valid)
         return;
 
@@ -163,7 +166,7 @@ VrHierarchy::access(const MemAccess &acc)
 
     // 1. Level-1 lookup.
     if (auto hit = vc.lookup(l1_key)) {
-        VCache::Line &l = vc.line(*hit);
+        VCache::Line l = vc.line(*hit);
         if (acc.type == RefType::Write && !l.meta.dirty) {
             // Write hit on a clean block: wait for invack from the
             // R-cache (clearing coherence with other copies first).
@@ -207,7 +210,7 @@ VrHierarchy::translate(const MemAccess &acc)
 }
 
 bool
-VrHierarchy::resolveWriteCoherence(RCache::Line &rline, PhysAddr pa)
+VrHierarchy::resolveWriteCoherence(RCache::Line rline, PhysAddr pa)
 {
     if (rline.meta.state != CoherenceState::Shared) {
         // Exclusive: silent upgrade, the write stays local and dirty.
@@ -239,7 +242,7 @@ VrHierarchy::handleRHit(RefType type, VirtAddr l1_key, unsigned ci,
                         LineRef slot, LineRef rref, PhysAddr pa)
 {
     VCache &vc = *_l1[ci];
-    RCache::Line &rline = _r.line(rref);
+    RCache::Line rline = _r.line(rref);
     RSubentry &s = _r.sub(rref, pa);
     std::uint32_t va_block = l1Block(l1_key.value());
 
@@ -368,7 +371,7 @@ VrHierarchy::handleRMiss(RefType type, VirtAddr l1_key, unsigned ci,
         }
     }
 
-    RCache::Line &rline = _r.install(rslot, pa_line, st);
+    RCache::Line rline = _r.install(rslot, pa_line, st);
     _bus.noteBlockCached(cpuId(), pa_line.value());
     RSubentry &s = _r.sub(rslot, pa);
     std::uint32_t va_block = l1Block(l1_key.value());
@@ -387,7 +390,7 @@ VrHierarchy::handleRMiss(RefType type, VirtAddr l1_key, unsigned ci,
 void
 VrHierarchy::evictRLine(LineRef rslot, bool forced)
 {
-    RCache::Line &rline = _r.line(rslot);
+    RCache::Line rline = _r.line(rslot);
     std::uint32_t line_addr = _r.lineAddr(rslot);
     bool dirty_data = rline.meta.rdirty;
 
@@ -470,7 +473,7 @@ VrHierarchy::strikeL1(const char *ctr, std::uint64_t h)
     VCache &vc = *_l1[ci];
     LineRef ref = vc.faultTarget(h >> 9);
     softCounter(ctr)++;
-    VCache::Line &l = vc.line(ref);
+    VCache::Line l = vc.line(ref);
     if (!l.valid) {
         // The struck cell holds no line: architecturally masked.
         softCounter("soft_masked")++;
@@ -501,7 +504,7 @@ VrHierarchy::strikeL2(const char *ctr, std::uint64_t h)
 {
     LineRef rref = _r.faultTarget(h >> 9);
     softCounter(ctr)++;
-    RCache::Line &rl = _r.line(rref);
+    RCache::Line rl = _r.line(rref);
     if (!rl.valid) {
         softCounter("soft_masked")++;
         return;
@@ -540,7 +543,7 @@ VrHierarchy::recoverVLine(unsigned ci, LineRef ref)
     // level-2 access, no bus traffic. This is the cheap-recovery story
     // inclusion buys the V-R design.
     VCache &vc = *_l1[ci];
-    VCache::Line &l = vc.line(ref);
+    VCache::Line l = vc.line(ref);
     PhysAddr pa(l.meta.physBlockAddr);
     auto rref = _r.probe(pa);
     panicIfNot(rref.has_value(),
@@ -576,7 +579,7 @@ VrHierarchy::machineCheckV(unsigned ci, LineRef ref)
     // of the data is lost. Unlink it so the machine state the campaign
     // quarantines (or the fuzzer keeps driving) is still coherent.
     VCache &vc = *_l1[ci];
-    VCache::Line &l = vc.line(ref);
+    VCache::Line l = vc.line(ref);
     PhysAddr pa(l.meta.physBlockAddr);
     auto rref = _r.probe(pa);
     panicIfNot(rref.has_value(), "machine-checked V line has no parent");
@@ -598,7 +601,7 @@ VrHierarchy::machineCheckR(LineRef rref)
     // bits that can no longer be trusted: writing any of it back would
     // propagate corruption, so the whole line and its children are
     // dropped and the loss reported.
-    RCache::Line &rl = _r.line(rref);
+    RCache::Line rl = _r.line(rref);
     std::uint32_t line_addr = _r.lineAddr(rref);
     for (std::uint32_t i = 0; i < _r.subCount(); ++i) {
         RSubentry &s = rl.meta.subs[i];
@@ -656,7 +659,7 @@ SnoopResult
 VrHierarchy::snoopReadMiss(LineRef rref)
 {
     SnoopResult res;
-    RCache::Line &rline = _r.line(rref);
+    RCache::Line rline = _r.line(rref);
     std::uint32_t line_addr = _r.lineAddr(rref);
     res.sharedAck = true;
 
@@ -701,7 +704,7 @@ VrHierarchy::snoopReadMiss(LineRef rref)
 void
 VrHierarchy::snoopInvalidate(LineRef rref)
 {
-    RCache::Line &rline = _r.line(rref);
+    RCache::Line rline = _r.line(rref);
     std::uint32_t line_addr = _r.lineAddr(rref);
 
     for (std::uint32_t i = 0; i < _r.subCount(); ++i) {
@@ -742,7 +745,7 @@ VrHierarchy::snoopUpdate(LineRef rref)
     // shields level 1: the update percolates only to an actual child.
     SnoopResult res;
     res.sharedAck = true;
-    RCache::Line &rline = _r.line(rref);
+    RCache::Line rline = _r.line(rref);
     rline.meta.state = CoherenceState::Shared;
     rline.meta.rdirty = false;
 

@@ -37,6 +37,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "base/arena.hh"
 #include "cache/write_buffer.hh"
 #include "coherence/bus.hh"
 #include "core/config.hh"
@@ -62,7 +63,7 @@ class AddressSpaceManager;
  * shielding machinery is shared unchanged -- which is exactly the
  * comparison the paper makes.
  */
-class VrHierarchy : public CacheHierarchy
+class VrHierarchy final : public CacheHierarchy
 {
   public:
     /**
@@ -190,7 +191,7 @@ class VrHierarchy : public CacheHierarchy
      * @return true if the local copy should be marked dirty (the write
      *         stayed local); false if it was propagated and stays clean.
      */
-    bool resolveWriteCoherence(RCache::Line &rline, PhysAddr pa);
+    bool resolveWriteCoherence(RCache::Line rline, PhysAddr pa);
 
     /** Write-buffer drain completion: fold the data into the R-cache. */
     void onWriteBufferDrain(const WriteBufferEntry &entry);
@@ -241,6 +242,13 @@ class VrHierarchy : public CacheHierarchy
     AddressSpaceManager &_spaces;
     SharedBus &_bus;
     bool _l1Virtual;
+
+    /**
+     * Per-CPU arena: every tag-store array below is carved from this
+     * one allocation region, so the metadata this CPU touches on each
+     * reference stays contiguous. Must precede the caches.
+     */
+    Arena _arena;
     std::array<std::unique_ptr<VCache>, 2> _l1;
     RCache _r;
     WriteBuffer _wb;

@@ -1,13 +1,24 @@
 #include "sim/mp_sim.hh"
 
 #include <algorithm>
+#include <array>
 
 #include "base/log.hh"
+#include "core/rr_hierarchy.hh"
+#include "core/vr_hierarchy.hh"
 #include "trace/generator.hh"
 #include "trace/trace_stream.hh"
 
 namespace vrc
 {
+
+namespace
+{
+
+/** Records decoded per streaming batch (64 KiB of TraceRecords). */
+constexpr std::size_t kStreamBatch = 4096;
+
+} // namespace
 
 MpSimulator::MpSimulator(const MachineConfig &config,
                          const WorkloadProfile &profile)
@@ -70,21 +81,80 @@ MpSimulator::step(const TraceRecord &r)
     }
 }
 
+template <typename H>
+void
+MpSimulator::stepOn(H &h, const TraceRecord &r)
+{
+    // Mirrors step() exactly, with the hierarchy calls devirtualized:
+    // h's dynamic type is H (hierarchy classes are final), so the
+    // compiler emits direct calls it can inline into the replay loop.
+    if (r.type == RefType::ContextSwitch) {
+        h.H::contextSwitch(r.pid);
+        if (_arbiter)
+            _arbiter->drain(_clocks);
+        return;
+    }
+    AccessOutcome outcome = h.H::access(MemAccess{r.type, r.va(), r.pid});
+    Tick cost = _costs[r.cpu][static_cast<int>(outcome)];
+    _cycles += cost;
+    if (_arbiter) {
+        _clocks[r.cpu].chargeAccess(cost);
+        _arbiter->drain(_clocks);
+    }
+    ++_refs;
+    if (_config.invariantPeriod != 0 &&
+        _refs % _config.invariantPeriod == 0) {
+        h.H::checkInvariants();
+    }
+}
+
+template <typename H>
+void
+MpSimulator::replayTyped(const TraceRecord *records, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const TraceRecord &r = records[i];
+        panicIfNot(r.cpu < _cpus.size(),
+                   "trace references an unknown CPU");
+        stepOn(static_cast<H &>(*_cpus[r.cpu]), r);
+    }
+}
+
+void
+MpSimulator::runBatch(const TraceRecord *records, std::size_t n)
+{
+    switch (_config.kind) {
+      case HierarchyKind::VirtualReal:
+      case HierarchyKind::RealRealIncl:
+        // Both kinds are VrHierarchy instances (factory.cc).
+        replayTyped<VrHierarchy>(records, n);
+        return;
+      case HierarchyKind::RealRealNoIncl:
+        replayTyped<RrNoInclHierarchy>(records, n);
+        return;
+    }
+    // Unknown kind (future-proofing): generic virtual replay.
+    for (std::size_t i = 0; i < n; ++i)
+        step(records[i]);
+}
+
 void
 MpSimulator::run(const std::vector<TraceRecord> &records)
 {
-    for (const TraceRecord &r : records)
-        step(r);
+    runBatch(records.data(), records.size());
 }
 
 void
 MpSimulator::run(TraceStream &stream)
 {
-    // Streaming replay: records are consumed as they are produced, so
-    // the multi-million-reference traces never exist in memory at once.
-    TraceRecord r;
-    while (stream.next(r))
-        step(r);
+    // Streaming replay: records are decoded in batches and consumed as
+    // they are produced, so the multi-million-reference traces never
+    // exist in memory at once and the stream's per-record indirection
+    // stays off the per-reference path.
+    std::array<TraceRecord, kStreamBatch> buf;
+    std::size_t n;
+    while ((n = stream.nextBatch(buf.data(), buf.size())) != 0)
+        runBatch(buf.data(), n);
 }
 
 double

@@ -91,6 +91,15 @@ class MpSimulator
     /** Process a single record. */
     void step(const TraceRecord &r);
 
+    /**
+     * Replay @p n records through the batch fast path: the hierarchy
+     * type is resolved from the machine kind once per batch, so the
+     * per-reference dispatch inside the loop is a direct (inlinable)
+     * call instead of a virtual one. step()-for-step identical to the
+     * generic path; step() remains for record-at-a-time callers.
+     */
+    void runBatch(const TraceRecord *records, std::size_t n);
+
     CacheHierarchy &hierarchy(CpuId cpu) { return *_cpus.at(cpu); }
     const CacheHierarchy &hierarchy(CpuId cpu) const
     {
@@ -215,6 +224,14 @@ class MpSimulator
     void remapPage(ProcessId pid, Vpn vpn, Ppn new_ppn);
 
   private:
+    /** The typed replay loop behind runBatch(). */
+    template <typename H>
+    void replayTyped(const TraceRecord *records, std::size_t n);
+
+    /** One record through the typed loop (mirrors step()). */
+    template <typename H>
+    void stepOn(H &h, const TraceRecord &r);
+
     MachineConfig _config;
     AddressSpaceManager _spaces;
     SharedBus _bus;

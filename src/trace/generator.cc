@@ -506,6 +506,16 @@ TraceStream::next(TraceRecord &out)
     return _impl->next(out);
 }
 
+std::size_t
+TraceStream::nextBatch(TraceRecord *out, std::size_t cap)
+{
+    Impl &impl = *_impl;
+    std::size_t n = 0;
+    while (n < cap && impl.next(out[n]))
+        ++n;
+    return n;
+}
+
 std::uint64_t
 TraceStream::produced() const
 {

@@ -12,6 +12,7 @@
 #ifndef VRC_TRACE_TRACE_STREAM_HH
 #define VRC_TRACE_TRACE_STREAM_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 
@@ -37,6 +38,16 @@ class TraceStream
      * @return false when the trace is exhausted (@p out untouched).
      */
     bool next(TraceRecord &out);
+
+    /**
+     * Decode up to @p cap records into @p out, in exactly the order
+     * repeated next() calls would produce them. Batched decoding lets a
+     * replay loop amortize the stream's indirection over thousands of
+     * records instead of paying it per reference.
+     *
+     * @return the number of records produced; 0 means exhausted.
+     */
+    std::size_t nextBatch(TraceRecord *out, std::size_t cap);
 
     /** Records produced so far. */
     std::uint64_t produced() const;

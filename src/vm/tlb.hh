@@ -8,11 +8,18 @@
  * matters on V-cache misses. We model a set-associative, LRU TLB tagged by
  * (process id, virtual page number) and count hits/misses so experiments
  * can report TLB behaviour; a miss is serviced from the page tables.
+ *
+ * Storage is structure-of-arrays in the tag-store style: one flat key
+ * array holds the (pid, vpn) pair of every entry packed into a single
+ * 64-bit word, so the translate hot path is a branch-free equality scan
+ * of one set's keys; the payload (frame number, recency) lives in a
+ * parallel array touched only on the way that hit.
  */
 
 #ifndef VRC_VM_TLB_HH
 #define VRC_VM_TLB_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -53,8 +60,8 @@ class Tlb
     /** Invalidate everything. */
     void flush();
 
-    std::uint64_t hits() const { return _stats.value("hits"); }
-    std::uint64_t misses() const { return _stats.value("misses"); }
+    std::uint64_t hits() const { return _hits->value(); }
+    std::uint64_t misses() const { return _misses->value(); }
 
     const StatGroup &stats() const { return _stats; }
 
@@ -62,22 +69,39 @@ class Tlb
     std::uint32_t associativity() const { return _assoc; }
 
   private:
-    struct Entry
+    /** Payload of one entry; recency and frame, keyed by _keys. */
+    struct Slot
     {
-        bool valid = false;
-        ProcessId pid = invalidProcess;
-        Vpn vpn = 0;
         Ppn ppn = 0;
         std::uint64_t lruStamp = 0;
     };
+
+    /**
+     * Key of an invalid entry. Unreachable as a real key: it would need
+     * vpn == 2^32 - 1, i.e. a one-byte page size, and the address-space
+     * layer requires power-of-two pages well above that.
+     */
+    static constexpr std::uint64_t kInvalidKey = ~std::uint64_t{0};
+
+    static std::uint64_t
+    key(ProcessId pid, Vpn vpn)
+    {
+        return (static_cast<std::uint64_t>(pid) << 32) | vpn;
+    }
 
     std::uint32_t setIndex(Vpn vpn) const { return vpn & (_numSets - 1); }
 
     std::uint32_t _numSets;
     std::uint32_t _assoc;
-    std::vector<Entry> _entries; // _numSets * _assoc, set-major
+    std::vector<std::uint64_t> _keys;  ///< set-major; kInvalidKey = empty
+    std::vector<Slot> _slots;          ///< parallel to _keys
     std::uint64_t _clock = 0;
     mutable StatGroup _stats{"tlb"};
+
+    /** Construction-resolved handles; translate() never does a
+     *  string-keyed lookup (StatGroup handle contract). */
+    Counter *_hits = &_stats.handle("hits");
+    Counter *_misses = &_stats.handle("misses");
 };
 
 } // namespace vrc

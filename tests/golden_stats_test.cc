@@ -1,0 +1,380 @@
+/**
+ * @file
+ * Golden-stats regression corpus for the paper's tables and figures.
+ *
+ * Every artifact (Tables 1-13, Figures 4-6) is reduced to a list of
+ * text lines carrying its architectural numbers: simulation cells are
+ * encoded with encodeSummaryLine() (hexfloat doubles, so the encoding
+ * is exact), trace-level tables as integer histogram/counter lines,
+ * and the figure grids as hexfloat two-term access times. The lines
+ * are diffed against checked-in golden files, so any silent counter
+ * drift -- a replacement decision, a coherence message, a hit ratio
+ * off by one reference -- fails tier-1 immediately instead of only
+ * surfacing in the (tolerance-based) paper-number tests.
+ *
+ * The corpus runs at a reduced trace scale (kGoldenScale) to stay
+ * fast; scale changes the numbers, not their determinism. To
+ * regenerate after an *intentional* behaviour change:
+ *
+ *     VRC_UPDATE_GOLDEN=1 ./golden_stats_test
+ *
+ * then commit the rewritten files under tests/golden/ and explain the
+ * drift in the commit message. The golden files are the canonical
+ * reproduction artifact (see EXPERIMENTS.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/timing.hh"
+#include "sim/campaign.hh"
+#include "sim/experiment.hh"
+#include "trace/trace_stats.hh"
+
+namespace vrc
+{
+namespace
+{
+
+/** Fraction of the paper's trace lengths the corpus runs at. */
+constexpr double kGoldenScale = 0.02;
+
+#ifndef VRC_GOLDEN_DIR
+#error "VRC_GOLDEN_DIR must name the checked-in golden directory"
+#endif
+
+const TraceBundle &
+goldenTrace(const std::string &name)
+{
+    static std::map<std::string, TraceBundle> cache;
+    auto it = cache.find(name);
+    if (it == cache.end()) {
+        WorkloadProfile p = scaled(profileByName(name), kGoldenScale);
+        it = cache.emplace(name, generateTrace(p)).first;
+    }
+    return it->second;
+}
+
+std::string
+hex(double v)
+{
+    std::ostringstream os;
+    os << std::hexfloat << v;
+    return os.str();
+}
+
+/** Run @p jobs against @p bundle and encode one line per cell. */
+std::vector<std::string>
+summaryLines(const TraceBundle &bundle, const std::vector<SimJob> &jobs)
+{
+    std::vector<std::string> lines;
+    std::vector<SimSummary> res = runSimulations(bundle, jobs);
+    for (std::size_t i = 0; i < res.size(); ++i)
+        lines.push_back(encodeSummaryLine(i, res[i]));
+    return lines;
+}
+
+/** Histogram in "bucket count" lines plus the overflow and totals. */
+void
+histogramLines(const Histogram &h, const std::string &what,
+               std::vector<std::string> &out)
+{
+    std::ostringstream os;
+    for (std::uint64_t b = 1; b < h.maxBucket(); ++b)
+        out.push_back(what + " bucket " + std::to_string(b) + " " +
+                      std::to_string(h.count(b)));
+    out.push_back(what + " overflow " +
+                  std::to_string(h.overflowCount()));
+    out.push_back(what + " samples " + std::to_string(h.samples()) +
+                  " sum " + std::to_string(h.sum()));
+}
+
+/**
+ * Diff @p lines against tests/golden/@p name .golden, or rewrite the
+ * file when VRC_UPDATE_GOLDEN is set in the environment.
+ */
+void
+compareGolden(const std::string &name,
+              const std::vector<std::string> &lines)
+{
+    std::string path = std::string(VRC_GOLDEN_DIR) + "/" + name +
+                       ".golden";
+    const char *update = std::getenv("VRC_UPDATE_GOLDEN");
+    if (update && update[0]) {
+        std::ofstream out(path, std::ios::trunc);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        for (const std::string &l : lines)
+            out << l << "\n";
+        GTEST_SKIP() << "regenerated " << path;
+    }
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good())
+        << "missing golden file " << path
+        << " (run with VRC_UPDATE_GOLDEN=1 to create it)";
+    std::vector<std::string> want;
+    std::string line;
+    while (std::getline(in, line))
+        want.push_back(line);
+
+    ASSERT_EQ(lines.size(), want.size())
+        << "golden " << name << " line count drifted";
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        EXPECT_EQ(lines[i], want[i])
+            << "golden " << name << " line " << i + 1 << " drifted";
+    }
+}
+
+/** The shared hit-ratio artifact behind Tables 6 and 7. */
+std::vector<std::string>
+hitRatioLines(const std::vector<std::pair<std::uint32_t, std::uint32_t>>
+                  &pairs)
+{
+    std::vector<std::string> lines;
+    for (const char *name : {"thor", "pops", "abaqus"}) {
+        const TraceBundle &bundle = goldenTrace(name);
+        std::vector<SimJob> jobs;
+        for (auto [l1, l2] : pairs)
+            jobs.push_back({HierarchyKind::VirtualReal, l1, l2});
+        for (auto [l1, l2] : pairs)
+            jobs.push_back({HierarchyKind::RealRealIncl, l1, l2});
+        lines.push_back(std::string("trace ") + name);
+        for (const std::string &l : summaryLines(bundle, jobs))
+            lines.push_back(l);
+    }
+    return lines;
+}
+
+/** Tables 8-10: split vs unified V-caches on one trace. */
+std::vector<std::string>
+splitTableLines(const std::string &trace)
+{
+    const TraceBundle &bundle = goldenTrace(trace);
+    std::vector<SimJob> jobs;
+    for (auto [l1, l2] : paperSizePairs())
+        jobs.push_back({HierarchyKind::VirtualReal, l1, l2, true});
+    for (auto [l1, l2] : paperSizePairs())
+        jobs.push_back({HierarchyKind::VirtualReal, l1, l2, false});
+    return summaryLines(bundle, jobs);
+}
+
+/** Tables 11-13: coherence messages per CPU on one trace. */
+std::vector<std::string>
+coherenceTableLines(const std::string &trace)
+{
+    const TraceBundle &bundle = goldenTrace(trace);
+    std::vector<SimJob> jobs;
+    for (auto [l1, l2] : paperSizePairs()) {
+        for (auto kind :
+             {HierarchyKind::VirtualReal, HierarchyKind::RealRealIncl,
+              HierarchyKind::RealRealNoIncl}) {
+            jobs.push_back({kind, l1, l2});
+        }
+    }
+    return summaryLines(bundle, jobs);
+}
+
+/**
+ * Figures 4-6: the measured V-R / R-R summaries per size pair plus the
+ * analytic two-term access-time grid derived from them (the figure
+ * proper, 0..10% translation slowdown).
+ */
+std::vector<std::string>
+figureLines(const std::string &trace)
+{
+    const TraceBundle &bundle = goldenTrace(trace);
+    std::vector<SimJob> jobs;
+    for (auto [l1, l2] : paperSizePairs()) {
+        jobs.push_back({HierarchyKind::VirtualReal, l1, l2});
+        jobs.push_back({HierarchyKind::RealRealIncl, l1, l2});
+    }
+    std::vector<SimSummary> res = runSimulations(bundle, jobs);
+
+    std::vector<std::string> lines;
+    for (std::size_t i = 0; i < res.size(); ++i)
+        lines.push_back(encodeSummaryLine(i, res[i]));
+
+    TimingParams tp; // t1 = 1, t2 = 4, as the figures assume
+    std::size_t i = 0;
+    for (auto [l1, l2] : paperSizePairs()) {
+        const SimSummary &vr = res[i++];
+        const SimSummary &rr = res[i++];
+        for (int pct = 0; pct <= 10; ++pct) {
+            TimingParams slowed = tp;
+            slowed.l1SlowdownPct = pct;
+            lines.push_back(
+                "grid " + std::to_string(l1) + " " +
+                std::to_string(l2) + " " + std::to_string(pct) + " " +
+                hex(avgAccessTimeTwoTerm(vr.h1, vr.h2, tp)) + " " +
+                hex(avgAccessTimeTwoTerm(rr.h1, rr.h2, slowed)));
+        }
+    }
+    return lines;
+}
+
+TEST(GoldenStats, Table1WriteBursts)
+{
+    const GenStats &gs = goldenTrace("pops").stats;
+    std::vector<std::string> lines;
+    histogramLines(gs.callWrites, "call_writes", lines);
+    lines.push_back("total_calls " + std::to_string(gs.totalCalls));
+    lines.push_back("call_write_count " +
+                    std::to_string(gs.callWriteCount));
+    lines.push_back("total_writes " + std::to_string(gs.totalWrites));
+    compareGolden("table1", lines);
+}
+
+TEST(GoldenStats, Table2InterWriteIntervals)
+{
+    const TraceBundle &bundle = goldenTrace("pops");
+    // The paper's snapshot window, scaled with the trace.
+    const std::uint64_t snapshot =
+        static_cast<std::uint64_t>(411'237 * kGoldenScale);
+    Histogram intervals(10);
+    std::uint64_t cpu0_refs = 0, last_write = 0;
+    bool saw_write = false;
+    for (const TraceRecord &r : bundle.records) {
+        if (r.cpu != 0 || !r.isMemRef())
+            continue;
+        ++cpu0_refs;
+        if (cpu0_refs > snapshot)
+            break;
+        if (r.type != RefType::Write)
+            continue;
+        if (saw_write)
+            intervals.record(cpu0_refs - last_write);
+        last_write = cpu0_refs;
+        saw_write = true;
+    }
+    std::vector<std::string> lines;
+    histogramLines(intervals, "interwrite", lines);
+    compareGolden("table2", lines);
+}
+
+TEST(GoldenStats, Table3SwappedWriteback)
+{
+    const TraceBundle &bundle = goldenTrace("pops");
+    const std::uint64_t snapshot =
+        static_cast<std::uint64_t>(411'237 * kGoldenScale);
+    MachineConfig mc = makeMachineConfig(HierarchyKind::VirtualReal,
+                                         16 * 1024, 256 * 1024,
+                                         bundle.profile.pageSize);
+    MpSimulator sim(mc, bundle.profile);
+    std::uint64_t cpu0_refs = 0;
+    for (const TraceRecord &r : bundle.records) {
+        if (r.cpu == 0 && r.isMemRef()) {
+            if (++cpu0_refs > snapshot)
+                break;
+        }
+        sim.step(r);
+    }
+    std::vector<std::string> lines;
+    histogramLines(sim.hierarchy(0).writeBackIntervals(), "wb_interval",
+                   lines);
+    const auto &stats = sim.hierarchy(0).stats();
+    lines.push_back("writebacks " +
+                    std::to_string(stats.value("writebacks")));
+    lines.push_back("swapped_writebacks " +
+                    std::to_string(stats.value("swapped_writebacks")));
+    lines.push_back("wb_stalls " +
+                    std::to_string(stats.value("wb_stalls")));
+    compareGolden("table3", lines);
+}
+
+TEST(GoldenStats, Table5TraceCharacteristics)
+{
+    std::vector<std::string> lines;
+    for (const char *name : {"thor", "pops", "abaqus"}) {
+        auto c = characterize(goldenTrace(name).records);
+        std::ostringstream os;
+        os << name << " cpus " << c.numCpus << " refs " << c.totalRefs
+           << " instr " << c.instrCount << " reads " << c.dataReads
+           << " writes " << c.dataWrites << " switches "
+           << c.contextSwitches << " processes " << c.processCount;
+        lines.push_back(os.str());
+    }
+    compareGolden("table5", lines);
+}
+
+TEST(GoldenStats, Table6HitRatios)
+{
+    compareGolden("table6", hitRatioLines(paperSizePairs()));
+}
+
+TEST(GoldenStats, Table7SmallCaches)
+{
+    compareGolden("table7", hitRatioLines(smallSizePairs()));
+}
+
+TEST(GoldenStats, Table8SplitThor)
+{
+    compareGolden("table8", splitTableLines("thor"));
+}
+
+TEST(GoldenStats, Table9SplitPops)
+{
+    compareGolden("table9", splitTableLines("pops"));
+}
+
+TEST(GoldenStats, Table10SplitAbaqus)
+{
+    compareGolden("table10", splitTableLines("abaqus"));
+}
+
+TEST(GoldenStats, Table11CoherencePops)
+{
+    compareGolden("table11", coherenceTableLines("pops"));
+}
+
+TEST(GoldenStats, Table12CoherenceThor)
+{
+    compareGolden("table12", coherenceTableLines("thor"));
+}
+
+TEST(GoldenStats, Table13CoherenceAbaqus)
+{
+    compareGolden("table13", coherenceTableLines("abaqus"));
+}
+
+TEST(GoldenStats, Figure4Thor)
+{
+    compareGolden("fig4", figureLines("thor"));
+}
+
+TEST(GoldenStats, Figure5Pops)
+{
+    compareGolden("fig5", figureLines("pops"));
+}
+
+TEST(GoldenStats, Figure6Abaqus)
+{
+    compareGolden("fig6", figureLines("abaqus"));
+}
+
+/**
+ * Cycle-engine drift net: the three organizations at the paper's
+ * middle size pair under the cycle-approximate timing engine, so bus
+ * queueing / utilization / per-reference latency are pinned in
+ * hexfloat alongside the analytic corpus.
+ */
+TEST(GoldenStats, CycleEngineSummaries)
+{
+    const TraceBundle &bundle = goldenTrace("pops");
+    std::vector<SimJob> jobs;
+    for (auto kind :
+         {HierarchyKind::VirtualReal, HierarchyKind::RealRealIncl,
+          HierarchyKind::RealRealNoIncl}) {
+        jobs.push_back({kind, 8 * 1024, 128 * 1024, false, 0,
+                        TimingMode::Cycle});
+    }
+    compareGolden("cycle_pops", summaryLines(bundle, jobs));
+}
+
+} // namespace
+} // namespace vrc

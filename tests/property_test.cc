@@ -11,7 +11,10 @@
 #include <cctype>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "base/rng.hh"
 #include "sim/experiment.hh"
 
 namespace vrc
@@ -120,6 +123,86 @@ TEST_P(HierarchyPropertyTest, Deterministic)
     EXPECT_EQ(a.bus().transactions(), b.bus().transactions());
     EXPECT_EQ(a.totalCounter("memory_writes"),
               b.totalCounter("memory_writes"));
+}
+
+/**
+ * SoA invariant under OS pressure: interleave replay with storms of
+ * page remaps (machine-wide TLB shootdowns) and verify after every
+ * storm that the hierarchy invariants -- including the V-cache
+ * synonym/reverse-pointer linkage walked by checkInvariants() -- still
+ * hold, and that every remapped page translates to its new frame.
+ */
+TEST_P(HierarchyPropertyTest, SynonymPointersSurviveRemapStorm)
+{
+    const PropertyCase &c = GetParam();
+    const TraceBundle &bundle = cachedBundle(c.workload);
+
+    MachineConfig mc = makeMachineConfig(c.kind, c.l1Size, c.l2Size,
+                                         bundle.profile.pageSize,
+                                         c.split);
+    mc.hierarchy.l1.assoc = c.l1Assoc;
+    mc.hierarchy.l2.assoc = c.l2Assoc;
+    mc.hierarchy.l2.blockBytes =
+        mc.hierarchy.l1.blockBytes * c.l2BlockFactor;
+    mc.invariantPeriod = 500;
+
+    MpSimulator sim(mc, bundle.profile);
+    const std::vector<TraceRecord> &recs = bundle.records;
+    const std::size_t rounds = 8;
+    const std::size_t chunk = recs.size() / rounds;
+    ASSERT_GT(chunk, 0u);
+
+    Rng rng(c.l1Size + 31 * c.l1Assoc + (c.split ? 7 : 0));
+    // Hand out frames from the top of physical memory, descending, so
+    // storm targets never collide with demand-allocated frames.
+    Ppn fresh = mc.physPages - 1;
+
+    for (std::size_t round = 0; round < rounds; ++round) {
+        sim.runBatch(recs.data() + round * chunk, chunk);
+
+        // Storm: remap pages the replay just touched (so the TLBs and
+        // caches plausibly hold them) to brand-new frames.
+        std::vector<std::pair<ProcessId, Vpn>> moved;
+        for (int i = 0; i < 12; ++i) {
+            const TraceRecord &r =
+                recs[round * chunk + rng.below(chunk)];
+            if (!r.isMemRef())
+                continue;
+            Vpn vpn = r.vaddr / bundle.profile.pageSize;
+            sim.remapPage(r.pid, vpn, fresh);
+            moved.emplace_back(r.pid, vpn);
+            --fresh;
+        }
+        sim.checkInvariants();
+
+        // Only the most recent remap of a page is architecturally
+        // visible; walk the storm backwards and check the first
+        // assignment seen per page.
+        std::map<std::pair<ProcessId, Vpn>, Ppn> expect;
+        Ppn frame = fresh;
+        for (auto it = moved.rbegin(); it != moved.rend(); ++it)
+            expect.emplace(*it, ++frame);
+        for (const auto &[page, ppn] : expect) {
+            auto pa = sim.spaces().tryTranslate(
+                page.first,
+                VirtAddr(page.second * bundle.profile.pageSize));
+            ASSERT_TRUE(pa.has_value());
+            EXPECT_EQ(pa->ppn(bundle.profile.pageSize), ppn);
+        }
+    }
+
+    // Finish the tail of the trace on the remapped address spaces.
+    sim.runBatch(recs.data() + rounds * chunk,
+                 recs.size() - rounds * chunk);
+    sim.checkInvariants();
+
+    // Conservation must survive the storms too.
+    std::uint64_t refs = sim.totalCounter("refs");
+    EXPECT_EQ(refs, sim.totalCounter("l1_hits") +
+                        sim.totalCounter("l2_hits") +
+                        sim.totalCounter("synonym_hits") +
+                        sim.totalCounter("misses"));
+    EXPECT_GT(sim.totalCounter("tlb_shootdowns"), 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -29,7 +29,7 @@ TEST(RCacheTest, InstallCreatesSubentries)
     EXPECT_EQ(rc.subCount(), 4u);
     auto [slot, forced] = rc.victimFor(PhysAddr(0x1000));
     EXPECT_FALSE(forced);
-    auto &line = rc.install(slot, PhysAddr(0x1000),
+    auto line = rc.install(slot, PhysAddr(0x1000),
                             CoherenceState::Private);
     EXPECT_EQ(line.meta.subs.size(), 4u);
     EXPECT_EQ(line.meta.state, CoherenceState::Private);

@@ -6,8 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <tuple>
+#include <unordered_map>
+#include <vector>
 
 #include "cache/tag_store.hh"
 
@@ -113,6 +116,141 @@ TEST_P(TagStoreParamTest, NoDuplicateTagsPerSet)
                     << "duplicate tag in set " << set;
             }
         });
+    }
+}
+
+/**
+ * SoA invariant: the (set, way) packing round-trips through the flat
+ * arrays. Every stored line's reconstructed block address must map
+ * back to exactly its own (set, way) via setIndex + find, for every
+ * geometry -- a mis-stride in any of the parallel arrays would
+ * surface as a wrong set, a wrong way, or a phantom hit.
+ */
+TEST_P(TagStoreParamTest, SoaPackingRoundTrips)
+{
+    const StoreCase &c = GetParam();
+    CacheGeometry g(c.size, c.block, c.assoc);
+    TagStore<int> store(g, c.policy, 17);
+    std::uint32_t blocks = c.size / c.block;
+    for (std::uint32_t i = 0; i < blocks; ++i) {
+        // Scatter tags so neighbouring ways differ in high bits too.
+        std::uint32_t addr = (i * 7919u % (4 * blocks)) * c.block;
+        if (!store.find(addr))
+            store.fill(store.victim(addr), addr);
+    }
+    for (std::uint32_t set = 0; set < g.numSets(); ++set) {
+        store.forEachWay(set, [&](LineRef ref,
+                                  TagStore<int>::Line &l) {
+            if (!l.valid)
+                return;
+            std::uint32_t addr = store.lineAddr(ref);
+            EXPECT_EQ(g.setIndex(addr), ref.set);
+            EXPECT_EQ(g.tag(addr), l.tag);
+            auto back = store.find(addr);
+            ASSERT_TRUE(back.has_value());
+            EXPECT_EQ(back->set, ref.set);
+            EXPECT_EQ(back->way, ref.way);
+        });
+    }
+}
+
+/**
+ * SoA invariant: the parallel valid/tag/stamp/meta arrays stay
+ * mutually coherent through a long random op sequence. A shadow map
+ * is the oracle: presence, payload and the valid population must
+ * agree after every operation mix, and a full invalidate must leave
+ * nothing findable (in particular, no invalid way may ever satisfy a
+ * lookup -- the sentinel-tag fast path must be airtight).
+ */
+TEST_P(TagStoreParamTest, ParallelArraysStayCoherentUnderRandomOps)
+{
+    const StoreCase &c = GetParam();
+    CacheGeometry g(c.size, c.block, c.assoc);
+    TagStore<int> store(g, c.policy, 23);
+    Rng rng(417);
+    std::unordered_map<std::uint32_t, int> shadow;
+    int next_payload = 1;
+    std::uint32_t universe = 4 * (c.size / c.block);
+    for (int op = 0; op < 5000; ++op) {
+        std::uint32_t addr =
+            static_cast<std::uint32_t>(rng.below(universe)) * c.block;
+        std::uint64_t dice = rng.below(100);
+        auto ref = store.find(addr);
+        ASSERT_EQ(ref.has_value(), shadow.count(addr) != 0)
+            << "presence diverged for " << addr << " at op " << op;
+        if (dice < 60) {
+            // Access: install on miss, touch and verify on hit.
+            if (ref) {
+                EXPECT_EQ(store.line(*ref).meta, shadow[addr]);
+                store.touch(*ref);
+            } else {
+                LineRef slot = store.victim(addr);
+                if (store.line(slot).valid)
+                    shadow.erase(store.lineAddr(slot));
+                store.fill(slot, addr).meta = next_payload;
+                shadow[addr] = next_payload++;
+            }
+        } else if (dice < 90) {
+            if (ref) {
+                store.invalidate(*ref);
+                shadow.erase(addr);
+            }
+        } else if (dice == 99) {
+            store.invalidateAll();
+            shadow.clear();
+        }
+    }
+    EXPECT_EQ(store.validCount(), shadow.size());
+    std::size_t seen = 0;
+    store.forEachLine([&](LineRef ref, TagStore<int>::Line &l) {
+        if (!l.valid)
+            return;
+        ++seen;
+        auto it = shadow.find(store.lineAddr(ref));
+        ASSERT_NE(it, shadow.end());
+        EXPECT_EQ(l.meta, it->second);
+    });
+    EXPECT_EQ(seen, shadow.size());
+}
+
+/**
+ * SoA invariant: with LRU and real associativity, the stamp array
+ * must order ways exactly by touch recency -- the victim of a full
+ * set is always the least recently touched way, for any permutation.
+ */
+TEST_P(TagStoreParamTest, LruVictimMatchesTouchOrder)
+{
+    const StoreCase &c = GetParam();
+    if (c.policy != ReplPolicy::LRU || c.assoc < 2)
+        GTEST_SKIP() << "stamp order is only observable for LRU, w>1";
+    CacheGeometry g(c.size, c.block, c.assoc);
+    TagStore<int> store(g, c.policy, 29);
+    // Fill set 0 completely.
+    std::vector<std::uint32_t> addrs;
+    for (std::uint32_t w = 0; w < c.assoc; ++w) {
+        std::uint32_t addr = w * g.numSets() * c.block;
+        ASSERT_EQ(g.setIndex(addr), 0u);
+        store.fill(store.victim(addr), addr);
+        addrs.push_back(addr);
+    }
+    Rng rng(3301);
+    for (int round = 0; round < 32; ++round) {
+        // Touch every resident block in a fresh random order.
+        std::vector<std::uint32_t> order = addrs;
+        for (std::size_t i = order.size(); i > 1; --i)
+            std::swap(order[i - 1], order[rng.below(i)]);
+        for (std::uint32_t addr : order)
+            store.touch(*store.find(addr));
+        // The next victim must be the first-touched (oldest) block.
+        std::uint32_t fresh =
+            (c.assoc + round + 1) * g.numSets() * c.block;
+        ASSERT_EQ(g.setIndex(fresh), 0u);
+        LineRef v = store.victim(fresh);
+        EXPECT_EQ(store.lineAddr(v), order.front())
+            << "round " << round;
+        // Replace it, keeping the set full for the next round.
+        store.fill(v, fresh);
+        *std::find(addrs.begin(), addrs.end(), order.front()) = fresh;
     }
 }
 

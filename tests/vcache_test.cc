@@ -48,7 +48,7 @@ TEST(VCacheTest, RPointerBitsComputed)
     EXPECT_EQ(vc.rPointerBits(pa), 0x7bu & 63u);
     VirtAddr va(0x2000);
     LineRef slot = vc.victimFor(va);
-    auto &line = vc.install(slot, va, pa, false);
+    auto line = vc.install(slot, va, pa, false);
     EXPECT_EQ(line.meta.rPointer, vc.rPointerBits(pa));
 }
 
