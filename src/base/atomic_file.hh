@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Crash-atomic file writes.
+ *
+ * A manifest or result JSON opened with bare std::ios::trunc has a
+ * window where a crash leaves a torn file: truncated-then-partially-
+ * written bytes that a later reader mistakes for output. The journal
+ * tolerates torn *lines* by design (append-only, terminator-checked),
+ * but whole-file artifacts need the classic fix: write the content to
+ * a temporary sibling, fsync it, and rename() it over the target --
+ * POSIX rename is atomic, so a reader sees either the old file or the
+ * complete new one, never a prefix.
+ *
+ * Paths that are not regular files (/dev/null, a pipe, a tty) cannot
+ * be renamed over; those fall back to a plain streamed write, which is
+ * what the caller meant anyway.
+ */
+
+#ifndef VRC_BASE_ATOMIC_FILE_HH
+#define VRC_BASE_ATOMIC_FILE_HH
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "base/error.hh"
+
+namespace vrc
+{
+
+/** True when @p path exists and is not a regular file. */
+inline bool
+isSpecialFile(const std::string &path)
+{
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0 && !S_ISREG(st.st_mode);
+}
+
+/**
+ * Write @p content to @p path atomically (temp + fsync + rename).
+ * Special files (/dev/null, pipes) get a direct write instead.
+ */
+inline Status
+writeFileAtomic(const std::string &path, std::string_view content)
+{
+    if (isSpecialFile(path)) {
+        int fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
+        if (fd < 0)
+            return makeError(ErrorKind::Io, "cannot open ", path,
+                             " for writing: ", std::strerror(errno));
+        std::size_t off = 0;
+        while (off < content.size()) {
+            ssize_t n = ::write(fd, content.data() + off,
+                                content.size() - off);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                int err = errno;
+                ::close(fd);
+                return makeError(ErrorKind::Io, "write to ", path,
+                                 " failed: ", std::strerror(err));
+            }
+            off += static_cast<std::size_t>(n);
+        }
+        ::close(fd);
+        return okStatus();
+    }
+
+    std::string tmp = path + ".tmp." + std::to_string(::getpid());
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        return makeError(ErrorKind::Io, "cannot create ", tmp, ": ",
+                         std::strerror(errno));
+    std::size_t off = 0;
+    while (off < content.size()) {
+        ssize_t n =
+            ::write(fd, content.data() + off, content.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            int err = errno;
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            return makeError(ErrorKind::Io, "write to ", tmp,
+                             " failed: ", std::strerror(err));
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    // Data must reach disk before the rename makes it visible, or a
+    // crash could still publish an empty file.
+    if (::fsync(fd) != 0) {
+        int err = errno;
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return makeError(ErrorKind::Io, "fsync of ", tmp,
+                         " failed: ", std::strerror(err));
+    }
+    if (::close(fd) != 0) {
+        int err = errno;
+        ::unlink(tmp.c_str());
+        return makeError(ErrorKind::Io, "close of ", tmp,
+                         " failed: ", std::strerror(err));
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        int err = errno;
+        ::unlink(tmp.c_str());
+        return makeError(ErrorKind::Io, "rename ", tmp, " -> ", path,
+                         " failed: ", std::strerror(err));
+    }
+    return okStatus();
+}
+
+} // namespace vrc
+
+#endif // VRC_BASE_ATOMIC_FILE_HH

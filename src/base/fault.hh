@@ -44,6 +44,19 @@ struct FaultConfig
     double throwProb = 0.0;     ///< P(a campaign cell attempt throws)
     double stall = 0.0;         ///< P(a campaign cell attempt stalls)
     double stallSeconds = 0.25; ///< injected stall length
+
+    // Service-path faults (vrc-sim --serve): exercised by the soak
+    // script so the server's client-retry story is tested, not told.
+    double connDrop = 0.0;  ///< P(drop the connection after a response)
+    double frameTear = 0.0; ///< P(tear a response frame mid-write, then drop)
+};
+
+/** Verdict of the service-path injector for one response frame. */
+enum class ServeFault : std::uint8_t
+{
+    None, ///< deliver the frame normally
+    Drop, ///< deliver it, then close the connection
+    Tear, ///< write only a prefix of the frame, then close
 };
 
 /** Exception thrown by an injected cell fault. */
@@ -205,8 +218,28 @@ maybeInjectCellFault(std::size_t cell, unsigned attempt,
 }
 
 /**
+ * Service-path verdict for one response frame, keyed by (session,
+ * frame sequence) so a resubmitted segment meets a fresh decision.
+ * Tear wins over Drop when both fire (it is the nastier failure).
+ */
+inline ServeFault
+maybeInjectServeFault(std::uint64_t session, std::uint64_t seq)
+{
+    if (!faultsArmed())
+        return ServeFault::None;
+    if (faultDecision("serve-tear", session, seq,
+                      faultConfig().frameTear))
+        return ServeFault::Tear;
+    if (faultDecision("serve-drop", session, seq,
+                      faultConfig().connDrop))
+        return ServeFault::Drop;
+    return ServeFault::None;
+}
+
+/**
  * Arm the injector from a spec string:
- * "seed=N[,corrupt=P][,truncate=P][,throw=P][,stall=P][,stall_ms=M]".
+ * "seed=N[,corrupt=P][,truncate=P][,throw=P][,stall=P][,stall_ms=M]
+ *  [,drop=P][,tear=P]".
  * A bare number is shorthand for "seed=N" with default probabilities
  * (throw/stall/corrupt all 0.25).
  */
@@ -252,6 +285,12 @@ configureFaultInjection(const std::string &spec)
             any_prob = true;
         } else if (key == "stall_ms") {
             cfg.stallSeconds = num / 1000.0;
+        } else if (key == "drop") {
+            cfg.connDrop = num;
+            any_prob = true;
+        } else if (key == "tear") {
+            cfg.frameTear = num;
+            any_prob = true;
         } else {
             return makeError(ErrorKind::Parse,
                              "unknown fault spec key '", key, "'");
@@ -302,6 +341,12 @@ injectInputFaults(const char *, const std::string &, std::string &)
 inline void
 maybeInjectCellFault(std::size_t, unsigned, const CancelToken &)
 {
+}
+
+inline constexpr ServeFault
+maybeInjectServeFault(std::uint64_t, std::uint64_t)
+{
+    return ServeFault::None;
 }
 
 inline Status

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Process-wide graceful-shutdown plumbing (SIGINT/SIGTERM).
+ *
+ * Long-running modes (a campaign sweep, the simulation service) must
+ * not die mid-write when the operator presses ^C: the first signal is
+ * a *drain request* -- stop admitting new work, let in-flight work
+ * finish (or hit its watchdog), flush journals and manifests -- and
+ * only the second signal hard-exits. The handler itself does nothing
+ * but bump an async-signal-safe counter and poke a wake pipe, so any
+ * poll()-based loop can react promptly; all real drain logic runs on
+ * ordinary threads that poll shutdownRequested().
+ *
+ * Installation is explicit (CLI entry points only): a library user or
+ * a unit test that never calls installShutdownHandlers() keeps the
+ * default signal disposition, and shutdownRequested() simply stays 0.
+ */
+
+#ifndef VRC_BASE_SHUTDOWN_HH
+#define VRC_BASE_SHUTDOWN_HH
+
+#include <csignal>
+#include <unistd.h>
+
+#include <atomic>
+
+namespace vrc
+{
+
+namespace shutdown_detail
+{
+
+/** Signals seen so far; the handler increments it. */
+inline std::atomic<int> signalCount{0};
+
+/** The last signal delivered (0 before any). */
+inline std::atomic<int> lastSignal{0};
+
+/** Wake pipe; [0] read end for pollers, [1] written by the handler. */
+inline int wakePipe[2] = {-1, -1};
+
+inline void
+handler(int sig)
+{
+    lastSignal.store(sig, std::memory_order_relaxed);
+    int n = signalCount.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (n >= 2) {
+        // Second signal: the operator has lost patience. _exit() is
+        // async-signal-safe; 128+sig is the conventional encoding.
+        _exit(128 + sig);
+    }
+    if (wakePipe[1] >= 0) {
+        char b = 1;
+        // Best effort; a full pipe still wakes the poller.
+        [[maybe_unused]] ssize_t r = ::write(wakePipe[1], &b, 1);
+    }
+}
+
+} // namespace shutdown_detail
+
+/**
+ * Install the SIGINT/SIGTERM drain handlers (idempotent). Returns the
+ * read end of the wake pipe: poll()ing it wakes as soon as a signal
+ * lands, so accept loops need not busy-poll the counter.
+ */
+inline int
+installShutdownHandlers()
+{
+    using namespace shutdown_detail;
+    static bool installed = [] {
+        if (::pipe(wakePipe) != 0)
+            wakePipe[0] = wakePipe[1] = -1;
+        struct sigaction sa = {};
+        sa.sa_handler = handler;
+        sigemptyset(&sa.sa_mask);
+        sa.sa_flags = SA_RESTART;
+        ::sigaction(SIGINT, &sa, nullptr);
+        ::sigaction(SIGTERM, &sa, nullptr);
+        // A client vanishing mid-write must be an EPIPE errno, not a
+        // process-killing SIGPIPE (the service writes to sockets).
+        ::signal(SIGPIPE, SIG_IGN);
+        return true;
+    }();
+    (void)installed;
+    return wakePipe[0];
+}
+
+/** Signals received so far (0 = no shutdown requested). */
+inline int
+shutdownRequested()
+{
+    return shutdown_detail::signalCount.load(std::memory_order_relaxed);
+}
+
+/** The last shutdown signal number (0 before any). */
+inline int
+shutdownSignal()
+{
+    return shutdown_detail::lastSignal.load(std::memory_order_relaxed);
+}
+
+/**
+ * Exit code for "drained cleanly after a shutdown signal": documented
+ * in the README exit-code table and asserted by the resilience and
+ * soak scripts.
+ */
+inline constexpr int kExitInterrupted = 5;
+
+/** Reset the counter (tests only; handlers stay installed). */
+inline void
+resetShutdownForTest()
+{
+    shutdown_detail::signalCount.store(0, std::memory_order_relaxed);
+    shutdown_detail::lastSignal.store(0, std::memory_order_relaxed);
+}
+
+} // namespace vrc
+
+#endif // VRC_BASE_SHUTDOWN_HH

@@ -1,0 +1,176 @@
+#include "serve/client.hh"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace vrc
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+} // namespace
+
+ServeClient::~ServeClient()
+{
+    close();
+}
+
+Status
+ServeClient::connectUnix(const std::string &path)
+{
+    close();
+    sockaddr_un sa = {};
+    if (path.size() >= sizeof(sa.sun_path))
+        return makeError(ErrorKind::Bounds,
+                         "unix socket path too long: ", path);
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return makeError(ErrorKind::Io, "socket(AF_UNIX): ",
+                         std::strerror(errno));
+    sa.sun_family = AF_UNIX;
+    std::strncpy(sa.sun_path, path.c_str(), sizeof(sa.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&sa),
+                  sizeof(sa)) != 0) {
+        int e = errno;
+        ::close(fd);
+        return makeError(ErrorKind::Io, "connect(", path,
+                         "): ", std::strerror(e));
+    }
+    _fd = fd;
+    _frames = FrameReader();
+    return okStatus();
+}
+
+Status
+ServeClient::connectTcp(int port)
+{
+    close();
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return makeError(ErrorKind::Io, "socket(AF_INET): ",
+                         std::strerror(errno));
+    sockaddr_in sa = {};
+    sa.sin_family = AF_INET;
+    sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    sa.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&sa),
+                  sizeof(sa)) != 0) {
+        int e = errno;
+        ::close(fd);
+        return makeError(ErrorKind::Io, "connect(127.0.0.1:", port,
+                         "): ", std::strerror(e));
+    }
+    _fd = fd;
+    _frames = FrameReader();
+    return okStatus();
+}
+
+Status
+ServeClient::send(const std::string &bytes)
+{
+    if (_fd < 0)
+        return makeError(ErrorKind::Io, "send on a closed client");
+    const char *p = bytes.data();
+    std::size_t n = bytes.size();
+    while (n > 0) {
+        ssize_t w = ::write(_fd, p, n);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return makeError(ErrorKind::Io, "write: ",
+                             std::strerror(errno));
+        }
+        p += w;
+        n -= static_cast<std::size_t>(w);
+    }
+    return okStatus();
+}
+
+Status
+ServeClient::hello(const std::string &client)
+{
+    return send(encodeHello(HelloRequest{wireVersion, client}));
+}
+
+Status
+ServeClient::submit(const SubmitRequest &req)
+{
+    return send(encodeSubmit(req));
+}
+
+Result<Frame>
+ServeClient::readFrame(double timeoutSeconds)
+{
+    if (_fd < 0)
+        return makeError(ErrorKind::Io, "read on a closed client");
+    Clock::time_point start = Clock::now();
+    char buf[64 * 1024];
+    for (;;) {
+        FrameReader::State st = _frames.poll();
+        if (st == FrameReader::State::Frame)
+            return _frames.take();
+        if (st == FrameReader::State::Broken)
+            return _frames.error();
+
+        double elapsed =
+            std::chrono::duration<double>(Clock::now() - start)
+                .count();
+        double left = timeoutSeconds - elapsed;
+        if (left <= 0.0)
+            return makeError(ErrorKind::Timeout,
+                             "no frame within ", timeoutSeconds,
+                             " s");
+        pollfd p = {};
+        p.fd = _fd;
+        p.events = POLLIN;
+        int pr = ::poll(&p, 1,
+                        static_cast<int>(left * 1000.0) + 1);
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            return makeError(ErrorKind::Io, "poll: ",
+                             std::strerror(errno));
+        }
+        if (pr == 0)
+            continue; // loop re-checks the deadline
+        ssize_t n = ::read(_fd, buf, sizeof(buf));
+        if (n == 0)
+            return makeError(ErrorKind::Io,
+                             "server closed the connection");
+        if (n < 0) {
+            if (errno == EINTR || errno == EAGAIN)
+                continue;
+            return makeError(ErrorKind::Io, "read: ",
+                             std::strerror(errno));
+        }
+        _frames.feed(buf, static_cast<std::size_t>(n));
+    }
+}
+
+void
+ServeClient::closeWrite()
+{
+    if (_fd >= 0)
+        ::shutdown(_fd, SHUT_WR);
+}
+
+void
+ServeClient::close()
+{
+    if (_fd >= 0) {
+        ::close(_fd);
+        _fd = -1;
+    }
+}
+
+} // namespace vrc

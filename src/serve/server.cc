@@ -1,0 +1,945 @@
+#include "serve/server.hh"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "base/atomic_file.hh"
+#include "base/fault.hh"
+#include "base/log.hh"
+#include "base/shutdown.hh"
+#include "serve/sim_pool.hh"
+#include "serve/wire.hh"
+#include "sim/campaign.hh"
+#include "trace/workload.hh"
+
+namespace vrc
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t)
+{
+    return std::chrono::duration<double>(Clock::now() - t).count();
+}
+
+/** Write exactly @p n bytes; false on a hard error (EPIPE etc.). */
+bool
+writeAll(int fd, const char *p, std::size_t n)
+{
+    while (n > 0) {
+        ssize_t w = ::write(fd, p, n);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += w;
+        n -= static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+bool
+knownProfileName(const std::string &name)
+{
+    return name == "pops" || name == "thor" || name == "abaqus";
+}
+
+std::string
+jsonEscapeName(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(static_cast<unsigned char>(c) < 0x20 ? ' ' : c);
+    }
+    return out;
+}
+
+} // namespace
+
+const char *
+sessionStateName(SessionState s)
+{
+    switch (s) {
+      case SessionState::AwaitHello:
+        return "await-hello";
+      case SessionState::Ready:
+        return "ready";
+      case SessionState::Poisoned:
+        return "poisoned";
+      case SessionState::Closed:
+        return "closed";
+    }
+    return "unknown";
+}
+
+/** One connected client. */
+struct Session
+{
+    std::uint64_t id = 0;
+    int fd = -1;
+    std::atomic<SessionState> state{SessionState::AwaitHello};
+    std::string client; ///< HELLO name; reader thread writes it once
+                        ///< before flipping state to Ready
+
+    std::mutex writeMu;       ///< serializes the socket's write side
+    bool writeShut = false;   ///< under writeMu
+
+    std::atomic<std::size_t> inflight{0};
+    std::atomic<std::uint64_t> txSeq{0};
+    std::atomic<bool> readerDone{false};
+    std::thread reader;
+
+    FrameReader frames{wireMaxPayloadDefault}; ///< reader thread only
+
+    bool
+    alive() const
+    {
+        SessionState s = state.load(std::memory_order_acquire);
+        return s == SessionState::AwaitHello ||
+               s == SessionState::Ready;
+    }
+};
+
+/** One admitted segment waiting for (or on) a worker. */
+struct Work
+{
+    std::shared_ptr<Session> session;
+    SubmitRequest submit;
+    WorkloadProfile profile; ///< resolved and scaled at admission
+};
+
+struct ServeServer::Impl
+{
+    ServeOptions opt;
+
+    int unixFd = -1;
+    int tcpFd = -1;
+    int boundTcpPort = -1;
+    int drainPipe[2] = {-1, -1};
+    int signalWakeFd = -1;
+
+    std::thread acceptThread;
+    std::vector<std::thread> workers;
+
+    // Admission queue. `draining` flips under qMu so an admission
+    // that saw it false has its push ordered before the workers'
+    // final drain of the queue.
+    std::mutex qMu;
+    std::condition_variable qCv;
+    std::deque<Work> queue;
+    bool draining = false;
+
+    std::mutex sessMu;
+    std::vector<std::shared_ptr<Session>> sessions;
+    std::uint64_t nextSessionId = 1;
+
+    // Counters + quarantine registry.
+    mutable std::mutex statsMu;
+    ServiceStats st;
+    std::map<std::string, unsigned> poisonCounts;
+    std::uint64_t sessionsReaped = 0;
+
+    SimulatorPool pool{2};
+
+    std::atomic<bool> started{false};
+
+    // ---- socket plumbing -------------------------------------------
+
+    Status
+    bindListeners()
+    {
+        if (opt.unixPath.empty() && opt.tcpPort < 0)
+            return makeError(ErrorKind::Io,
+                             "serve: no listener configured (need a "
+                             "unix path and/or a TCP port)");
+        if (!opt.unixPath.empty()) {
+            sockaddr_un sa = {};
+            if (opt.unixPath.size() >= sizeof(sa.sun_path))
+                return makeError(ErrorKind::Bounds,
+                                 "unix socket path too long: ",
+                                 opt.unixPath);
+            unixFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+            if (unixFd < 0)
+                return makeError(ErrorKind::Io, "socket(AF_UNIX): ",
+                                 std::strerror(errno));
+            sa.sun_family = AF_UNIX;
+            std::strncpy(sa.sun_path, opt.unixPath.c_str(),
+                         sizeof(sa.sun_path) - 1);
+            ::unlink(opt.unixPath.c_str());
+            if (::bind(unixFd, reinterpret_cast<sockaddr *>(&sa),
+                       sizeof(sa)) != 0 ||
+                ::listen(unixFd, 64) != 0)
+                return makeError(ErrorKind::Io, "cannot listen on ",
+                                 opt.unixPath, ": ",
+                                 std::strerror(errno));
+        }
+        if (opt.tcpPort >= 0) {
+            tcpFd = ::socket(AF_INET, SOCK_STREAM, 0);
+            if (tcpFd < 0)
+                return makeError(ErrorKind::Io, "socket(AF_INET): ",
+                                 std::strerror(errno));
+            int one = 1;
+            ::setsockopt(tcpFd, SOL_SOCKET, SO_REUSEADDR, &one,
+                         sizeof(one));
+            sockaddr_in sa = {};
+            sa.sin_family = AF_INET;
+            sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+            sa.sin_port =
+                htons(static_cast<std::uint16_t>(opt.tcpPort));
+            if (::bind(tcpFd, reinterpret_cast<sockaddr *>(&sa),
+                       sizeof(sa)) != 0 ||
+                ::listen(tcpFd, 64) != 0)
+                return makeError(ErrorKind::Io,
+                                 "cannot listen on 127.0.0.1:",
+                                 opt.tcpPort, ": ",
+                                 std::strerror(errno));
+            socklen_t len = sizeof(sa);
+            ::getsockname(tcpFd, reinterpret_cast<sockaddr *>(&sa),
+                          &len);
+            boundTcpPort = ntohs(sa.sin_port);
+        }
+        return okStatus();
+    }
+
+    // ---- session write side ----------------------------------------
+
+    /** Shut the socket down (both ways) with writeMu already held. */
+    void
+    shutLocked(Session &s)
+    {
+        if (!s.writeShut) {
+            s.writeShut = true;
+            ::shutdown(s.fd, SHUT_RDWR);
+        }
+    }
+
+    /**
+     * Send one frame, applying an injected service fault when armed.
+     * Returns false when the session is gone (or was just cut).
+     */
+    bool
+    sendFrame(Session &s, const std::string &frame,
+              ServeFault fault = ServeFault::None)
+    {
+        std::lock_guard<std::mutex> g(s.writeMu);
+        if (s.writeShut || !s.alive())
+            return false;
+        if (fault == ServeFault::Tear) {
+            warn("serve: fault injection tearing a frame on session ",
+                 s.id);
+            writeAll(s.fd, frame.data(), frame.size() / 2);
+            shutLocked(s);
+            s.state.store(SessionState::Closed,
+                          std::memory_order_release);
+            bumpStat(&ServiceStats::responsesTorn);
+            return false;
+        }
+        if (!writeAll(s.fd, frame.data(), frame.size())) {
+            shutLocked(s);
+            s.state.store(SessionState::Closed,
+                          std::memory_order_release);
+            return false;
+        }
+        if (fault == ServeFault::Drop) {
+            warn("serve: fault injection dropping session ", s.id);
+            shutLocked(s);
+            s.state.store(SessionState::Closed,
+                          std::memory_order_release);
+            bumpStat(&ServiceStats::responsesDropped);
+            return false;
+        }
+        return true;
+    }
+
+    void
+    bumpStat(std::uint64_t ServiceStats::*field)
+    {
+        std::lock_guard<std::mutex> g(statsMu);
+        ++(st.*field);
+    }
+
+    /**
+     * Poison a session: best-effort error frame, cut the socket,
+     * count the offense toward its client's quarantine budget.
+     */
+    void
+    poison(Session &s, const Error &err)
+    {
+        warn("serve: poisoning session ", s.id,
+             s.client.empty() ? "" : (" (" + s.client + ")"), ": ",
+             err.describe());
+        {
+            std::lock_guard<std::mutex> g(s.writeMu);
+            if (!s.writeShut && s.alive()) {
+                std::string f = encodeErrorReply(
+                    FrameType::Error,
+                    ErrorReply{0, err.kind, err.message});
+                writeAll(s.fd, f.data(), f.size());
+            }
+            shutLocked(s);
+        }
+        s.state.store(SessionState::Poisoned,
+                      std::memory_order_release);
+        std::lock_guard<std::mutex> g(statsMu);
+        ++st.sessionsPoisoned;
+        if (!s.client.empty()) {
+            unsigned n = ++poisonCounts[s.client];
+            if (n == opt.quarantineThreshold)
+                st.quarantinedClients.push_back(s.client);
+        }
+    }
+
+    /** Close a session cleanly (BYE handled, EOF, drain teardown). */
+    void
+    closeSession(Session &s)
+    {
+        {
+            std::lock_guard<std::mutex> g(s.writeMu);
+            shutLocked(s);
+        }
+        if (s.alive())
+            s.state.store(SessionState::Closed,
+                          std::memory_order_release);
+    }
+
+    // ---- session read side (one thread per connection) -------------
+
+    void
+    readerLoop(std::shared_ptr<Session> sp)
+    {
+        Session &s = *sp;
+        const Clock::time_point never = Clock::time_point{};
+        Clock::time_point frame_started = never;
+        char buf[64 * 1024];
+
+        while (s.alive()) {
+            pollfd p = {};
+            p.fd = s.fd;
+            p.events = POLLIN;
+            int pr = ::poll(&p, 1, 100);
+            if (pr < 0) {
+                if (errno == EINTR)
+                    continue;
+                closeSession(s);
+                break;
+            }
+            if (pr > 0 &&
+                (p.revents & (POLLIN | POLLHUP | POLLERR))) {
+                ssize_t n = ::read(s.fd, buf, sizeof(buf));
+                if (n == 0) {
+                    closeSession(s);
+                    break;
+                }
+                if (n < 0) {
+                    if (errno == EINTR || errno == EAGAIN)
+                        continue;
+                    closeSession(s);
+                    break;
+                }
+                s.frames.feed(buf, static_cast<std::size_t>(n));
+                while (s.alive()) {
+                    FrameReader::State fs = s.frames.poll();
+                    if (fs == FrameReader::State::Frame) {
+                        handleFrame(sp, s.frames.take());
+                        continue;
+                    }
+                    if (fs == FrameReader::State::Broken)
+                        poison(s, s.frames.error());
+                    break;
+                }
+            }
+            // Slowloris guillotine: a frame must complete within
+            // readTimeoutSeconds of its first byte. Completed frames
+            // reset the clock; an idle connection (no partial frame)
+            // is fine indefinitely.
+            if (s.alive()) {
+                if (s.frames.pendingBytes() > 0) {
+                    if (frame_started == never)
+                        frame_started = Clock::now();
+                    else if (secondsSince(frame_started) >
+                             opt.readTimeoutSeconds)
+                        poison(s, makeError(
+                            ErrorKind::Timeout,
+                            "frame stalled for more than ",
+                            opt.readTimeoutSeconds,
+                            " s (slowloris?)"));
+                } else {
+                    frame_started = never;
+                }
+            }
+        }
+        s.readerDone.store(true, std::memory_order_release);
+    }
+
+    void
+    handleFrame(const std::shared_ptr<Session> &sp, Frame f)
+    {
+        Session &s = *sp;
+        switch (s.state.load(std::memory_order_acquire)) {
+          case SessionState::AwaitHello:
+            if (f.type == FrameType::Bye) {
+                closeSession(s);
+                return;
+            }
+            if (f.type != FrameType::Hello) {
+                poison(s, makeError(ErrorKind::Format,
+                                    frameTypeName(f.type),
+                                    " frame before hello"));
+                return;
+            }
+            handleHello(s, f.payload);
+            return;
+          case SessionState::Ready:
+            if (f.type == FrameType::Bye) {
+                closeSession(s);
+                return;
+            }
+            if (f.type == FrameType::Submit) {
+                handleSubmit(sp, f.payload);
+                return;
+            }
+            poison(s, makeError(ErrorKind::Format,
+                                "unexpected ", frameTypeName(f.type),
+                                " frame from a client"));
+            return;
+          case SessionState::Poisoned:
+          case SessionState::Closed:
+            return;
+        }
+    }
+
+    void
+    handleHello(Session &s, const std::string &payload)
+    {
+        Result<HelloRequest> h = decodeHello(payload);
+        if (!h) {
+            poison(s, h.error());
+            return;
+        }
+        HelloRequest req = h.take();
+        bool banned = false;
+        {
+            std::lock_guard<std::mutex> g(statsMu);
+            auto it = poisonCounts.find(req.client);
+            banned = it != poisonCounts.end() &&
+                     it->second >= opt.quarantineThreshold;
+            if (banned)
+                ++st.hellosRejected;
+        }
+        if (banned) {
+            sendFrame(s, encodeErrorReply(
+                FrameType::Quarantined,
+                ErrorReply{0, ErrorKind::Worker,
+                           "client '" + req.client +
+                               "' is quarantined"}));
+            closeSession(s);
+            return;
+        }
+        s.client = req.client;
+        s.state.store(SessionState::Ready,
+                      std::memory_order_release);
+    }
+
+    void
+    handleSubmit(const std::shared_ptr<Session> &sp,
+                 const std::string &payload)
+    {
+        Session &s = *sp;
+        Result<SubmitRequest> sub = decodeSubmit(payload);
+        if (!sub) {
+            // A frame whose body does not parse is hostile or
+            // corrupt either way -- the stream cannot be trusted.
+            poison(s, sub.error());
+            return;
+        }
+        SubmitRequest req = sub.take();
+        auto refuse = [&](FrameType t, ErrorKind kind,
+                          const std::string &msg) {
+            sendFrame(s, encodeErrorReply(
+                t, ErrorReply{req.segmentId, kind, msg}));
+        };
+
+        // Well-formed but wrong content: reject the segment, keep
+        // the session (an honest client with a bad request).
+        if (!knownProfileName(req.profileName)) {
+            refuse(FrameType::Error, ErrorKind::Bounds,
+                   "unknown workload profile '" + req.profileName +
+                       "'");
+            return;
+        }
+        WorkloadProfile profile =
+            scaled(profileByName(req.profileName), req.scale);
+        for (const TraceRecord &r : req.records) {
+            if (r.cpu >= profile.numCpus) {
+                refuse(FrameType::Error, ErrorKind::Bounds,
+                       "record cpu out of range for profile");
+                return;
+            }
+        }
+
+        // Admission control, under the queue lock so a drain or a
+        // full queue cannot race past the bound.
+        {
+            std::unique_lock<std::mutex> lk(qMu);
+            if (draining) {
+                lk.unlock();
+                refuse(FrameType::Draining, ErrorKind::Cancelled,
+                       "server is draining; no new segments");
+                bumpStat(&ServiceStats::segmentsDrained);
+                return;
+            }
+            if (s.inflight.load(std::memory_order_relaxed) >=
+                opt.perClientCap) {
+                lk.unlock();
+                refuse(FrameType::Shed, ErrorKind::Bounds,
+                       "per-client in-flight cap reached; resubmit "
+                       "later");
+                bumpStat(&ServiceStats::segmentsShed);
+                return;
+            }
+            if (queue.size() >= opt.queueCap) {
+                lk.unlock();
+                refuse(FrameType::Shed, ErrorKind::Bounds,
+                       "server admission queue full; resubmit later");
+                bumpStat(&ServiceStats::segmentsShed);
+                return;
+            }
+            s.inflight.fetch_add(1, std::memory_order_relaxed);
+            queue.push_back(
+                Work{sp, std::move(req), std::move(profile)});
+        }
+        qCv.notify_one();
+    }
+
+    // ---- workers ---------------------------------------------------
+
+    void
+    workerLoop()
+    {
+        for (;;) {
+            Work w;
+            {
+                std::unique_lock<std::mutex> lk(qMu);
+                qCv.wait(lk, [&] {
+                    return !queue.empty() || draining;
+                });
+                if (queue.empty())
+                    return; // draining and nothing left
+                w = std::move(queue.front());
+                queue.pop_front();
+            }
+            runSegment(w);
+            w.session->inflight.fetch_sub(
+                1, std::memory_order_relaxed);
+        }
+    }
+
+    void
+    runSegment(Work &w)
+    {
+        Session &s = *w.session;
+        const SubmitRequest &req = w.submit;
+
+        SimSummary summary;
+        bool ok = false, timed_out = false, abandoned = false;
+        ErrorKind fail_kind = ErrorKind::Worker;
+        std::string fail_msg;
+
+        for (unsigned attempt = 0;; ++attempt) {
+            if (!s.alive() ||
+                s.state.load(std::memory_order_acquire) !=
+                    SessionState::Ready) {
+                abandoned = true;
+                break;
+            }
+            try {
+                CancelToken token;
+                maybeInjectCellFault(
+                    static_cast<std::size_t>(req.segmentId), attempt,
+                    token);
+                std::unique_ptr<MpSimulator> sim =
+                    pool.acquire(w.profile, req.job);
+                Clock::time_point start = Clock::now();
+                const TraceRecord *p = req.records.data();
+                std::size_t left = req.records.size();
+                while (left > 0) {
+                    std::size_t chunk =
+                        std::min<std::size_t>(left, 8192);
+                    sim->runBatch(p, chunk);
+                    p += chunk;
+                    left -= chunk;
+                    if (opt.segmentDeadline > 0.0 &&
+                        secondsSince(start) > opt.segmentDeadline)
+                        throw ErrorException(makeError(
+                            ErrorKind::Timeout,
+                            "segment deadline of ",
+                            opt.segmentDeadline, " s exceeded"));
+                    if (!s.alive())
+                        throw ErrorException(makeError(
+                            ErrorKind::Cancelled,
+                            "client went away mid-segment"));
+                }
+                summary = summarizeSimulation(*sim, req.job);
+                sim.reset(); // dirty: never reuse
+                pool.restock(w.profile, req.job);
+                ok = true;
+            } catch (const FaultUnrecoverable &e) {
+                // A simulated machine check is deterministic for the
+                // segment; retrying replays the same strike.
+                fail_kind = ErrorKind::Unrecoverable;
+                fail_msg = e.err().message;
+                break;
+            } catch (const ErrorException &e) {
+                fail_kind = e.err().kind;
+                fail_msg = e.err().message;
+                if (fail_kind == ErrorKind::Cancelled) {
+                    abandoned = true;
+                    break;
+                }
+                if (fail_kind == ErrorKind::Timeout) {
+                    timed_out = true;
+                    break;
+                }
+                if (attempt >= opt.maxRetries)
+                    break;
+                continue;
+            } catch (const std::exception &e) {
+                fail_kind = ErrorKind::Worker;
+                fail_msg = e.what();
+                if (attempt >= opt.maxRetries)
+                    break;
+                continue;
+            }
+            break;
+        }
+
+        if (ok) {
+            // Index 0 keeps the line byte-comparable with batch
+            // vrc-sim --summary output; the frame carries the id.
+            ResultReply r{req.segmentId,
+                          encodeSummaryLine(0, summary)};
+            ServeFault fault = maybeInjectServeFault(
+                s.id,
+                s.txSeq.fetch_add(1, std::memory_order_relaxed) + 1);
+            sendFrame(s, encodeResult(r), fault);
+            bumpStat(&ServiceStats::segmentsCompleted);
+            return;
+        }
+        if (abandoned) {
+            bumpStat(&ServiceStats::segmentsAbandoned);
+            return;
+        }
+        sendFrame(s, encodeErrorReply(
+            FrameType::Error,
+            ErrorReply{req.segmentId, fail_kind, fail_msg}));
+        bumpStat(&ServiceStats::segmentsFailed);
+        if (timed_out)
+            bumpStat(&ServiceStats::segmentsTimedOut);
+    }
+
+    // ---- accept / drain --------------------------------------------
+
+    void
+    acceptLoop()
+    {
+        for (;;) {
+            pollfd fds[4];
+            nfds_t n = 0;
+            auto add = [&](int fd) {
+                if (fd >= 0) {
+                    fds[n].fd = fd;
+                    fds[n].events = POLLIN;
+                    fds[n].revents = 0;
+                    ++n;
+                }
+            };
+            add(drainPipe[0]);
+            add(signalWakeFd);
+            int unix_at = unixFd >= 0 ? static_cast<int>(n) : -1;
+            add(unixFd);
+            int tcp_at = tcpFd >= 0 ? static_cast<int>(n) : -1;
+            add(tcpFd);
+
+            int pr = ::poll(fds, n, 200);
+            if (pr < 0 && errno != EINTR)
+                break;
+            if (shutdownRequested() > 0 || drainFlagged())
+                break;
+            if (pr > 0) {
+                if (unix_at >= 0 && (fds[unix_at].revents & POLLIN))
+                    acceptOne(unixFd);
+                if (tcp_at >= 0 && (fds[tcp_at].revents & POLLIN))
+                    acceptOne(tcpFd);
+            }
+            reapDeadSessions();
+        }
+        beginDrain();
+    }
+
+    bool
+    drainFlagged()
+    {
+        std::lock_guard<std::mutex> g(qMu);
+        return draining;
+    }
+
+    void
+    acceptOne(int listener)
+    {
+        int fd = ::accept(listener, nullptr, nullptr);
+        if (fd < 0)
+            return;
+        auto s = std::make_shared<Session>();
+        s->fd = fd;
+        s->frames = FrameReader(opt.maxFrameBytes);
+        {
+            std::lock_guard<std::mutex> g(sessMu);
+            s->id = nextSessionId++;
+            sessions.push_back(s);
+        }
+        bumpStat(&ServiceStats::sessionsAccepted);
+        s->reader = std::thread([this, s] { readerLoop(s); });
+    }
+
+    /**
+     * Join and forget sessions whose reader has exited and whose
+     * segments have all completed: a long-running server must not
+     * grow a thread/fd per client that ever connected.
+     */
+    void
+    reapDeadSessions()
+    {
+        std::vector<std::shared_ptr<Session>> dead;
+        {
+            std::lock_guard<std::mutex> g(sessMu);
+            for (auto it = sessions.begin();
+                 it != sessions.end();) {
+                Session &s = **it;
+                if (!s.alive() &&
+                    s.readerDone.load(std::memory_order_acquire) &&
+                    s.inflight.load(std::memory_order_relaxed) ==
+                        0) {
+                    dead.push_back(std::move(*it));
+                    it = sessions.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+        }
+        for (auto &s : dead) {
+            if (s->reader.joinable())
+                s->reader.join();
+            ::close(s->fd);
+            s->fd = -1;
+            std::lock_guard<std::mutex> g(statsMu);
+            ++sessionsReaped;
+        }
+    }
+
+    void
+    beginDrain()
+    {
+        {
+            std::lock_guard<std::mutex> g(qMu);
+            draining = true;
+        }
+        qCv.notify_all();
+        if (unixFd >= 0) {
+            ::close(unixFd);
+            unixFd = -1;
+            ::unlink(opt.unixPath.c_str());
+        }
+        if (tcpFd >= 0) {
+            ::close(tcpFd);
+            tcpFd = -1;
+        }
+    }
+};
+
+ServeServer::ServeServer(ServeOptions opt)
+    : _impl(std::make_unique<Impl>())
+{
+    _impl->opt = std::move(opt);
+}
+
+ServeServer::~ServeServer()
+{
+    if (_impl->started.load()) {
+        requestDrain();
+        waitUntilDrained();
+    }
+    if (_impl->drainPipe[0] >= 0)
+        ::close(_impl->drainPipe[0]);
+    if (_impl->drainPipe[1] >= 0)
+        ::close(_impl->drainPipe[1]);
+}
+
+Status
+ServeServer::start()
+{
+    Impl &im = *_impl;
+    if (im.started.load())
+        return makeError(ErrorKind::Io, "server already started");
+    if (::pipe(im.drainPipe) != 0)
+        return makeError(ErrorKind::Io, "pipe: ",
+                         std::strerror(errno));
+    im.signalWakeFd = installShutdownHandlers();
+    Status bound = im.bindListeners();
+    if (!bound)
+        return bound;
+    unsigned workers = im.opt.workers ? im.opt.workers : 2;
+    for (unsigned i = 0; i < workers; ++i)
+        im.workers.emplace_back([&im] { im.workerLoop(); });
+    im.acceptThread = std::thread([&im] { im.acceptLoop(); });
+    im.started.store(true);
+    return okStatus();
+}
+
+int
+ServeServer::waitUntilDrained()
+{
+    Impl &im = *_impl;
+    if (!im.started.load())
+        return 2;
+    if (im.acceptThread.joinable())
+        im.acceptThread.join();
+    // Workers exit once the queue is empty under drain; everything
+    // admitted before the drain completes first.
+    im.qCv.notify_all();
+    for (std::thread &w : im.workers)
+        if (w.joinable())
+            w.join();
+    im.workers.clear();
+
+    // Say goodbye, cut the sockets, and join every reader.
+    std::vector<std::shared_ptr<Session>> all;
+    {
+        std::lock_guard<std::mutex> g(im.sessMu);
+        all = im.sessions;
+        im.sessions.clear();
+    }
+    std::string bye = encodeBye();
+    for (auto &s : all) {
+        im.sendFrame(*s, bye);
+        im.closeSession(*s);
+    }
+    for (auto &s : all) {
+        if (s->reader.joinable())
+            s->reader.join();
+        if (s->fd >= 0) {
+            ::close(s->fd);
+            s->fd = -1;
+        }
+    }
+    im.started.store(false);
+
+    int sig = shutdownSignal();
+    if (!im.opt.manifest.empty()) {
+        Status wrote = writeFileAtomic(
+            im.opt.manifest,
+            manifestJson(true, sig) + "\n");
+        if (!wrote)
+            warn("serve: ", wrote.error().describe());
+    }
+    return shutdownRequested() > 0 ? kExitInterrupted : 0;
+}
+
+void
+ServeServer::requestDrain()
+{
+    Impl &im = *_impl;
+    {
+        std::lock_guard<std::mutex> g(im.qMu);
+        im.draining = true;
+    }
+    im.qCv.notify_all();
+    if (im.drainPipe[1] >= 0) {
+        char b = 1;
+        [[maybe_unused]] ssize_t r =
+            ::write(im.drainPipe[1], &b, 1);
+    }
+}
+
+int
+ServeServer::tcpPort() const
+{
+    return _impl->boundTcpPort;
+}
+
+ServiceStats
+ServeServer::stats() const
+{
+    Impl &im = *_impl;
+    std::lock_guard<std::mutex> g(im.statsMu);
+    ServiceStats s = im.st;
+    s.poolHits = im.pool.hits();
+    s.poolMisses = im.pool.misses();
+    return s;
+}
+
+std::string
+ServeServer::manifestJson(bool drained, int signal) const
+{
+    Impl &im = *_impl;
+    std::size_t open_sessions;
+    {
+        std::lock_guard<std::mutex> g(im.sessMu);
+        open_sessions = im.sessions.size();
+    }
+    ServiceStats s = stats();
+    std::uint64_t reaped;
+    {
+        std::lock_guard<std::mutex> g(im.statsMu);
+        reaped = im.sessionsReaped;
+    }
+    std::ostringstream os;
+    os << "{\"service\":\"vrc-sim --serve\",\"drained\":"
+       << (drained ? "true" : "false")
+       << ",\"interrupted_signal\":" << signal << ",\"sessions\":{"
+       << "\"accepted\":" << s.sessionsAccepted
+       << ",\"poisoned\":" << s.sessionsPoisoned
+       << ",\"hellos_rejected\":" << s.hellosRejected
+       << ",\"reaped\":" << reaped
+       << ",\"open_at_drain\":" << open_sessions
+       << "},\"segments\":{"
+       << "\"completed\":" << s.segmentsCompleted
+       << ",\"failed\":" << s.segmentsFailed
+       << ",\"shed\":" << s.segmentsShed
+       << ",\"drained\":" << s.segmentsDrained
+       << ",\"timed_out\":" << s.segmentsTimedOut
+       << ",\"abandoned\":" << s.segmentsAbandoned
+       << "},\"faults\":{"
+       << "\"responses_dropped\":" << s.responsesDropped
+       << ",\"responses_torn\":" << s.responsesTorn
+       << "},\"pool\":{\"hits\":" << s.poolHits
+       << ",\"misses\":" << s.poolMisses
+       << "},\"quarantined_clients\":[";
+    for (std::size_t i = 0; i < s.quarantinedClients.size(); ++i)
+        os << (i ? "," : "") << '"'
+           << jsonEscapeName(s.quarantinedClients[i]) << '"';
+    os << "]}";
+    return os.str();
+}
+
+} // namespace vrc

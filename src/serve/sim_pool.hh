@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Warm pool of ready-to-run simulators.
+ *
+ * Segment results must be bit-identical to batch mode, and batch mode
+ * runs every trace through a *fresh* MpSimulator -- so a simulator
+ * that has replayed a segment can never be handed to the next one
+ * (its caches, TLBs and pointer state are dirty). What the pool
+ * amortizes instead is construction: building the address spaces, the
+ * flat SoA tag arrays and the per-CPU arenas for a 256K L2 is the
+ * per-segment fixed cost, and the pool keeps a small stock of
+ * never-used simulators per (profile, machine) key so a segment's
+ * latency starts at replay, not at allocation. After a segment
+ * completes, the worker discards the dirty instance and restocks a
+ * fresh one while the connection is idle.
+ */
+
+#ifndef VRC_SERVE_SIM_POOL_HH
+#define VRC_SERVE_SIM_POOL_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "sim/mp_sim.hh"
+#include "trace/workload.hh"
+
+namespace vrc
+{
+
+/** Pool of fresh simulators, keyed by workload + machine identity. */
+class SimulatorPool
+{
+  public:
+    /** @p stockPerKey fresh instances kept per configuration. */
+    explicit SimulatorPool(std::size_t stockPerKey = 2)
+        : _stockPerKey(stockPerKey)
+    {
+    }
+
+    /** Cache key: everything that shapes a simulator's construction. */
+    static std::string
+    key(const WorkloadProfile &profile, const SimJob &job)
+    {
+        std::ostringstream os;
+        os << profile.name << '/' << profile.numCpus << '/'
+           << profile.pageSize << '/' << static_cast<int>(job.kind)
+           << '/' << job.l1Size << '/' << job.l2Size << '/'
+           << (job.split ? 1 : 0) << '/'
+           << static_cast<int>(job.timingMode);
+        return os.str();
+    }
+
+    /**
+     * A fresh simulator for (profile, job): from stock when one is
+     * warm, constructed on the spot otherwise. Always never-used.
+     */
+    std::unique_ptr<MpSimulator>
+    acquire(const WorkloadProfile &profile, const SimJob &job)
+    {
+        const std::string k = key(profile, job);
+        {
+            std::lock_guard<std::mutex> g(_mu);
+            auto it = _stock.find(k);
+            if (it != _stock.end() && !it->second.empty()) {
+                std::unique_ptr<MpSimulator> sim =
+                    std::move(it->second.back());
+                it->second.pop_back();
+                ++_hits;
+                return sim;
+            }
+        }
+        ++_misses;
+        return construct(profile, job);
+    }
+
+    /**
+     * Restock one fresh instance for (profile, job) unless the shelf
+     * is already full. Called by a worker after it discards a dirty
+     * simulator, off the critical path of the reply.
+     */
+    void
+    restock(const WorkloadProfile &profile, const SimJob &job)
+    {
+        const std::string k = key(profile, job);
+        {
+            std::lock_guard<std::mutex> g(_mu);
+            if (_stock[k].size() >= _stockPerKey)
+                return;
+        }
+        // Construction happens outside the lock; the worst case is a
+        // momentary overshoot of the stock cap, not a stall of every
+        // other worker.
+        std::unique_ptr<MpSimulator> sim = construct(profile, job);
+        std::lock_guard<std::mutex> g(_mu);
+        if (_stock[k].size() < _stockPerKey)
+            _stock[k].push_back(std::move(sim));
+    }
+
+    std::uint64_t hits() const { return _hits; }
+    std::uint64_t misses() const { return _misses; }
+
+  private:
+    static std::unique_ptr<MpSimulator>
+    construct(const WorkloadProfile &profile, const SimJob &job)
+    {
+        MachineConfig mc =
+            makeMachineConfig(job.kind, job.l1Size, job.l2Size,
+                              profile.pageSize, job.split);
+        mc.invariantPeriod = job.invariantPeriod;
+        mc.timingMode = job.timingMode;
+        return std::make_unique<MpSimulator>(mc, profile);
+    }
+
+    std::size_t _stockPerKey;
+    std::mutex _mu;
+    std::map<std::string, std::vector<std::unique_ptr<MpSimulator>>>
+        _stock;
+    std::atomic<std::uint64_t> _hits{0};
+    std::atomic<std::uint64_t> _misses{0};
+};
+
+} // namespace vrc
+
+#endif // VRC_SERVE_SIM_POOL_HH

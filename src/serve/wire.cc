@@ -1,0 +1,391 @@
+#include "serve/wire.hh"
+
+#include <cstring>
+#include <sstream>
+
+#include "trace/trace_io.hh"
+
+namespace vrc
+{
+
+namespace
+{
+
+void
+putU8(std::string &out, std::uint8_t v)
+{
+    out.push_back(static_cast<char>(v));
+}
+
+void
+putU16(std::string &out, std::uint16_t v)
+{
+    for (int i = 0; i < 2; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void
+putU32(std::string &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void
+putU64(std::string &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+/** Bounds-checked little-endian cursor over a payload. */
+class Cursor
+{
+  public:
+    explicit Cursor(const std::string &buf) : _buf(buf) {}
+
+    bool
+    u8(std::uint8_t &v)
+    {
+        if (_pos + 1 > _buf.size())
+            return false;
+        v = static_cast<std::uint8_t>(_buf[_pos++]);
+        return true;
+    }
+
+    bool
+    u16(std::uint16_t &v)
+    {
+        if (_pos + 2 > _buf.size())
+            return false;
+        v = 0;
+        for (int i = 0; i < 2; ++i)
+            v |= static_cast<std::uint16_t>(
+                     static_cast<unsigned char>(_buf[_pos + i]))
+                 << (8 * i);
+        _pos += 2;
+        return true;
+    }
+
+    bool
+    u32(std::uint32_t &v)
+    {
+        if (_pos + 4 > _buf.size())
+            return false;
+        v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(
+                     static_cast<unsigned char>(_buf[_pos + i]))
+                 << (8 * i);
+        _pos += 4;
+        return true;
+    }
+
+    bool
+    u64(std::uint64_t &v)
+    {
+        if (_pos + 8 > _buf.size())
+            return false;
+        v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(
+                     static_cast<unsigned char>(_buf[_pos + i]))
+                 << (8 * i);
+        _pos += 8;
+        return true;
+    }
+
+    bool
+    bytes(std::size_t n, std::string &out)
+    {
+        if (_pos + n > _buf.size())
+            return false;
+        out.assign(_buf, _pos, n);
+        _pos += n;
+        return true;
+    }
+
+    /** Everything left, as a string. */
+    std::string
+    rest()
+    {
+        std::string out = _buf.substr(_pos);
+        _pos = _buf.size();
+        return out;
+    }
+
+    std::size_t remaining() const { return _buf.size() - _pos; }
+    std::size_t pos() const { return _pos; }
+
+  private:
+    const std::string &_buf;
+    std::size_t _pos = 0;
+};
+
+/** Sane cap for the client-name string in HELLO. */
+constexpr std::size_t maxNameBytes = 256;
+
+} // namespace
+
+const char *
+frameTypeName(FrameType t)
+{
+    switch (t) {
+      case FrameType::Hello:
+        return "hello";
+      case FrameType::Submit:
+        return "submit";
+      case FrameType::Result:
+        return "result";
+      case FrameType::Error:
+        return "error";
+      case FrameType::Shed:
+        return "shed";
+      case FrameType::Draining:
+        return "draining";
+      case FrameType::Quarantined:
+        return "quarantined";
+      case FrameType::Bye:
+        return "bye";
+    }
+    return "unknown";
+}
+
+std::string
+encodeFrame(FrameType type, const std::string &payload)
+{
+    std::string out;
+    out.reserve(wireHeaderBytes + payload.size());
+    putU32(out, wireMagic);
+    putU8(out, static_cast<std::uint8_t>(type));
+    putU32(out, static_cast<std::uint32_t>(payload.size()));
+    out += payload;
+    return out;
+}
+
+std::string
+encodeHello(const HelloRequest &h)
+{
+    std::string p;
+    putU32(p, h.version);
+    putU16(p, static_cast<std::uint16_t>(h.client.size()));
+    p += h.client;
+    return encodeFrame(FrameType::Hello, p);
+}
+
+std::string
+encodeSubmit(const SubmitRequest &s)
+{
+    std::string p;
+    putU64(p, s.segmentId);
+    putU8(p, static_cast<std::uint8_t>(s.job.kind));
+    putU32(p, s.job.l1Size);
+    putU32(p, s.job.l2Size);
+    putU8(p, s.job.split ? 1 : 0);
+    putU8(p, static_cast<std::uint8_t>(s.job.timingMode));
+    std::uint64_t scale_bits;
+    static_assert(sizeof(scale_bits) == sizeof(s.scale));
+    std::memcpy(&scale_bits, &s.scale, sizeof(scale_bits));
+    putU64(p, scale_bits);
+    putU16(p, static_cast<std::uint16_t>(s.profileName.size()));
+    p += s.profileName;
+    std::ostringstream trace;
+    writeTraceBinary(trace, s.records);
+    p += trace.str();
+    return encodeFrame(FrameType::Submit, p);
+}
+
+std::string
+encodeResult(const ResultReply &r)
+{
+    std::string p;
+    putU64(p, r.segmentId);
+    p += r.summaryLine;
+    return encodeFrame(FrameType::Result, p);
+}
+
+std::string
+encodeErrorReply(FrameType type, const ErrorReply &e)
+{
+    std::string p;
+    putU64(p, e.segmentId);
+    putU8(p, static_cast<std::uint8_t>(e.kind));
+    p += e.message;
+    return encodeFrame(type, p);
+}
+
+std::string
+encodeBye()
+{
+    return encodeFrame(FrameType::Bye, "");
+}
+
+Result<HelloRequest>
+decodeHello(const std::string &payload)
+{
+    Cursor c(payload);
+    HelloRequest h;
+    std::uint16_t name_len;
+    if (!c.u32(h.version) || !c.u16(name_len))
+        return makeError(ErrorKind::Parse, "short hello payload");
+    if (h.version != wireVersion)
+        return makeError(ErrorKind::Format,
+                         "unsupported protocol version ", h.version,
+                         " (this server speaks ", wireVersion, ")");
+    if (name_len > maxNameBytes)
+        return makeError(ErrorKind::Bounds, "client name of ",
+                         name_len, " bytes exceeds the ",
+                         maxNameBytes, "-byte cap");
+    if (!c.bytes(name_len, h.client) || c.remaining() != 0)
+        return makeError(ErrorKind::Parse,
+                         "hello payload length mismatch");
+    if (h.client.empty())
+        return makeError(ErrorKind::Bounds, "empty client name");
+    return h;
+}
+
+Result<SubmitRequest>
+decodeSubmit(const std::string &payload)
+{
+    Cursor c(payload);
+    SubmitRequest s;
+    std::uint8_t org, split, timing;
+    std::uint64_t scale_bits;
+    std::uint16_t name_len;
+    if (!c.u64(s.segmentId) || !c.u8(org) || !c.u32(s.job.l1Size) ||
+        !c.u32(s.job.l2Size) || !c.u8(split) || !c.u8(timing) ||
+        !c.u64(scale_bits) || !c.u16(name_len))
+        return makeError(ErrorKind::Parse, "short submit payload");
+    if (org > 2)
+        return makeError(ErrorKind::Bounds,
+                         "bad organization code ", unsigned(org));
+    if (split > 1)
+        return makeError(ErrorKind::Bounds, "bad split flag ",
+                         unsigned(split));
+    if (timing > 1)
+        return makeError(ErrorKind::Bounds, "bad timing mode ",
+                         unsigned(timing));
+    s.job.kind = static_cast<HierarchyKind>(org);
+    s.job.split = split != 0;
+    s.job.timingMode = static_cast<TimingMode>(timing);
+    std::memcpy(&s.scale, &scale_bits, sizeof(s.scale));
+    if (!(s.scale > 0.0) || s.scale > 1e6)
+        return makeError(ErrorKind::Bounds, "bad profile scale");
+    if (name_len == 0 || name_len > maxNameBytes)
+        return makeError(ErrorKind::Bounds, "bad profile name length ",
+                         name_len);
+    if (!c.bytes(name_len, s.profileName))
+        return makeError(ErrorKind::Parse, "short submit payload");
+
+    // The rest is the standard binary trace container; revalidate it
+    // with the same loader batch mode uses (magic, version, count
+    // against size, record type bytes).
+    std::istringstream trace(payload.substr(c.pos()));
+    Result<std::vector<TraceRecord>> records =
+        tryReadTraceBinary(trace, "submit segment");
+    if (!records)
+        return records.error();
+    s.records = records.take();
+    return s;
+}
+
+Result<ResultReply>
+decodeResult(const std::string &payload)
+{
+    Cursor c(payload);
+    ResultReply r;
+    if (!c.u64(r.segmentId))
+        return makeError(ErrorKind::Parse, "short result payload");
+    r.summaryLine = c.rest();
+    if (r.summaryLine.empty())
+        return makeError(ErrorKind::Parse, "empty result summary");
+    return r;
+}
+
+Result<ErrorReply>
+decodeErrorReply(const std::string &payload)
+{
+    Cursor c(payload);
+    ErrorReply e;
+    std::uint8_t kind;
+    if (!c.u64(e.segmentId) || !c.u8(kind))
+        return makeError(ErrorKind::Parse, "short error payload");
+    if (kind > static_cast<std::uint8_t>(ErrorKind::Unrecoverable))
+        return makeError(ErrorKind::Bounds, "bad error kind ",
+                         unsigned(kind));
+    e.kind = static_cast<ErrorKind>(kind);
+    e.message = c.rest();
+    return e;
+}
+
+void
+FrameReader::feed(const char *data, std::size_t n)
+{
+    if (_broken)
+        return;
+    // Drop consumed prefix before it grows without bound.
+    if (_pos > 0 && (_pos >= _buf.size() || _pos > (1u << 16))) {
+        _buf.erase(0, _pos);
+        _pos = 0;
+    }
+    _buf.append(data, n);
+}
+
+FrameReader::State
+FrameReader::poll()
+{
+    if (_broken)
+        return State::Broken;
+    if (_buf.size() - _pos < wireHeaderBytes)
+        return State::NeedMore;
+    const unsigned char *h =
+        reinterpret_cast<const unsigned char *>(_buf.data()) + _pos;
+    std::uint32_t magic = 0, len = 0;
+    for (int i = 0; i < 4; ++i)
+        magic |= static_cast<std::uint32_t>(h[i]) << (8 * i);
+    std::uint8_t type = h[4];
+    for (int i = 0; i < 4; ++i)
+        len |= static_cast<std::uint32_t>(h[5 + i]) << (8 * i);
+    if (magic != wireMagic) {
+        _broken = true;
+        _error = makeError(ErrorKind::Parse,
+                           "bad frame magic 0x", std::hex, magic);
+        return State::Broken;
+    }
+    if (type < static_cast<std::uint8_t>(FrameType::Hello) ||
+        type > static_cast<std::uint8_t>(FrameType::Bye)) {
+        _broken = true;
+        _error = makeError(ErrorKind::Format, "unknown frame type ",
+                           unsigned(type));
+        return State::Broken;
+    }
+    if (len > _maxPayload) {
+        _broken = true;
+        _error = makeError(ErrorKind::Bounds, "frame payload of ",
+                           len, " bytes exceeds the ", _maxPayload,
+                           "-byte cap");
+        return State::Broken;
+    }
+    if (_buf.size() - _pos < wireHeaderBytes + len)
+        return State::NeedMore;
+    return State::Frame;
+}
+
+Frame
+FrameReader::take()
+{
+    panicIfNot(poll() == State::Frame,
+               "FrameReader::take() without a complete frame");
+    const unsigned char *h =
+        reinterpret_cast<const unsigned char *>(_buf.data()) + _pos;
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i)
+        len |= static_cast<std::uint32_t>(h[5 + i]) << (8 * i);
+    Frame f;
+    f.type = static_cast<FrameType>(h[4]);
+    f.payload = _buf.substr(_pos + wireHeaderBytes, len);
+    _pos += wireHeaderBytes + len;
+    return f;
+}
+
+} // namespace vrc

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Framed wire protocol for the simulation service (vrc-sim --serve).
+ *
+ * Everything on the socket is a length-prefixed frame:
+ *
+ *     u32 magic 'VRCW' | u8 type | u32 payloadLen | payload bytes
+ *
+ * (little-endian, 9-byte header). The protocol is deliberately dumb:
+ * no compression, no pipident negotiation beyond a version number in
+ * HELLO, and the stats payload is the campaign journal's hexfloat
+ * summary line verbatim -- the same wire-stable encoding the
+ * checkpoint/resume machinery already proves bit-identical to batch
+ * mode.
+ *
+ * Every decoder here is a validating `try*` in the base/error.hh
+ * sense: bad magic, an unknown frame type, an oversized length, or a
+ * payload that does not parse all come back as a Result carrying the
+ * failure taxonomy, never as UB or a dead server. A malformed frame
+ * poisons *its session*; the framing layer itself has no global
+ * state.
+ *
+ * SUBMIT payloads embed the standard binary trace container (trace_io
+ * magic + version + count + packed records), so a client can stream a
+ * .vrct file's bytes unchanged and the server revalidates them with
+ * the same tryReadTraceBinary() the batch loader uses.
+ */
+
+#ifndef VRC_SERVE_WIRE_HH
+#define VRC_SERVE_WIRE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/error.hh"
+#include "sim/experiment.hh"
+#include "trace/record.hh"
+
+namespace vrc
+{
+
+/** Frame magic: "VRCW" little-endian. */
+inline constexpr std::uint32_t wireMagic = 0x57435256;
+
+/** Protocol version carried in HELLO. */
+inline constexpr std::uint32_t wireVersion = 1;
+
+/** Wire frame header size in bytes. */
+inline constexpr std::size_t wireHeaderBytes = 9;
+
+/** Default cap on one frame's payload (a segment of trace records). */
+inline constexpr std::size_t wireMaxPayloadDefault = 64u << 20;
+
+/** Frame types. */
+enum class FrameType : std::uint8_t
+{
+    Hello = 1,       ///< client -> server: version + client name
+    Submit = 2,      ///< client -> server: one trace segment to run
+    Result = 3,      ///< server -> client: hexfloat summary line
+    Error = 4,       ///< server -> client: taxonomy kind + message
+    Shed = 5,        ///< server -> client: admission refused (backpressure)
+    Draining = 6,    ///< server -> client: shutting down, no new work
+    Quarantined = 7, ///< server -> client: this client is banned
+    Bye = 8,         ///< either direction: clean close
+};
+
+/** Printable frame-type name (diagnostics). */
+const char *frameTypeName(FrameType t);
+
+/** One decoded frame: type + raw payload. */
+struct Frame
+{
+    FrameType type = FrameType::Bye;
+    std::string payload;
+};
+
+/** HELLO payload: protocol version + client name. */
+struct HelloRequest
+{
+    std::uint32_t version = wireVersion;
+    std::string client; ///< stable client identity (quarantine key)
+};
+
+/** SUBMIT payload: which machine, which workload, which records. */
+struct SubmitRequest
+{
+    std::uint64_t segmentId = 0; ///< client-chosen, echoed in replies
+    SimJob job;                  ///< organization / sizes / timing
+    std::string profileName;     ///< pops | thor | abaqus
+    double scale = 1.0;          ///< profile scale (exact double bits)
+    std::vector<TraceRecord> records;
+};
+
+/** RESULT payload: segment id + the exact summary line. */
+struct ResultReply
+{
+    std::uint64_t segmentId = 0;
+    std::string summaryLine; ///< encodeSummaryLine(segmentId, summary)
+};
+
+/** ERROR / SHED / DRAINING / QUARANTINED payload. */
+struct ErrorReply
+{
+    std::uint64_t segmentId = 0; ///< 0 = session-level
+    ErrorKind kind = ErrorKind::Worker;
+    std::string message;
+};
+
+// ---- encoding -------------------------------------------------------
+
+/** Wrap @p payload in a frame header. */
+std::string encodeFrame(FrameType type, const std::string &payload);
+
+std::string encodeHello(const HelloRequest &h);
+std::string encodeSubmit(const SubmitRequest &s);
+std::string encodeResult(const ResultReply &r);
+
+/** ERROR, SHED, DRAINING and QUARANTINED share one payload shape. */
+std::string encodeErrorReply(FrameType type, const ErrorReply &e);
+
+/** A BYE frame (empty payload). */
+std::string encodeBye();
+
+// ---- decoding -------------------------------------------------------
+
+Result<HelloRequest> decodeHello(const std::string &payload);
+Result<SubmitRequest> decodeSubmit(const std::string &payload);
+Result<ResultReply> decodeResult(const std::string &payload);
+Result<ErrorReply> decodeErrorReply(const std::string &payload);
+
+/**
+ * Incremental frame scanner: feed() bytes as they arrive, next() pops
+ * complete frames. A header failing validation (bad magic, unknown
+ * type, payload above @p maxPayload) is a sticky Parse/Bounds error:
+ * once the stream is off the rails there is no way to resynchronize,
+ * so the session must be poisoned.
+ */
+class FrameReader
+{
+  public:
+    explicit FrameReader(std::size_t maxPayload = wireMaxPayloadDefault)
+        : _maxPayload(maxPayload)
+    {
+    }
+
+    /** Append raw bytes from the socket. */
+    void feed(const char *data, std::size_t n);
+
+    /**
+     * Pop the next complete frame. Ok+frame when one is ready; Ok with
+     * std::nullopt-like empty optional is expressed as ok(false): use
+     * hasFrame()/take pattern instead -- see below.
+     */
+    enum class State
+    {
+        NeedMore, ///< no complete frame buffered yet
+        Frame,    ///< take() returns the next frame
+        Broken,   ///< validation failed; error() explains
+    };
+
+    /** Scan the buffer; never blocks. */
+    State poll();
+
+    /** The frame after poll() == Frame. */
+    Frame take();
+
+    /** The validation failure after poll() == Broken. */
+    const Error &error() const { return _error; }
+
+    /** Bytes buffered but not yet consumed (diagnostics). */
+    std::size_t pendingBytes() const { return _buf.size() - _pos; }
+
+  private:
+    std::size_t _maxPayload;
+    std::string _buf;
+    std::size_t _pos = 0;
+    bool _broken = false;
+    Error _error;
+};
+
+} // namespace vrc
+
+#endif // VRC_SERVE_WIRE_HH

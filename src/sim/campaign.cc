@@ -9,8 +9,10 @@
 #include <thread>
 #include <utility>
 
+#include "base/atomic_file.hh"
 #include "base/fault.hh"
 #include "base/log.hh"
+#include "base/shutdown.hh"
 #include "sim/json_stats.hh"
 #include "sim/parallel_runner.hh"
 
@@ -413,6 +415,11 @@ CampaignRunner::run(std::size_t n, const std::string &key,
 
     ParallelRunner pool(_opt.jobs);
     pool.forEachIndex(pending.size(), [&](std::size_t pi) {
+        // Graceful interruption: after the first SIGINT/SIGTERM no
+        // new cell starts; cells already replaying finish (and are
+        // journaled) so a resume loses nothing.
+        if (shutdownRequested() > 0)
+            return;
         std::size_t idx = pending[pi];
         CellFailure fail;
         fail.index = idx;
@@ -460,12 +467,14 @@ CampaignRunner::run(std::size_t n, const std::string &key,
                   return a.index < b.index;
               });
 
+    res.interrupted = shutdownRequested() > 0;
+
     if (!_opt.manifest.empty()) {
-        std::ofstream mf(_opt.manifest, std::ios::trunc);
-        if (!mf)
-            warn("cannot write failure manifest ", _opt.manifest);
-        else
-            mf << failureManifestToJson(res) << "\n";
+        Status wrote = writeFileAtomic(
+            _opt.manifest, failureManifestToJson(res) + "\n");
+        if (!wrote)
+            warn("cannot write failure manifest ", _opt.manifest,
+                 ": ", wrote.error().message);
     }
     return res;
 }
@@ -489,6 +498,7 @@ failureManifestToJson(const CampaignResult &r)
     std::ostringstream os;
     os << "{\"cells\":" << r.completed.size()
        << ",\"completed\":" << r.completedCells()
+       << ",\"interrupted\":" << (r.interrupted ? "true" : "false")
        << ",\"quarantined\":[";
     for (std::size_t i = 0; i < r.quarantined.size(); ++i) {
         const CellFailure &f = r.quarantined[i];

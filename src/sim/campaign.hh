@@ -86,6 +86,13 @@ struct CampaignResult
     std::vector<CellFailure> quarantined; ///< sorted by index
     std::size_t restored = 0; ///< cells restored from the checkpoint
 
+    /**
+     * A shutdown signal arrived mid-sweep: dispatching stopped, cells
+     * already running finished (and were journaled), the rest were
+     * left pending. A checkpointed run picks them up with resume.
+     */
+    bool interrupted = false;
+
     bool
     allOk() const
     {

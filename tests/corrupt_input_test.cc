@@ -13,9 +13,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
 
+#include "sim/campaign.hh"
 #include "trace/profile_io.hh"
 #include "trace/trace_io.hh"
 
@@ -163,6 +166,68 @@ TEST(CorruptInputTest, ProfileBadDataLevels)
     auto r = tryReadProfile(is, "p.profile");
     ASSERT_FALSE(r.ok());
     EXPECT_NE(r.error().message.find("data_levels"),
+              std::string::npos);
+}
+
+/** Resume a 3-cell campaign against a hand-written journal file. */
+Result<CampaignResult>
+resumeAgainst(const std::string &path, const std::string &contents)
+{
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << contents;
+    }
+    CampaignOptions opt;
+    opt.checkpoint = path;
+    opt.resume = true;
+    auto r = CampaignRunner{opt}.run(
+        3, "jkey", [](std::size_t, const CancelToken &) {
+            return SimSummary{};
+        });
+    std::remove(path.c_str());
+    return r;
+}
+
+TEST(CorruptInputTest, JournalWrongMagicIsMismatchAtLineOne)
+{
+    std::string path =
+        std::string(::testing::TempDir()) + "wrong_magic.ckpt";
+    auto r = resumeAgainst(path,
+                           "definitely not a checkpoint\n"
+                           "key jkey cells 3\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().kind, ErrorKind::Mismatch);
+    EXPECT_EQ(r.error().line, 1u);
+    EXPECT_NE(r.error().message.find(
+                  "not a vrc campaign checkpoint journal"),
+              std::string::npos);
+}
+
+TEST(CorruptInputTest, JournalTruncatedKeyLineIsMismatchAtLineTwo)
+{
+    std::string path =
+        std::string(::testing::TempDir()) + "torn_key.ckpt";
+    // The key line itself was torn mid-write: magic is fine, but the
+    // "cells <n>" half never made it to disk.
+    auto r = resumeAgainst(path,
+                           "vrc-campaign-checkpoint v1\n"
+                           "key jkey ce");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().kind, ErrorKind::Mismatch);
+    EXPECT_EQ(r.error().line, 2u);
+    EXPECT_NE(r.error().message.find("malformed checkpoint key line"),
+              std::string::npos);
+}
+
+TEST(CorruptInputTest, JournalMissingKeyLineIsMismatchAtLineTwo)
+{
+    std::string path =
+        std::string(::testing::TempDir()) + "no_key.ckpt";
+    auto r = resumeAgainst(path, "vrc-campaign-checkpoint v1\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().kind, ErrorKind::Mismatch);
+    EXPECT_EQ(r.error().line, 2u);
+    EXPECT_NE(r.error().message.find("missing its key line"),
               std::string::npos);
 }
 

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Wire-protocol tests: frame encode/decode round trips, validating
+ * decode of hostile payloads, and the incremental FrameReader
+ * (byte-at-a-time feeding, torn payloads, sticky breakage).
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "serve/wire.hh"
+#include "trace/record.hh"
+
+namespace vrc
+{
+namespace
+{
+
+TraceRecord
+ref(CpuId cpu, RefType t, ProcessId pid, std::uint32_t va)
+{
+    return makeRef(cpu, t, pid, VirtAddr(va));
+}
+
+SubmitRequest
+sampleSubmit()
+{
+    SubmitRequest s;
+    s.segmentId = 42;
+    s.job = SimJob{HierarchyKind::RealRealIncl, 8192, 131072, true, 0,
+                   TimingMode::Cycle};
+    s.profileName = "pops";
+    s.scale = 0.125; // exactly representable on purpose
+    s.records = {ref(0, RefType::Instr, 1, 0x1000),
+                 ref(1, RefType::Read, 2, 0x2004),
+                 ref(0, RefType::Write, 1, 0x3008)};
+    return s;
+}
+
+/** Feed a byte string through a FrameReader and pop every frame. */
+std::vector<Frame>
+pump(FrameReader &rd, const std::string &bytes, std::size_t step)
+{
+    std::vector<Frame> out;
+    for (std::size_t i = 0; i < bytes.size(); i += step) {
+        rd.feed(bytes.data() + i,
+                std::min(step, bytes.size() - i));
+        while (rd.poll() == FrameReader::State::Frame)
+            out.push_back(rd.take());
+    }
+    return out;
+}
+
+TEST(WireTest, HelloRoundTrip)
+{
+    std::string f = encodeHello(HelloRequest{wireVersion, "client-7"});
+    FrameReader rd;
+    rd.feed(f.data(), f.size());
+    ASSERT_EQ(rd.poll(), FrameReader::State::Frame);
+    Frame fr = rd.take();
+    EXPECT_EQ(fr.type, FrameType::Hello);
+    auto h = decodeHello(fr.payload);
+    ASSERT_TRUE(h.ok()) << h.error().describe();
+    EXPECT_EQ(h.value().version, wireVersion);
+    EXPECT_EQ(h.value().client, "client-7");
+}
+
+TEST(WireTest, SubmitRoundTripPreservesEverything)
+{
+    SubmitRequest s = sampleSubmit();
+    std::string f = encodeSubmit(s);
+    FrameReader rd;
+    rd.feed(f.data(), f.size());
+    ASSERT_EQ(rd.poll(), FrameReader::State::Frame);
+    Frame fr = rd.take();
+    ASSERT_EQ(fr.type, FrameType::Submit);
+    auto back = decodeSubmit(fr.payload);
+    ASSERT_TRUE(back.ok()) << back.error().describe();
+    const SubmitRequest &b = back.value();
+    EXPECT_EQ(b.segmentId, 42u);
+    EXPECT_EQ(b.job.kind, HierarchyKind::RealRealIncl);
+    EXPECT_EQ(b.job.l1Size, 8192u);
+    EXPECT_EQ(b.job.l2Size, 131072u);
+    EXPECT_TRUE(b.job.split);
+    EXPECT_EQ(b.job.timingMode, TimingMode::Cycle);
+    EXPECT_EQ(b.profileName, "pops");
+    EXPECT_EQ(b.scale, 0.125); // exact double bits
+    ASSERT_EQ(b.records.size(), 3u);
+    EXPECT_EQ(b.records[1].cpu, 1);
+    EXPECT_EQ(b.records[1].type, RefType::Read);
+    EXPECT_EQ(b.records[1].pid, 2);
+    EXPECT_EQ(b.records[1].vaddr, 0x2004u);
+}
+
+TEST(WireTest, ResultAndErrorRoundTrip)
+{
+    std::string line = "cell 0 0 0x1.8p+0 ... end";
+    std::string rf = encodeResult(ResultReply{9, line});
+    FrameReader rd;
+    rd.feed(rf.data(), rf.size());
+    ASSERT_EQ(rd.poll(), FrameReader::State::Frame);
+    auto r = decodeResult(rd.take().payload);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().segmentId, 9u);
+    EXPECT_EQ(r.value().summaryLine, line);
+
+    std::string ef = encodeErrorReply(
+        FrameType::Shed,
+        ErrorReply{3, ErrorKind::Bounds, "queue full"});
+    rd.feed(ef.data(), ef.size());
+    ASSERT_EQ(rd.poll(), FrameReader::State::Frame);
+    Frame fr = rd.take();
+    EXPECT_EQ(fr.type, FrameType::Shed);
+    auto e = decodeErrorReply(fr.payload);
+    ASSERT_TRUE(e.ok());
+    EXPECT_EQ(e.value().segmentId, 3u);
+    EXPECT_EQ(e.value().kind, ErrorKind::Bounds);
+    EXPECT_EQ(e.value().message, "queue full");
+}
+
+TEST(WireTest, ByteAtATimeFeedingYieldsEveryFrame)
+{
+    std::string bytes = encodeHello(HelloRequest{wireVersion, "a"}) +
+                        encodeSubmit(sampleSubmit()) + encodeBye();
+    FrameReader rd;
+    std::vector<Frame> frames = pump(rd, bytes, 1);
+    ASSERT_EQ(frames.size(), 3u);
+    EXPECT_EQ(frames[0].type, FrameType::Hello);
+    EXPECT_EQ(frames[1].type, FrameType::Submit);
+    EXPECT_EQ(frames[2].type, FrameType::Bye);
+    EXPECT_EQ(rd.pendingBytes(), 0u);
+}
+
+TEST(WireTest, TornPayloadIsNeedMoreNotError)
+{
+    std::string f = encodeSubmit(sampleSubmit());
+    FrameReader rd;
+    rd.feed(f.data(), f.size() - 5);
+    EXPECT_EQ(rd.poll(), FrameReader::State::NeedMore);
+    rd.feed(f.data() + f.size() - 5, 5);
+    EXPECT_EQ(rd.poll(), FrameReader::State::Frame);
+}
+
+TEST(WireTest, BadMagicIsStickyBroken)
+{
+    FrameReader rd;
+    std::string junk = "GARBAGEGARBAGE";
+    rd.feed(junk.data(), junk.size());
+    EXPECT_EQ(rd.poll(), FrameReader::State::Broken);
+    EXPECT_EQ(rd.error().kind, ErrorKind::Parse);
+    // A valid frame after the garbage must NOT resynchronize: the
+    // stream is poisoned for good.
+    std::string ok = encodeBye();
+    rd.feed(ok.data(), ok.size());
+    EXPECT_EQ(rd.poll(), FrameReader::State::Broken);
+}
+
+TEST(WireTest, UnknownFrameTypeIsBroken)
+{
+    std::string f = encodeBye();
+    f[4] = static_cast<char>(0x7F); // type byte out of range
+    FrameReader rd;
+    rd.feed(f.data(), f.size());
+    EXPECT_EQ(rd.poll(), FrameReader::State::Broken);
+    EXPECT_EQ(rd.error().kind, ErrorKind::Format);
+}
+
+TEST(WireTest, OversizedPayloadRejectedUpFront)
+{
+    // Header claims 1 MiB payload against a 1 KiB cap: rejected from
+    // the header alone, long before that much data arrives.
+    std::string f = encodeFrame(FrameType::Submit,
+                                std::string(16, 'x'));
+    f[5] = 0;
+    f[6] = 0;
+    f[7] = 0x10; // 1 MiB little-endian
+    f[8] = 0;
+    FrameReader rd(1024);
+    rd.feed(f.data(), f.size());
+    EXPECT_EQ(rd.poll(), FrameReader::State::Broken);
+    EXPECT_EQ(rd.error().kind, ErrorKind::Bounds);
+}
+
+TEST(WireTest, DecodeHelloRejectsHostileValues)
+{
+    EXPECT_FALSE(decodeHello("").ok());
+    // Wrong protocol version.
+    std::string f = encodeHello(HelloRequest{99, "x"});
+    FrameReader rd;
+    rd.feed(f.data(), f.size());
+    auto h = decodeHello(rd.take().payload);
+    ASSERT_FALSE(h.ok());
+    EXPECT_EQ(h.error().kind, ErrorKind::Format);
+    // Empty client name.
+    std::string f2 = encodeHello(HelloRequest{wireVersion, ""});
+    FrameReader rd2;
+    rd2.feed(f2.data(), f2.size());
+    EXPECT_FALSE(decodeHello(rd2.take().payload).ok());
+}
+
+TEST(WireTest, DecodeSubmitRejectsHostileValues)
+{
+    SubmitRequest s = sampleSubmit();
+    std::string good = encodeSubmit(s);
+    std::string payload = good.substr(wireHeaderBytes);
+
+    // Truncations at every length must fail cleanly, never crash.
+    for (std::size_t cut = 0; cut < payload.size();
+         cut += std::max<std::size_t>(1, payload.size() / 37))
+        EXPECT_FALSE(decodeSubmit(payload.substr(0, cut)).ok())
+            << "cut=" << cut;
+
+    // Bad organization code.
+    std::string bad = payload;
+    bad[8] = 7;
+    auto r = decodeSubmit(bad);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().kind, ErrorKind::Bounds);
+
+    // NaN scale.
+    SubmitRequest nan_scale = s;
+    nan_scale.scale = std::numeric_limits<double>::quiet_NaN();
+    std::string nf =
+        encodeSubmit(nan_scale).substr(wireHeaderBytes);
+    EXPECT_FALSE(decodeSubmit(nf).ok());
+
+    // Corrupt embedded trace container magic.
+    std::string bad_trace = payload;
+    std::size_t trace_at = 8 + 1 + 4 + 4 + 1 + 1 + 8 + 2 +
+                           s.profileName.size();
+    bad_trace[trace_at] = 'X';
+    auto t = decodeSubmit(bad_trace);
+    ASSERT_FALSE(t.ok());
+    EXPECT_EQ(t.error().kind, ErrorKind::Format);
+}
+
+TEST(WireTest, DecodeErrorReplyRejectsBadKind)
+{
+    std::string f = encodeErrorReply(
+        FrameType::Error, ErrorReply{1, ErrorKind::Io, "m"});
+    std::string payload = f.substr(wireHeaderBytes);
+    payload[8] = 120; // kind byte out of the taxonomy
+    EXPECT_FALSE(decodeErrorReply(payload).ok());
+}
+
+TEST(WireTest, LargeFeedCompactsConsumedPrefix)
+{
+    // Many frames through one reader: the consumed prefix must be
+    // dropped (pendingBytes stays bounded), and every frame must
+    // still come out intact.
+    FrameReader rd;
+    std::string chunk;
+    for (int i = 0; i < 64; ++i)
+        chunk += encodeSubmit(sampleSubmit());
+    std::vector<Frame> frames = pump(rd, chunk, 4096);
+    EXPECT_EQ(frames.size(), 64u);
+    EXPECT_EQ(rd.pendingBytes(), 0u);
+    for (const Frame &f : frames)
+        EXPECT_TRUE(decodeSubmit(f.payload).ok());
+}
+
+} // namespace
+} // namespace vrc

@@ -26,9 +26,12 @@
 #include <optional>
 #include <string>
 
+#include "base/atomic_file.hh"
 #include "base/fault.hh"
 #include "base/log.hh"
+#include "base/shutdown.hh"
 #include "base/table.hh"
+#include "serve/server.hh"
 #include "cache/protection.hh"
 #include "core/clock.hh"
 #include "core/timing.hh"
@@ -67,6 +70,9 @@ usage()
         "  --check          verify invariants during the run\n"
         "  --per-cpu        per-CPU statistics table\n"
         "  --json           machine-readable JSON output only\n"
+        "  --summary        print only the exact hexfloat summary line\n"
+        "                   (the service's RESULT payload; byte-\n"
+        "                   comparable against --serve replies)\n"
         "  --events=<n>     print the first n hierarchy events\n"
         "  --warmup=<f>     reset statistics after fraction f of the\n"
         "                   trace (steady-state measurement)\n"
@@ -89,7 +95,25 @@ usage()
         "                   [,retry=N]; a bare number is seed=N with\n"
         "                   default rates)\n"
         "  --protect=<none|parity|secded>  tag-array protection policy\n"
-        "                   (default secded)\n";
+        "                   (default secded)\n"
+        "service mode:\n"
+        "  --serve          run the long-lived segment service\n"
+        "  --listen-unix=<path>   unix-domain listening socket\n"
+        "  --listen-tcp=<port>    localhost TCP (0 = kernel-assigned;\n"
+        "                   the bound port is printed on stdout)\n"
+        "  --workers=<n>    segment worker threads (default 2)\n"
+        "  --queue=<n>      global admission queue bound (default 64)\n"
+        "  --per-client=<n> per-session in-flight bound (default 4)\n"
+        "  --read-timeout=<s>  kill sessions whose frame stalls\n"
+        "  --quarantine-threshold=<n>  poisoned sessions per client\n"
+        "                   name before HELLO is refused (default 3)\n"
+        "                   (--deadline, --max-retries and --manifest\n"
+        "                   apply per segment / to the service)\n"
+        "exit codes:\n"
+        "  0 success        2 usage or configuration error\n"
+        "  3 cells quarantined (sweep)   4 machine check\n"
+        "  5 interrupted by SIGINT/SIGTERM (graceful drain; a second\n"
+        "    signal hard-exits with 128+signal)\n";
     std::exit(2);
 }
 
@@ -150,6 +174,7 @@ runSweep(const TraceBundle &bundle, const CampaignOptions &opt,
          bool json, const std::string &out_path, TimingMode timing_mode)
 {
     std::vector<SimJob> jobs = sweepJobs(timing_mode);
+    installShutdownHandlers();
     Result<CampaignResult> run =
         runSimulationCampaign(bundle, jobs, opt);
     if (!run) {
@@ -160,10 +185,10 @@ runSweep(const TraceBundle &bundle, const CampaignOptions &opt,
 
     std::string result_json = campaignResultToJson(res);
     if (!out_path.empty()) {
-        std::ofstream out(out_path, std::ios::trunc);
-        if (!out)
-            fatal("cannot write campaign result: ", out_path);
-        out << result_json << "\n";
+        Status wrote = writeFileAtomic(out_path, result_json + "\n");
+        if (!wrote)
+            fatal("cannot write campaign result: ",
+                  wrote.error().message);
     }
     if (json) {
         std::cout << result_json << "\n";
@@ -203,7 +228,41 @@ runSweep(const TraceBundle &bundle, const CampaignOptions &opt,
                       << (f.attempts == 1 ? "" : "s") << ": "
                       << f.error << "\n";
     }
+    if (res.interrupted) {
+        std::cerr << "vrc_sim: sweep interrupted by signal "
+                  << shutdownSignal() << "; journal flushed, "
+                  << res.completedCells() << "/" << jobs.size()
+                  << " cells done (resume with --resume)\n";
+        return kExitInterrupted;
+    }
     return res.allOk() ? 0 : 3;
+}
+
+int
+runServe(const ServeOptions &so)
+{
+    ServeServer server(so);
+    Status started = server.start();
+    if (!started) {
+        std::cerr << "vrc_sim: " << started.error().describe()
+                  << "\n";
+        return 2;
+    }
+    if (!so.unixPath.empty())
+        std::cout << "listening unix " << so.unixPath << "\n";
+    if (server.tcpPort() >= 0)
+        std::cout << "listening tcp 127.0.0.1:" << server.tcpPort()
+                  << "\n";
+    std::cout << std::flush;
+    int code = server.waitUntilDrained();
+    ServiceStats st = server.stats();
+    std::cerr << "vrc_sim: drained; " << st.segmentsCompleted
+              << " segments completed, " << st.segmentsFailed
+              << " failed, " << st.sessionsPoisoned
+              << " sessions poisoned, "
+              << st.quarantinedClients.size()
+              << " clients quarantined\n";
+    return code;
 }
 
 } // namespace
@@ -216,8 +275,9 @@ main(int argc, char **argv)
     std::uint32_t l1 = 16 * 1024, l2 = 256 * 1024;
     std::uint32_t assoc1 = 1, assoc2 = 1, block1 = 16, block2 = 16;
     bool split = false, check = false, per_cpu = false;
-    bool json = false, stream = false;
-    bool sweep = false;
+    bool json = false, stream = false, summary_only = false;
+    bool sweep = false, serve = false;
+    ServeOptions serve_opt;
     TimingMode timing_mode = TimingMode::Analytic;
     CampaignOptions campaign;
     ArrayProtection protect = ArrayProtection::Secded;
@@ -264,6 +324,29 @@ main(int argc, char **argv)
             per_cpu = true;
         else if (std::strcmp(argv[i], "--json") == 0)
             json = true;
+        else if (std::strcmp(argv[i], "--summary") == 0)
+            summary_only = true;
+        else if (std::strcmp(argv[i], "--serve") == 0)
+            serve = true;
+        else if (argValue(argv[i], "--listen-unix", value))
+            serve_opt.unixPath = value;
+        else if (argValue(argv[i], "--listen-tcp", value))
+            serve_opt.tcpPort = static_cast<int>(
+                std::strtol(value.c_str(), nullptr, 0));
+        else if (argValue(argv[i], "--workers", value))
+            serve_opt.workers = static_cast<unsigned>(
+                std::strtoul(value.c_str(), nullptr, 0));
+        else if (argValue(argv[i], "--queue", value))
+            serve_opt.queueCap =
+                std::strtoul(value.c_str(), nullptr, 0);
+        else if (argValue(argv[i], "--per-client", value))
+            serve_opt.perClientCap =
+                std::strtoul(value.c_str(), nullptr, 0);
+        else if (argValue(argv[i], "--read-timeout", value))
+            serve_opt.readTimeoutSeconds = std::atof(value.c_str());
+        else if (argValue(argv[i], "--quarantine-threshold", value))
+            serve_opt.quarantineThreshold = static_cast<unsigned>(
+                std::strtoul(value.c_str(), nullptr, 0));
         else if (argValue(argv[i], "--events", value))
             events = std::strtoull(value.c_str(), nullptr, 0);
         else if (argValue(argv[i], "--warmup", value))
@@ -301,6 +384,14 @@ main(int argc, char **argv)
             protect = *p;
         } else
             usage();
+    }
+    if (serve) {
+        serve_opt.segmentDeadline = campaign.deadlineSeconds;
+        serve_opt.maxRetries = campaign.maxRetries;
+        serve_opt.manifest = campaign.manifest;
+        probeWritable("service manifest (--manifest)",
+                      serve_opt.manifest);
+        return runServe(serve_opt);
     }
     if (profile_name.empty() && profile_file.empty())
         usage();
@@ -391,6 +482,15 @@ main(int argc, char **argv)
     }
     if (check)
         sim.checkInvariants();
+
+    if (summary_only) {
+        SimJob job{kind, l1, l2, split,
+                   check ? std::uint64_t{10'000} : 0, timing_mode};
+        std::cout << encodeSummaryLine(0,
+                                       summarizeSimulation(sim, job))
+                  << "\n";
+        return 0;
+    }
 
     if (json) {
         std::cout << toJson(sim) << "\n";
