@@ -39,12 +39,11 @@ ServeClient::connectUnix(const std::string &path)
                          std::strerror(errno));
     sa.sun_family = AF_UNIX;
     std::strncpy(sa.sun_path, path.c_str(), sizeof(sa.sun_path) - 1);
-    if (::connect(fd, reinterpret_cast<sockaddr *>(&sa),
-                  sizeof(sa)) != 0) {
-        int e = errno;
+    Status connected = connectRetryFd(fd, &sa, sizeof(sa));
+    if (!connected) {
         ::close(fd);
-        return makeError(ErrorKind::Io, "connect(", path,
-                         "): ", std::strerror(e));
+        return makeError(ErrorKind::Io, "connect(", path, "): ",
+                         connected.error().message);
     }
     _fd = fd;
     _frames = FrameReader();
@@ -63,12 +62,11 @@ ServeClient::connectTcp(int port)
     sa.sin_family = AF_INET;
     sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
     sa.sin_port = htons(static_cast<std::uint16_t>(port));
-    if (::connect(fd, reinterpret_cast<sockaddr *>(&sa),
-                  sizeof(sa)) != 0) {
-        int e = errno;
+    Status connected = connectRetryFd(fd, &sa, sizeof(sa));
+    if (!connected) {
         ::close(fd);
         return makeError(ErrorKind::Io, "connect(127.0.0.1:", port,
-                         "): ", std::strerror(e));
+                         "): ", connected.error().message);
     }
     _fd = fd;
     _frames = FrameReader();
@@ -80,19 +78,9 @@ ServeClient::send(const std::string &bytes)
 {
     if (_fd < 0)
         return makeError(ErrorKind::Io, "send on a closed client");
-    const char *p = bytes.data();
-    std::size_t n = bytes.size();
-    while (n > 0) {
-        ssize_t w = ::write(_fd, p, n);
-        if (w < 0) {
-            if (errno == EINTR)
-                continue;
-            return makeError(ErrorKind::Io, "write: ",
-                             std::strerror(errno));
-        }
-        p += w;
-        n -= static_cast<std::size_t>(w);
-    }
+    if (!writeAllFd(_fd, bytes.data(), bytes.size()))
+        return makeError(ErrorKind::Io, "write: ",
+                         std::strerror(errno));
     return okStatus();
 }
 
@@ -143,12 +131,12 @@ ServeClient::readFrame(double timeoutSeconds)
         }
         if (pr == 0)
             continue; // loop re-checks the deadline
-        ssize_t n = ::read(_fd, buf, sizeof(buf));
+        long n = readSomeFd(_fd, buf, sizeof(buf));
         if (n == 0)
             return makeError(ErrorKind::Io,
                              "server closed the connection");
         if (n < 0) {
-            if (errno == EINTR || errno == EAGAIN)
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
                 continue;
             return makeError(ErrorKind::Io, "read: ",
                              std::strerror(errno));

@@ -40,22 +40,6 @@ secondsSince(Clock::time_point t)
     return std::chrono::duration<double>(Clock::now() - t).count();
 }
 
-/** Write exactly @p n bytes; false on a hard error (EPIPE etc.). */
-bool
-writeAll(int fd, const char *p, std::size_t n)
-{
-    while (n > 0) {
-        ssize_t w = ::write(fd, p, n);
-        if (w < 0) {
-            if (errno == EINTR)
-                continue;
-            return false;
-        }
-        p += w;
-        n -= static_cast<std::size_t>(w);
-    }
-    return true;
-}
 
 bool
 knownProfileName(const std::string &name)
@@ -248,14 +232,14 @@ struct ServeServer::Impl
         if (fault == ServeFault::Tear) {
             warn("serve: fault injection tearing a frame on session ",
                  s.id);
-            writeAll(s.fd, frame.data(), frame.size() / 2);
+            writeAllFd(s.fd, frame.data(), frame.size() / 2);
             shutLocked(s);
             s.state.store(SessionState::Closed,
                           std::memory_order_release);
             bumpStat(&ServiceStats::responsesTorn);
             return false;
         }
-        if (!writeAll(s.fd, frame.data(), frame.size())) {
+        if (!writeAllFd(s.fd, frame.data(), frame.size())) {
             shutLocked(s);
             s.state.store(SessionState::Closed,
                           std::memory_order_release);
@@ -295,7 +279,7 @@ struct ServeServer::Impl
                 std::string f = encodeErrorReply(
                     FrameType::Error,
                     ErrorReply{0, err.kind, err.message});
-                writeAll(s.fd, f.data(), f.size());
+                writeAllFd(s.fd, f.data(), f.size());
             }
             shutLocked(s);
         }
@@ -346,13 +330,13 @@ struct ServeServer::Impl
             }
             if (pr > 0 &&
                 (p.revents & (POLLIN | POLLHUP | POLLERR))) {
-                ssize_t n = ::read(s.fd, buf, sizeof(buf));
+                long n = readSomeFd(s.fd, buf, sizeof(buf));
                 if (n == 0) {
                     closeSession(s);
                     break;
                 }
                 if (n < 0) {
-                    if (errno == EINTR || errno == EAGAIN)
+                    if (errno == EAGAIN || errno == EWOULDBLOCK)
                         continue;
                     closeSession(s);
                     break;
@@ -707,7 +691,7 @@ struct ServeServer::Impl
     void
     acceptOne(int listener)
     {
-        int fd = ::accept(listener, nullptr, nullptr);
+        int fd = acceptRetryFd(listener);
         if (fd < 0)
             return;
         auto s = std::make_shared<Session>();
@@ -875,9 +859,13 @@ ServeServer::requestDrain()
     }
     im.qCv.notify_all();
     if (im.drainPipe[1] >= 0) {
+        // Best-effort wake, but don't let a signal eat it: a dropped
+        // byte would stall the drain until the next poll timeout.
         char b = 1;
-        [[maybe_unused]] ssize_t r =
-            ::write(im.drainPipe[1], &b, 1);
+        ssize_t r;
+        do {
+            r = ::write(im.drainPipe[1], &b, 1);
+        } while (r < 0 && errno == EINTR);
     }
 }
 

@@ -1,7 +1,12 @@
 #include "serve/wire.hh"
 
+#include <cerrno>
 #include <cstring>
 #include <sstream>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include "trace/trace_io.hh"
 
@@ -125,6 +130,29 @@ class Cursor
 /** Sane cap for the client-name string in HELLO. */
 constexpr std::size_t maxNameBytes = 256;
 
+/** Sane cap on cells per SHARD_ASSIGN and failures per SHARD_DONE. */
+constexpr std::size_t maxShardEntries = 1u << 20;
+
+/** Decode the SimJob fields shared by SUBMIT and SHARD_ASSIGN cells. */
+Status
+decodeJobFields(std::uint8_t org, std::uint8_t split, std::uint8_t timing,
+                SimJob &job)
+{
+    if (org > 2)
+        return makeError(ErrorKind::Bounds,
+                         "bad organization code ", unsigned(org));
+    if (split > 1)
+        return makeError(ErrorKind::Bounds, "bad split flag ",
+                         unsigned(split));
+    if (timing > 1)
+        return makeError(ErrorKind::Bounds, "bad timing mode ",
+                         unsigned(timing));
+    job.kind = static_cast<HierarchyKind>(org);
+    job.split = split != 0;
+    job.timingMode = static_cast<TimingMode>(timing);
+    return okStatus();
+}
+
 } // namespace
 
 const char *
@@ -147,6 +175,14 @@ frameTypeName(FrameType t)
         return "quarantined";
       case FrameType::Bye:
         return "bye";
+      case FrameType::ShardAssign:
+        return "shard-assign";
+      case FrameType::CellResult:
+        return "cell-result";
+      case FrameType::ShardDone:
+        return "shard-done";
+      case FrameType::Heartbeat:
+        return "heartbeat";
     }
     return "unknown";
 }
@@ -220,6 +256,68 @@ encodeBye()
     return encodeFrame(FrameType::Bye, "");
 }
 
+std::string
+encodeShardAssign(const ShardAssignment &a)
+{
+    std::string p;
+    putU64(p, a.assignId);
+    std::uint64_t scale_bits;
+    static_assert(sizeof(scale_bits) == sizeof(a.scale));
+    std::memcpy(&scale_bits, &a.scale, sizeof(scale_bits));
+    putU64(p, scale_bits);
+    putU16(p, static_cast<std::uint16_t>(a.campaignKey.size()));
+    p += a.campaignKey;
+    putU16(p, static_cast<std::uint16_t>(a.profileName.size()));
+    p += a.profileName;
+    putU32(p, static_cast<std::uint32_t>(a.cells.size()));
+    for (const ShardCell &c : a.cells) {
+        putU32(p, c.index);
+        putU32(p, c.attempt);
+        putU8(p, static_cast<std::uint8_t>(c.job.kind));
+        putU32(p, c.job.l1Size);
+        putU32(p, c.job.l2Size);
+        putU8(p, c.job.split ? 1 : 0);
+        putU64(p, c.job.invariantPeriod);
+        putU8(p, static_cast<std::uint8_t>(c.job.timingMode));
+    }
+    return encodeFrame(FrameType::ShardAssign, p);
+}
+
+std::string
+encodeCellResult(const CellResultReply &r)
+{
+    std::string p;
+    putU64(p, r.assignId);
+    putU32(p, r.index);
+    p += r.summaryLine;
+    return encodeFrame(FrameType::CellResult, p);
+}
+
+std::string
+encodeShardDone(const ShardDoneReply &d)
+{
+    std::string p;
+    putU64(p, d.assignId);
+    putU32(p, d.completed);
+    putU32(p, static_cast<std::uint32_t>(d.failures.size()));
+    for (const ShardFailureInfo &f : d.failures) {
+        putU32(p, f.index);
+        putU8(p, static_cast<std::uint8_t>(f.kind));
+        putU16(p, static_cast<std::uint16_t>(f.message.size()));
+        p += f.message;
+    }
+    return encodeFrame(FrameType::ShardDone, p);
+}
+
+std::string
+encodeHeartbeat(const HeartbeatMsg &h)
+{
+    std::string p;
+    putU64(p, h.assignId);
+    putU32(p, h.cellsDone);
+    return encodeFrame(FrameType::Heartbeat, p);
+}
+
 Result<HelloRequest>
 decodeHello(const std::string &payload)
 {
@@ -256,18 +354,9 @@ decodeSubmit(const std::string &payload)
         !c.u32(s.job.l2Size) || !c.u8(split) || !c.u8(timing) ||
         !c.u64(scale_bits) || !c.u16(name_len))
         return makeError(ErrorKind::Parse, "short submit payload");
-    if (org > 2)
-        return makeError(ErrorKind::Bounds,
-                         "bad organization code ", unsigned(org));
-    if (split > 1)
-        return makeError(ErrorKind::Bounds, "bad split flag ",
-                         unsigned(split));
-    if (timing > 1)
-        return makeError(ErrorKind::Bounds, "bad timing mode ",
-                         unsigned(timing));
-    s.job.kind = static_cast<HierarchyKind>(org);
-    s.job.split = split != 0;
-    s.job.timingMode = static_cast<TimingMode>(timing);
+    Status job_ok = decodeJobFields(org, split, timing, s.job);
+    if (!job_ok)
+        return job_ok.error();
     std::memcpy(&s.scale, &scale_bits, sizeof(s.scale));
     if (!(s.scale > 0.0) || s.scale > 1e6)
         return makeError(ErrorKind::Bounds, "bad profile scale");
@@ -318,6 +407,111 @@ decodeErrorReply(const std::string &payload)
     return e;
 }
 
+Result<ShardAssignment>
+decodeShardAssign(const std::string &payload)
+{
+    Cursor c(payload);
+    ShardAssignment a;
+    std::uint64_t scale_bits;
+    std::uint16_t key_len, name_len;
+    if (!c.u64(a.assignId) || !c.u64(scale_bits) || !c.u16(key_len))
+        return makeError(ErrorKind::Parse, "short shard-assign payload");
+    if (key_len == 0 || key_len > maxNameBytes)
+        return makeError(ErrorKind::Bounds, "bad campaign key length ",
+                         key_len);
+    if (!c.bytes(key_len, a.campaignKey) || !c.u16(name_len))
+        return makeError(ErrorKind::Parse, "short shard-assign payload");
+    if (name_len == 0 || name_len > maxNameBytes)
+        return makeError(ErrorKind::Bounds, "bad profile name length ",
+                         name_len);
+    std::uint32_t cell_count;
+    if (!c.bytes(name_len, a.profileName) || !c.u32(cell_count))
+        return makeError(ErrorKind::Parse, "short shard-assign payload");
+    std::memcpy(&a.scale, &scale_bits, sizeof(a.scale));
+    if (!(a.scale > 0.0) || a.scale > 1e6)
+        return makeError(ErrorKind::Bounds, "bad profile scale");
+    if (cell_count == 0 || cell_count > maxShardEntries)
+        return makeError(ErrorKind::Bounds, "bad shard cell count ",
+                         cell_count);
+    a.cells.reserve(cell_count);
+    for (std::uint32_t i = 0; i < cell_count; ++i) {
+        ShardCell cell;
+        std::uint8_t org, split, timing;
+        if (!c.u32(cell.index) || !c.u32(cell.attempt) || !c.u8(org) ||
+            !c.u32(cell.job.l1Size) || !c.u32(cell.job.l2Size) ||
+            !c.u8(split) || !c.u64(cell.job.invariantPeriod) ||
+            !c.u8(timing))
+            return makeError(ErrorKind::Parse,
+                             "short shard-assign payload");
+        Status job_ok = decodeJobFields(org, split, timing, cell.job);
+        if (!job_ok)
+            return job_ok.error();
+        a.cells.push_back(std::move(cell));
+    }
+    if (c.remaining() != 0)
+        return makeError(ErrorKind::Parse,
+                         "shard-assign payload length mismatch");
+    return a;
+}
+
+Result<CellResultReply>
+decodeCellResult(const std::string &payload)
+{
+    Cursor c(payload);
+    CellResultReply r;
+    if (!c.u64(r.assignId) || !c.u32(r.index))
+        return makeError(ErrorKind::Parse, "short cell-result payload");
+    r.summaryLine = c.rest();
+    if (r.summaryLine.empty())
+        return makeError(ErrorKind::Parse, "empty cell-result summary");
+    return r;
+}
+
+Result<ShardDoneReply>
+decodeShardDone(const std::string &payload)
+{
+    Cursor c(payload);
+    ShardDoneReply d;
+    std::uint32_t failure_count;
+    if (!c.u64(d.assignId) || !c.u32(d.completed) ||
+        !c.u32(failure_count))
+        return makeError(ErrorKind::Parse, "short shard-done payload");
+    if (failure_count > maxShardEntries)
+        return makeError(ErrorKind::Bounds, "bad shard failure count ",
+                         failure_count);
+    d.failures.reserve(failure_count);
+    for (std::uint32_t i = 0; i < failure_count; ++i) {
+        ShardFailureInfo f;
+        std::uint8_t kind;
+        std::uint16_t msg_len;
+        if (!c.u32(f.index) || !c.u8(kind) || !c.u16(msg_len))
+            return makeError(ErrorKind::Parse,
+                             "short shard-done payload");
+        if (kind > static_cast<std::uint8_t>(ErrorKind::Unrecoverable))
+            return makeError(ErrorKind::Bounds, "bad error kind ",
+                             unsigned(kind));
+        f.kind = static_cast<ErrorKind>(kind);
+        if (!c.bytes(msg_len, f.message))
+            return makeError(ErrorKind::Parse,
+                             "short shard-done payload");
+        d.failures.push_back(std::move(f));
+    }
+    if (c.remaining() != 0)
+        return makeError(ErrorKind::Parse,
+                         "shard-done payload length mismatch");
+    return d;
+}
+
+Result<HeartbeatMsg>
+decodeHeartbeat(const std::string &payload)
+{
+    Cursor c(payload);
+    HeartbeatMsg h;
+    if (!c.u64(h.assignId) || !c.u32(h.cellsDone) || c.remaining() != 0)
+        return makeError(ErrorKind::Parse, "bad heartbeat payload");
+    return h;
+}
+
 void
 FrameReader::feed(const char *data, std::size_t n)
 {
@@ -353,7 +547,7 @@ FrameReader::poll()
         return State::Broken;
     }
     if (type < static_cast<std::uint8_t>(FrameType::Hello) ||
-        type > static_cast<std::uint8_t>(FrameType::Bye)) {
+        type > static_cast<std::uint8_t>(FrameType::Heartbeat)) {
         _broken = true;
         _error = makeError(ErrorKind::Format, "unknown frame type ",
                            unsigned(type));
@@ -386,6 +580,87 @@ FrameReader::take()
     f.payload = _buf.substr(_pos + wireHeaderBytes, len);
     _pos += wireHeaderBytes + len;
     return f;
+}
+
+bool
+writeAllFd(int fd, const char *data, std::size_t n)
+{
+    std::size_t off = 0;
+    while (off < n) {
+        // MSG_NOSIGNAL: a peer that vanished mid-write must surface
+        // as EPIPE, not kill a library embedder that never installed
+        // a SIGPIPE handler (a stalled shard worker writing a stale
+        // result into a torn-down coordinator socket, for instance).
+        ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+        if (w < 0 && errno == ENOTSOCK)
+            w = ::write(fd, data + off, n - off);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+long
+readSomeFd(int fd, char *data, std::size_t n)
+{
+    for (;;) {
+        ssize_t r = ::read(fd, data, n);
+        if (r < 0 && errno == EINTR)
+            continue;
+        return static_cast<long>(r);
+    }
+}
+
+int
+acceptRetryFd(int listenFd)
+{
+    for (;;) {
+        int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd < 0 && errno == EINTR)
+            continue;
+        return fd;
+    }
+}
+
+Status
+connectRetryFd(int fd, const void *sockaddrPtr, unsigned sockaddrLen)
+{
+    const struct sockaddr *sa =
+        static_cast<const struct sockaddr *>(sockaddrPtr);
+    if (::connect(fd, sa, static_cast<socklen_t>(sockaddrLen)) == 0)
+        return okStatus();
+    if (errno != EINTR && errno != EINPROGRESS)
+        return makeError(ErrorKind::Io, "connect: ",
+                         std::strerror(errno));
+    // The interrupted attempt keeps establishing in the background:
+    // wait for writability, then read the socket's final verdict.
+    for (;;) {
+        struct pollfd pfd;
+        pfd.fd = fd;
+        pfd.events = POLLOUT;
+        pfd.revents = 0;
+        int pr = ::poll(&pfd, 1, -1);
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            return makeError(ErrorKind::Io, "poll(connect): ",
+                             std::strerror(errno));
+        }
+        break;
+    }
+    int soerr = 0;
+    socklen_t elen = sizeof(soerr);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &elen) != 0)
+        return makeError(ErrorKind::Io, "getsockopt(SO_ERROR): ",
+                         std::strerror(errno));
+    if (soerr != 0)
+        return makeError(ErrorKind::Io, "connect: ",
+                         std::strerror(soerr));
+    return okStatus();
 }
 
 } // namespace vrc

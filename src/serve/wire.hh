@@ -63,6 +63,12 @@ enum class FrameType : std::uint8_t
     Draining = 6,    ///< server -> client: shutting down, no new work
     Quarantined = 7, ///< server -> client: this client is banned
     Bye = 8,         ///< either direction: clean close
+
+    // Distributed sweep sharding (vrc-sim --coordinate / --shard-worker).
+    ShardAssign = 9, ///< coordinator -> worker: a range of sweep cells
+    CellResult = 10, ///< worker -> coordinator: one cell's journal line
+    ShardDone = 11,  ///< worker -> coordinator: shard finished (+failures)
+    Heartbeat = 12,  ///< worker -> coordinator: liveness + progress
 };
 
 /** Printable frame-type name (diagnostics). */
@@ -107,6 +113,60 @@ struct ErrorReply
     std::string message;
 };
 
+/** One sweep cell inside a SHARD_ASSIGN frame. */
+struct ShardCell
+{
+    std::uint32_t index = 0;   ///< cell index in the campaign grid
+    std::uint32_t attempt = 0; ///< dispatch count (fault-injection key)
+    SimJob job;                ///< organization / sizes / timing
+};
+
+/**
+ * SHARD_ASSIGN payload: a batch of cells for one worker. The trace is
+ * NOT on the wire -- workers regenerate it deterministically from the
+ * profile name + scale, exactly like batch mode, so an assignment is a
+ * few hundred bytes regardless of trace size.
+ */
+struct ShardAssignment
+{
+    std::uint64_t assignId = 0;  ///< coordinator-chosen, echoed back
+    std::string campaignKey;     ///< campaignKey(bundle, jobs) hex
+    std::string profileName;     ///< pops | thor | abaqus
+    double scale = 1.0;          ///< profile scale (exact double bits)
+    std::vector<ShardCell> cells;
+};
+
+/** CELL_RESULT payload: one cell's verbatim journal line. */
+struct CellResultReply
+{
+    std::uint64_t assignId = 0;
+    std::uint32_t index = 0; ///< must match the line's own index
+    std::string summaryLine; ///< encodeSummaryLine(index, summary)
+};
+
+/** One failed cell inside a SHARD_DONE frame. */
+struct ShardFailureInfo
+{
+    std::uint32_t index = 0;
+    ErrorKind kind = ErrorKind::Worker;
+    std::string message;
+};
+
+/** SHARD_DONE payload: the shard's outcome ledger. */
+struct ShardDoneReply
+{
+    std::uint64_t assignId = 0;
+    std::uint32_t completed = 0; ///< cells whose CELL_RESULT was sent
+    std::vector<ShardFailureInfo> failures;
+};
+
+/** HEARTBEAT payload: the worker is alive and making progress. */
+struct HeartbeatMsg
+{
+    std::uint64_t assignId = 0;
+    std::uint32_t cellsDone = 0;
+};
+
 // ---- encoding -------------------------------------------------------
 
 /** Wrap @p payload in a frame header. */
@@ -122,12 +182,51 @@ std::string encodeErrorReply(FrameType type, const ErrorReply &e);
 /** A BYE frame (empty payload). */
 std::string encodeBye();
 
+std::string encodeShardAssign(const ShardAssignment &a);
+std::string encodeCellResult(const CellResultReply &r);
+std::string encodeShardDone(const ShardDoneReply &d);
+std::string encodeHeartbeat(const HeartbeatMsg &h);
+
 // ---- decoding -------------------------------------------------------
 
 Result<HelloRequest> decodeHello(const std::string &payload);
 Result<SubmitRequest> decodeSubmit(const std::string &payload);
 Result<ResultReply> decodeResult(const std::string &payload);
 Result<ErrorReply> decodeErrorReply(const std::string &payload);
+Result<ShardAssignment> decodeShardAssign(const std::string &payload);
+Result<CellResultReply> decodeCellResult(const std::string &payload);
+Result<ShardDoneReply> decodeShardDone(const std::string &payload);
+Result<HeartbeatMsg> decodeHeartbeat(const std::string &payload);
+
+// ---- EINTR / short-write safe fd helpers ----------------------------
+//
+// Every blocking socket syscall in the serve and shard layers goes
+// through these: a signal landing mid-call (SIGUSR1 from a profiler,
+// SIGCHLD from a supervisor, the drain SIGTERM itself when the handler
+// is installed without SA_RESTART) must retry the call, not tear a
+// frame in half or poison the session.
+
+/** write() all @p n bytes, retrying EINTR and short writes. */
+bool writeAllFd(int fd, const char *data, std::size_t n);
+
+/**
+ * One read() of up to @p n bytes, retrying EINTR. Returns the byte
+ * count, 0 at EOF, or -1 with errno set (EAGAIN passes through so
+ * poll()-driven loops keep their semantics).
+ */
+long readSomeFd(int fd, char *data, std::size_t n);
+
+/** accept() retrying EINTR. Returns the fd or -1 with errno set. */
+int acceptRetryFd(int listenFd);
+
+/**
+ * connect() retrying EINTR. POSIX says an interrupted connect keeps
+ * establishing in the background, so the retry waits for writability
+ * and reads SO_ERROR instead of calling connect() again (which would
+ * fail with EALREADY).
+ */
+Status connectRetryFd(int fd, const void *sockaddrPtr,
+                      unsigned sockaddrLen);
 
 /**
  * Incremental frame scanner: feed() bytes as they arrive, next() pops

@@ -253,43 +253,37 @@ CampaignRunner::CampaignRunner(CampaignOptions opt)
 {
 }
 
-namespace
+Result<JournalContents>
+tryLoadJournal(std::istream &in, const std::string &context)
 {
-
-/** Restore completed cells from an existing journal. */
-Status
-parseJournal(std::istream &in, const std::string &path,
-             const std::string &key, std::size_t n,
-             CampaignResult &res)
-{
+    JournalContents j;
     std::string line;
     if (!std::getline(in, line) || line != journalMagicLine)
-        return makeErrorAt(ErrorKind::Mismatch, path, 1,
+        return makeErrorAt(ErrorKind::Mismatch, context, 1,
                            "not a vrc campaign checkpoint journal");
     std::uint64_t lineno = 1;
     if (!std::getline(in, line))
-        return makeErrorAt(ErrorKind::Mismatch, path, 2,
+        return makeErrorAt(ErrorKind::Mismatch, context, 2,
                            "checkpoint journal missing its key line");
     ++lineno;
     {
         std::istringstream ls(line);
-        std::string kw1, jkey, kw2;
+        std::string kw1, kw2;
         std::uint64_t cells = 0;
-        if (!(ls >> kw1 >> jkey >> kw2 >> cells) || kw1 != "key" ||
+        if (!(ls >> kw1 >> j.key >> kw2 >> cells) || kw1 != "key" ||
             kw2 != "cells")
-            return makeErrorAt(ErrorKind::Mismatch, path, 2,
+            return makeErrorAt(ErrorKind::Mismatch, context, 2,
                                "malformed checkpoint key line");
-        if (jkey != key)
-            return makeErrorAt(
-                ErrorKind::Mismatch, path, 2,
-                "checkpoint belongs to a different campaign (key ",
-                jkey, ", this campaign is ", key, ")");
-        if (cells != n)
-            return makeErrorAt(
-                ErrorKind::Mismatch, path, 2,
-                "checkpoint cell count ", cells,
-                " does not match this campaign (", n, " cells)");
+        if (cells > (std::uint64_t{1} << 24))
+            return makeErrorAt(ErrorKind::Bounds, context, 2,
+                               "implausible checkpoint cell count ",
+                               cells);
+        j.cells = static_cast<std::size_t>(cells);
     }
+    j.present.assign(j.cells, false);
+    j.summaries.resize(j.cells);
+    j.lines.resize(j.cells);
+    j.firstLine.assign(j.cells, 0);
     while (std::getline(in, line)) {
         ++lineno;
         if (line.empty())
@@ -300,20 +294,81 @@ parseJournal(std::istream &in, const std::string &path,
             // Expected after a SIGKILL mid-append: the torn tail line
             // simply does not count as completed work.
             warn("ignoring corrupt checkpoint line ", lineno, " in ",
-                 path, " (", cell.error().message, ")");
+                 context, " (", cell.error().message, ")");
+            ++j.torn;
             continue;
         }
         auto [idx, s] = cell.take();
-        if (idx >= n) {
+        if (idx >= j.cells) {
             warn("ignoring out-of-range checkpoint cell ", idx,
-                 " in ", path);
+                 " in ", context);
+            ++j.torn;
             continue;
         }
-        if (!res.completed[idx]) {
-            res.completed[idx] = true;
-            res.summaries[idx] = s;
-            ++res.restored;
+        if (j.present[idx]) {
+            if (j.lines[idx] == line) {
+                ++j.duplicates;
+                continue;
+            }
+            // Two summaries for the same cell that disagree: one of
+            // them is wrong, and guessing (last-writer-wins) would
+            // silently corrupt the merged table. Hard error, both
+            // locations named.
+            return makeErrorAt(
+                ErrorKind::Mismatch, context, lineno,
+                "conflicting summaries for cell ", idx,
+                " (disagrees with line ", j.firstLine[idx],
+                " of the same journal)");
         }
+        j.present[idx] = true;
+        j.summaries[idx] = s;
+        j.lines[idx] = line;
+        j.firstLine[idx] = lineno;
+    }
+    return j;
+}
+
+std::string
+canonicalJournalText(const JournalContents &j)
+{
+    std::ostringstream os;
+    os << journalMagicLine << "\nkey " << j.key << " cells "
+       << j.cells << "\n";
+    for (std::size_t i = 0; i < j.cells; ++i)
+        if (j.present[i])
+            os << j.lines[i] << "\n";
+    return os.str();
+}
+
+namespace
+{
+
+/** Restore completed cells from an existing journal. */
+Status
+parseJournal(std::istream &in, const std::string &path,
+             const std::string &key, std::size_t n,
+             CampaignResult &res)
+{
+    Result<JournalContents> loaded = tryLoadJournal(in, path);
+    if (!loaded)
+        return loaded.error();
+    const JournalContents &j = loaded.value();
+    if (j.key != key)
+        return makeErrorAt(
+            ErrorKind::Mismatch, path, 2,
+            "checkpoint belongs to a different campaign (key ",
+            j.key, ", this campaign is ", key, ")");
+    if (j.cells != n)
+        return makeErrorAt(
+            ErrorKind::Mismatch, path, 2,
+            "checkpoint cell count ", j.cells,
+            " does not match this campaign (", n, " cells)");
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!j.present[i])
+            continue;
+        res.completed[i] = true;
+        res.summaries[i] = j.summaries[i];
+        ++res.restored;
     }
     return okStatus();
 }
@@ -468,6 +523,31 @@ CampaignRunner::run(std::size_t n, const std::string &key,
               });
 
     res.interrupted = shutdownRequested() > 0;
+
+    // A finished (non-interrupted) run rewrites its journal in
+    // canonical form: header + completed cells in index order. The
+    // append-ordered journal depends on worker scheduling; the
+    // canonical bytes depend only on WHAT completed, so any two runs
+    // of the same grid -- sharded, resumed, or straight through --
+    // end with byte-identical journals. writeFileAtomic keeps the
+    // crash-safety story: a kill mid-rewrite leaves the old journal.
+    if (journal.is_open() && !res.interrupted) {
+        journal.close();
+        JournalContents canon;
+        canon.key = key;
+        canon.cells = n;
+        canon.present = res.completed;
+        canon.lines.resize(n);
+        for (std::size_t i = 0; i < n; ++i)
+            if (res.completed[i])
+                canon.lines[i] =
+                    encodeSummaryLine(i, res.summaries[i]);
+        Status rewrote = writeFileAtomic(_opt.checkpoint,
+                                         canonicalJournalText(canon));
+        if (!rewrote)
+            warn("cannot canonicalize checkpoint journal ",
+                 _opt.checkpoint, ": ", rewrote.error().message);
+    }
 
     if (!_opt.manifest.empty()) {
         Status wrote = writeFileAtomic(

@@ -171,6 +171,51 @@ std::string encodeSummaryLine(std::size_t index, const SimSummary &s);
 Result<std::pair<std::size_t, SimSummary>>
 decodeSummaryLine(const std::string &line);
 
+/**
+ * Decoded contents of one checkpoint journal, possibly partial. The
+ * verbatim cell-line bytes ride along with the decoded summaries so
+ * merge tools can compare and re-emit lines without a re-encode.
+ */
+struct JournalContents
+{
+    std::string key;                  ///< campaign key from the header
+    std::size_t cells = 0;            ///< grid size from the header
+    std::vector<bool> present;        ///< per-cell: line seen
+    std::vector<SimSummary> summaries;
+    std::vector<std::string> lines;   ///< verbatim line per cell
+    std::vector<std::uint64_t> firstLine; ///< 1-based line of first copy
+    std::size_t torn = 0;       ///< corrupt/torn lines skipped
+    std::size_t duplicates = 0; ///< byte-identical repeats tolerated
+
+    std::size_t
+    completedCells() const
+    {
+        std::size_t n = 0;
+        for (bool p : present)
+            n += p;
+        return n;
+    }
+};
+
+/**
+ * Validating journal loader shared by resume, the shard coordinator
+ * and vrc-merge. Torn tail lines (a crash mid-append) are skipped
+ * with a warning; a duplicate cell line that is byte-identical to the
+ * first copy is tolerated; a duplicate whose bytes DISAGREE is a hard
+ * Mismatch error carrying @p context and both line numbers -- never
+ * last-writer-wins.
+ */
+Result<JournalContents> tryLoadJournal(std::istream &in,
+                                       const std::string &context);
+
+/**
+ * The canonical byte encoding of a (possibly partial) journal: header
+ * plus the present cells' verbatim lines in index order. Two runs
+ * that completed the same cells -- whatever the completion order,
+ * worker count or shard layout -- produce identical bytes.
+ */
+std::string canonicalJournalText(const JournalContents &j);
+
 } // namespace vrc
 
 #endif // VRC_SIM_CAMPAIGN_HH

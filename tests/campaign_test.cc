@@ -276,5 +276,87 @@ TEST(CampaignRunnerTest, ResultJsonIndependentOfRestoredCount)
     EXPECT_EQ(campaignResultToJson(a), campaignResultToJson(b));
 }
 
+TEST(CampaignRunnerTest, CompletedJournalIsCanonicalIndexOrder)
+{
+    // A finished run must leave the journal in canonical form --
+    // header plus cell lines in INDEX order -- regardless of the
+    // completion order the worker pool happened to produce, so
+    // distributed and single-process journals are byte-comparable.
+    TempPath ck("campaign_canonical.ckpt");
+    const std::size_t n = 6;
+    CampaignOptions opt;
+    opt.checkpoint = ck.path;
+    opt.jobs = 3; // racy completion order on purpose
+    auto run = CampaignRunner{opt}.run(
+        n, "key1", [](std::size_t i, const CancelToken &) {
+            return cellSummary(i);
+        });
+    ASSERT_TRUE(run.ok());
+
+    std::string expect = "vrc-campaign-checkpoint v1\nkey key1 cells " +
+                         std::to_string(n) + "\n";
+    for (std::size_t i = 0; i < n; ++i)
+        expect += encodeSummaryLine(i, cellSummary(i)) + "\n";
+    std::ifstream in(ck.path, std::ios::binary);
+    std::ostringstream got;
+    got << in.rdbuf();
+    EXPECT_EQ(got.str(), expect);
+}
+
+TEST(CampaignRunnerTest, ResumeRejectsDivergentDuplicateCellLines)
+{
+    // Two copies of one cell that DISAGREE mean somebody computed a
+    // wrong answer; resume must refuse the journal outright (with
+    // both line numbers), never silently keep the last writer.
+    TempPath ck("campaign_dup.ckpt");
+    const std::size_t n = 3;
+    std::string good = encodeSummaryLine(0, cellSummary(0));
+    // Flip a digit inside the last hexfloat, clear of the trailing
+    // "end" sentinel (breaking that would make the line torn, not
+    // divergent).
+    std::string lied = good;
+    std::size_t digit =
+        lied.find_last_of("0123456789", lied.size() - 5);
+    lied[digit] = lied[digit] == '5' ? '6' : '5';
+    {
+        std::ofstream out(ck.path, std::ios::trunc);
+        out << "vrc-campaign-checkpoint v1\nkey key1 cells " << n
+            << "\n"
+            << good << "\n"
+            << encodeSummaryLine(1, cellSummary(1)) << "\n"
+            << lied << "\n";
+    }
+    CampaignOptions opt;
+    opt.checkpoint = ck.path;
+    opt.resume = true;
+    auto run = CampaignRunner{opt}.run(
+        n, "key1", [](std::size_t i, const CancelToken &) {
+            return cellSummary(i);
+        });
+    ASSERT_FALSE(run.ok());
+    EXPECT_EQ(run.error().kind, ErrorKind::Mismatch);
+    EXPECT_EQ(run.error().line, 5u);
+    EXPECT_NE(run.error().message.find("conflicting summaries"),
+              std::string::npos)
+        << run.error().describe();
+    EXPECT_NE(run.error().message.find("line 3"), std::string::npos);
+
+    // Byte-identical duplicates stay benign: the same journal with
+    // the honest line twice resumes fine.
+    {
+        std::ofstream out(ck.path, std::ios::trunc);
+        out << "vrc-campaign-checkpoint v1\nkey key1 cells " << n
+            << "\n"
+            << good << "\n"
+            << good << "\n";
+    }
+    auto ok = CampaignRunner{opt}.run(
+        n, "key1", [](std::size_t i, const CancelToken &) {
+            return cellSummary(i);
+        });
+    ASSERT_TRUE(ok.ok()) << ok.error().describe();
+    EXPECT_EQ(ok.value().restored, 1u);
+}
+
 } // namespace
 } // namespace vrc

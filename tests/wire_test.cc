@@ -7,9 +7,18 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
 #include <limits>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <pthread.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include "serve/wire.hh"
 #include "trace/record.hh"
@@ -260,6 +269,221 @@ TEST(WireTest, LargeFeedCompactsConsumedPrefix)
     EXPECT_EQ(rd.pendingBytes(), 0u);
     for (const Frame &f : frames)
         EXPECT_TRUE(decodeSubmit(f.payload).ok());
+}
+
+// ---- shard frames ----------------------------------------------------
+
+ShardAssignment
+sampleAssign()
+{
+    ShardAssignment a;
+    a.assignId = 7;
+    a.campaignKey = "deadbeefcafef00d";
+    a.profileName = "thor";
+    a.scale = 0.25; // exactly representable on purpose
+    a.cells.push_back(
+        {3, 0,
+         SimJob{HierarchyKind::VirtualReal, 4096, 65536, false, 0,
+                TimingMode::Analytic}});
+    a.cells.push_back(
+        {8, 2,
+         SimJob{HierarchyKind::RealRealNoIncl, 16384, 262144, true,
+                10'000, TimingMode::Cycle}});
+    return a;
+}
+
+TEST(WireTest, ShardAssignRoundTripPreservesEverything)
+{
+    ShardAssignment a = sampleAssign();
+    std::string f = encodeShardAssign(a);
+    FrameReader rd;
+    rd.feed(f.data(), f.size());
+    ASSERT_EQ(rd.poll(), FrameReader::State::Frame);
+    Frame fr = rd.take();
+    EXPECT_EQ(fr.type, FrameType::ShardAssign);
+    Result<ShardAssignment> d = decodeShardAssign(fr.payload);
+    ASSERT_TRUE(d.ok());
+    const ShardAssignment &b = d.value();
+    EXPECT_EQ(b.assignId, a.assignId);
+    EXPECT_EQ(b.campaignKey, a.campaignKey);
+    EXPECT_EQ(b.profileName, a.profileName);
+    EXPECT_EQ(b.scale, a.scale); // exact double bits
+    ASSERT_EQ(b.cells.size(), a.cells.size());
+    for (std::size_t i = 0; i < a.cells.size(); ++i) {
+        EXPECT_EQ(b.cells[i].index, a.cells[i].index);
+        EXPECT_EQ(b.cells[i].attempt, a.cells[i].attempt);
+        EXPECT_EQ(b.cells[i].job.kind, a.cells[i].job.kind);
+        EXPECT_EQ(b.cells[i].job.l1Size, a.cells[i].job.l1Size);
+        EXPECT_EQ(b.cells[i].job.l2Size, a.cells[i].job.l2Size);
+        EXPECT_EQ(b.cells[i].job.split, a.cells[i].job.split);
+        EXPECT_EQ(b.cells[i].job.invariantPeriod,
+                  a.cells[i].job.invariantPeriod);
+        EXPECT_EQ(b.cells[i].job.timingMode,
+                  a.cells[i].job.timingMode);
+    }
+}
+
+TEST(WireTest, CellResultShardDoneHeartbeatRoundTrip)
+{
+    CellResultReply r{9, 4, "cell 4 vr 4096 65536 0 ..."};
+    Result<CellResultReply> dr =
+        decodeCellResult(encodeCellResult(r).substr(wireHeaderBytes));
+    ASSERT_TRUE(dr.ok());
+    EXPECT_EQ(dr.value().assignId, 9u);
+    EXPECT_EQ(dr.value().index, 4u);
+    EXPECT_EQ(dr.value().summaryLine, r.summaryLine);
+
+    ShardDoneReply d;
+    d.assignId = 9;
+    d.completed = 3;
+    d.failures.push_back({5, ErrorKind::Timeout, "watchdog"});
+    d.failures.push_back({6, ErrorKind::Worker, "threw"});
+    Result<ShardDoneReply> dd =
+        decodeShardDone(encodeShardDone(d).substr(wireHeaderBytes));
+    ASSERT_TRUE(dd.ok());
+    EXPECT_EQ(dd.value().assignId, 9u);
+    EXPECT_EQ(dd.value().completed, 3u);
+    ASSERT_EQ(dd.value().failures.size(), 2u);
+    EXPECT_EQ(dd.value().failures[0].index, 5u);
+    EXPECT_EQ(dd.value().failures[0].kind, ErrorKind::Timeout);
+    EXPECT_EQ(dd.value().failures[1].message, "threw");
+
+    HeartbeatMsg h{12, 34};
+    Result<HeartbeatMsg> dh =
+        decodeHeartbeat(encodeHeartbeat(h).substr(wireHeaderBytes));
+    ASSERT_TRUE(dh.ok());
+    EXPECT_EQ(dh.value().assignId, 12u);
+    EXPECT_EQ(dh.value().cellsDone, 34u);
+}
+
+TEST(WireTest, DecodeShardFramesRejectHostileValues)
+{
+    // Truncated assign header.
+    EXPECT_FALSE(decodeShardAssign(std::string(7, 'x')).ok());
+    // Zero cells.
+    ShardAssignment a = sampleAssign();
+    a.cells.clear();
+    std::string p = encodeShardAssign(a).substr(wireHeaderBytes);
+    EXPECT_FALSE(decodeShardAssign(p).ok());
+    // Bad organization code inside a cell.
+    a = sampleAssign();
+    p = encodeShardAssign(a).substr(wireHeaderBytes);
+    std::string broken = p;
+    bool flipped = false;
+    // Corrupt the first cell's kind byte wherever it encodes to: walk
+    // the payload and force an out-of-range org value at the known
+    // offset (after id + scale + key + name + count + index + attempt).
+    std::size_t off = 8 + 8 + 2 + a.campaignKey.size() + 2 +
+                      a.profileName.size() + 4 + 4 + 4;
+    if (off < broken.size()) {
+        broken[off] = 99;
+        flipped = true;
+    }
+    ASSERT_TRUE(flipped);
+    EXPECT_FALSE(decodeShardAssign(broken).ok());
+    // Trailing garbage.
+    EXPECT_FALSE(decodeShardAssign(p + "x").ok());
+
+    // Empty summary line.
+    EXPECT_FALSE(
+        decodeCellResult(
+            encodeCellResult(CellResultReply{1, 2, "x"})
+                .substr(wireHeaderBytes, 12))
+            .ok());
+    // Heartbeat with the wrong exact length.
+    EXPECT_FALSE(decodeHeartbeat(std::string(11, 'x')).ok());
+    EXPECT_FALSE(decodeHeartbeat(std::string(13, 'x')).ok());
+    // ShardDone failure kind out of the taxonomy.
+    ShardDoneReply d;
+    d.assignId = 1;
+    d.failures.push_back({0, ErrorKind::Worker, "m"});
+    p = encodeShardDone(d).substr(wireHeaderBytes);
+    p[8 + 4 + 4 + 4] = 120; // the failure's kind byte
+    EXPECT_FALSE(decodeShardDone(p).ok());
+}
+
+// ---- EINTR / short-write regression ----------------------------------
+
+namespace
+{
+volatile sig_atomic_t gSigCount = 0;
+void
+countSignal(int)
+{
+    ++gSigCount;
+}
+} // namespace
+
+TEST(WireTest, SignalsMidFrameDoNotTearTheStream)
+{
+    // A profiler/supervisor signal landing mid write() or mid read()
+    // must not tear a frame: writeAllFd retries EINTR and short
+    // writes, readSomeFd retries EINTR. Regression for the serve and
+    // shard layers' syscall loops.
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    int small = 16 * 1024; // force many short writes
+    ::setsockopt(fds[0], SOL_SOCKET, SO_SNDBUF, &small,
+                 sizeof(small));
+
+    struct sigaction sa = {};
+    sa.sa_handler = countSignal;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0; // deliberately NOT SA_RESTART
+    struct sigaction old;
+    ASSERT_EQ(sigaction(SIGUSR1, &sa, &old), 0);
+    gSigCount = 0;
+
+    // One large CELL_RESULT frame: a multi-megabyte payload cannot
+    // fit the send buffer, so the writer parks in write() where the
+    // signals land.
+    CellResultReply big{1, 2, std::string(4u << 20, 's')};
+    std::string frame = encodeCellResult(big);
+
+    std::atomic<bool> writeOk{false};
+    std::atomic<bool> writerDone{false};
+    std::thread writer([&] {
+        writeOk = writeAllFd(fds[0], frame.data(), frame.size());
+        writerDone = true;
+        ::shutdown(fds[0], SHUT_WR);
+    });
+
+    // Bombard the writer while draining the other end slowly.
+    FrameReader rd;
+    char buf[8192];
+    std::string got;
+    int salvos = 0;
+    for (;;) {
+        if (!writerDone && salvos++ < 100000)
+            pthread_kill(writer.native_handle(), SIGUSR1);
+        long n = readSomeFd(fds[1], buf, sizeof(buf));
+        if (n == 0)
+            break;
+        if (n < 0) {
+            ASSERT_TRUE(errno == EAGAIN || errno == EWOULDBLOCK)
+                << strerror(errno);
+            continue;
+        }
+        rd.feed(buf, static_cast<std::size_t>(n));
+        if (rd.poll() == FrameReader::State::Frame)
+            break;
+        ASSERT_NE(rd.poll(), FrameReader::State::Broken)
+            << rd.error().message;
+    }
+    writer.join();
+    ::close(fds[0]);
+    ::close(fds[1]);
+    sigaction(SIGUSR1, &old, nullptr);
+
+    EXPECT_TRUE(writeOk);
+    ASSERT_EQ(rd.poll(), FrameReader::State::Frame);
+    Frame f = rd.take();
+    EXPECT_EQ(f.type, FrameType::CellResult);
+    Result<CellResultReply> d = decodeCellResult(f.payload);
+    ASSERT_TRUE(d.ok());
+    EXPECT_EQ(d.value().summaryLine, big.summaryLine);
+    // The test only proves something if signals actually landed.
+    EXPECT_GT(gSigCount, 0);
 }
 
 } // namespace

@@ -37,6 +37,7 @@
 #include "core/timing.hh"
 #include "sim/campaign.hh"
 #include "sim/experiment.hh"
+#include "sim/shard.hh"
 #include "sim/json_stats.hh"
 #include "core/events.hh"
 #include "trace/profile_io.hh"
@@ -96,6 +97,20 @@ usage()
         "                   default rates)\n"
         "  --protect=<none|parity|secded>  tag-array protection policy\n"
         "                   (default secded)\n"
+        "distributed sweep mode:\n"
+        "  --coordinate     run the sweep grid through remote shard\n"
+        "                   workers instead of local threads; reuses\n"
+        "                   --listen-unix/--listen-tcp, --checkpoint,\n"
+        "                   --resume, --deadline (straggler watchdog),\n"
+        "                   --max-retries, --manifest and --out\n"
+        "  --shard-cells=<n>  cells per dispatched shard (default\n"
+        "                   grid/4)\n"
+        "  --shard-worker   run one shard worker process\n"
+        "  --connect-unix=<path> / --connect-tcp=<port>  coordinator\n"
+        "                   address for --shard-worker\n"
+        "  --worker-name=<s>  stable worker identity (quarantine key)\n"
+        "  --heartbeat=<s>  worker heartbeat period (default 0.2)\n"
+        "                   (merge partial journals with vrc-merge)\n"
         "service mode:\n"
         "  --serve          run the long-lived segment service\n"
         "  --listen-unix=<path>   unix-domain listening socket\n"
@@ -113,7 +128,8 @@ usage()
         "  0 success        2 usage or configuration error\n"
         "  3 cells quarantined (sweep)   4 machine check\n"
         "  5 interrupted by SIGINT/SIGTERM (graceful drain; a second\n"
-        "    signal hard-exits with 128+signal)\n";
+        "    signal hard-exits with 128+signal)\n"
+        "  6 conflicting cell summaries (distributed sweep / merge)\n";
     std::exit(2);
 }
 
@@ -169,20 +185,12 @@ sweepJobs(TimingMode timing_mode)
     return jobs;
 }
 
+/** Shared result reporting for --sweep and --coordinate. */
 int
-runSweep(const TraceBundle &bundle, const CampaignOptions &opt,
-         bool json, const std::string &out_path, TimingMode timing_mode)
+reportCampaign(const std::vector<SimJob> &jobs,
+               const CampaignResult &res, bool json,
+               const std::string &out_path)
 {
-    std::vector<SimJob> jobs = sweepJobs(timing_mode);
-    installShutdownHandlers();
-    Result<CampaignResult> run =
-        runSimulationCampaign(bundle, jobs, opt);
-    if (!run) {
-        std::cerr << "vrc_sim: " << run.error().describe() << "\n";
-        return 2;
-    }
-    CampaignResult res = run.take();
-
     std::string result_json = campaignResultToJson(res);
     if (!out_path.empty()) {
         Status wrote = writeFileAtomic(out_path, result_json + "\n");
@@ -239,6 +247,73 @@ runSweep(const TraceBundle &bundle, const CampaignOptions &opt,
 }
 
 int
+runSweep(const TraceBundle &bundle, const CampaignOptions &opt,
+         bool json, const std::string &out_path, TimingMode timing_mode)
+{
+    std::vector<SimJob> jobs = sweepJobs(timing_mode);
+    installShutdownHandlers();
+    Result<CampaignResult> run =
+        runSimulationCampaign(bundle, jobs, opt);
+    if (!run) {
+        std::cerr << "vrc_sim: " << run.error().describe() << "\n";
+        return 2;
+    }
+    return reportCampaign(jobs, run.take(), json, out_path);
+}
+
+int
+runCoordinate(const TraceBundle &bundle,
+              const ShardCoordinatorOptions &opt, bool json,
+              const std::string &out_path, TimingMode timing_mode)
+{
+    std::vector<SimJob> jobs = sweepJobs(timing_mode);
+    installShutdownHandlers();
+    ShardCoordinator coordinator(opt);
+    Status bound = coordinator.bind();
+    if (!bound) {
+        std::cerr << "vrc_sim: " << bound.error().describe() << "\n";
+        return 2;
+    }
+    if (!opt.listenUnix.empty())
+        std::cout << "listening unix " << opt.listenUnix << "\n";
+    if (coordinator.tcpPort() >= 0)
+        std::cout << "listening tcp 127.0.0.1:"
+                  << coordinator.tcpPort() << "\n";
+    std::cout << std::flush;
+
+    Result<CampaignResult> run = coordinator.run(bundle, jobs);
+    ShardStats st = coordinator.stats();
+    std::cerr << "vrc_sim: coordinated " << st.cellResults
+              << " cell results over " << st.workersSeen
+              << " workers (" << st.assignmentsDispatched
+              << " assignments, " << st.speculativeDispatches
+              << " speculative, " << st.duplicateResults
+              << " duplicates discarded, " << st.workersLost
+              << " workers lost, " << st.workersQuarantined
+              << " quarantined)\n";
+    if (!run) {
+        std::cerr << "vrc_sim: " << run.error().describe() << "\n";
+        return coordinator.conflictDetected() ? 6 : 2;
+    }
+    return reportCampaign(jobs, run.take(), json, out_path);
+}
+
+int
+runWorker(const ShardWorkerOptions &opt)
+{
+    Result<ShardWorkerStats> run = runShardWorker(opt);
+    if (!run) {
+        std::cerr << "vrc_sim: " << run.error().describe() << "\n";
+        return 1;
+    }
+    ShardWorkerStats st = run.take();
+    std::cerr << "vrc_sim: worker '" << opt.name << "' done; "
+              << st.assignments << " assignments, " << st.cellsRun
+              << " cells run, " << st.cellsFailed << " failed\n";
+    return 0;
+}
+
+int
 runServe(const ServeOptions &so)
 {
     ServeServer server(so);
@@ -277,6 +352,9 @@ main(int argc, char **argv)
     bool split = false, check = false, per_cpu = false;
     bool json = false, stream = false, summary_only = false;
     bool sweep = false, serve = false;
+    bool coordinate = false, shard_worker = false;
+    ShardWorkerOptions worker_opt;
+    std::size_t shard_cells = 0;
     ServeOptions serve_opt;
     TimingMode timing_mode = TimingMode::Analytic;
     CampaignOptions campaign;
@@ -328,6 +406,21 @@ main(int argc, char **argv)
             summary_only = true;
         else if (std::strcmp(argv[i], "--serve") == 0)
             serve = true;
+        else if (std::strcmp(argv[i], "--coordinate") == 0)
+            coordinate = true;
+        else if (std::strcmp(argv[i], "--shard-worker") == 0)
+            shard_worker = true;
+        else if (argValue(argv[i], "--connect-unix", value))
+            worker_opt.connectUnix = value;
+        else if (argValue(argv[i], "--connect-tcp", value))
+            worker_opt.connectTcp = static_cast<int>(
+                std::strtol(value.c_str(), nullptr, 0));
+        else if (argValue(argv[i], "--worker-name", value))
+            worker_opt.name = value;
+        else if (argValue(argv[i], "--heartbeat", value))
+            worker_opt.heartbeatSeconds = std::atof(value.c_str());
+        else if (argValue(argv[i], "--shard-cells", value))
+            shard_cells = std::strtoul(value.c_str(), nullptr, 0);
         else if (argValue(argv[i], "--listen-unix", value))
             serve_opt.unixPath = value;
         else if (argValue(argv[i], "--listen-tcp", value))
@@ -385,6 +478,8 @@ main(int argc, char **argv)
         } else
             usage();
     }
+    if (shard_worker)
+        return runWorker(worker_opt);
     if (serve) {
         serve_opt.segmentDeadline = campaign.deadlineSeconds;
         serve_opt.maxRetries = campaign.maxRetries;
@@ -402,6 +497,29 @@ main(int argc, char **argv)
     profile = scaled(profile, scale);
     if (stream && (!trace_path.empty() || warmup > 0.0))
         fatal("--stream cannot be combined with --trace or --warmup");
+    if (coordinate) {
+        if (stream || sweep)
+            fatal("--coordinate cannot be combined with --stream "
+                  "or --sweep");
+        if (!trace_path.empty() || !profile_file.empty())
+            fatal("--coordinate needs a built-in --profile: workers "
+                  "regenerate the trace from its name");
+        probeWritable("campaign result (--out)", out_path);
+        probeWritable("failure manifest (--manifest)",
+                      campaign.manifest);
+        ShardCoordinatorOptions co;
+        co.listenUnix = serve_opt.unixPath;
+        co.listenTcp = serve_opt.tcpPort;
+        co.profileScale = scale;
+        co.cellsPerShard = shard_cells;
+        co.deadlineSeconds = campaign.deadlineSeconds;
+        co.maxRetries = campaign.maxRetries;
+        co.checkpoint = campaign.checkpoint;
+        co.resume = campaign.resume;
+        co.manifest = campaign.manifest;
+        return runCoordinate(generateTrace(profile), co, json,
+                             out_path, timing_mode);
+    }
     if (sweep) {
         if (stream)
             fatal("--sweep cannot be combined with --stream");
