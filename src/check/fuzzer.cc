@@ -74,6 +74,8 @@ runFuzz(const FuzzOptions &opt)
         cfg.hierarchy.l2 =
             CacheParams{opt.l2Bytes, opt.l2Block, 2, ReplPolicy::LRU};
         cfg.hierarchy.pageSize = opt.pageSize;
+        cfg.hierarchy.rltEntries = opt.rltEntries;
+        cfg.hierarchy.rltAssoc = opt.rltAssoc;
         cfg.hierarchy.splitL1 = opt.splitL1;
         cfg.hierarchy.protocol = opt.protocol;
         cfg.hierarchy.writeBufferDepth = 2;
@@ -264,6 +266,8 @@ replayToJson(const FuzzOptions &opt)
        << "\"l1_block\": " << opt.l1Block << ",\n"
        << "\"l2_block\": " << opt.l2Block << ",\n"
        << "\"page_size\": " << opt.pageSize << ",\n"
+       << "\"rlt_entries\": " << opt.rltEntries << ",\n"
+       << "\"rlt_assoc\": " << opt.rltAssoc << ",\n"
        << "\"frames\": " << opt.frames << ",\n"
        << "\"vpns_per_process\": " << opt.vpnsPerProcess << ",\n"
        << "\"processes_per_cpu\": " << opt.processesPerCpu << ",\n"
@@ -329,7 +333,7 @@ replayFromJson(const std::string &json, FuzzOptions &out)
         opt.minTransactions = v;
     if (jsonField(json, "cpus", v))
         opt.cpus = static_cast<std::uint32_t>(v);
-    if (jsonField(json, "kind", v))
+    if (jsonField(json, "kind", v) && v < kHierarchyKindCount)
         opt.kind = static_cast<HierarchyKind>(v);
     if (jsonField(json, "protocol", v))
         opt.protocol = static_cast<CoherencePolicy>(v);
@@ -345,6 +349,10 @@ replayFromJson(const std::string &json, FuzzOptions &out)
         opt.l2Block = static_cast<std::uint32_t>(v);
     if (jsonField(json, "page_size", v))
         opt.pageSize = static_cast<std::uint32_t>(v);
+    if (jsonField(json, "rlt_entries", v))
+        opt.rltEntries = static_cast<std::uint32_t>(v);
+    if (jsonField(json, "rlt_assoc", v))
+        opt.rltAssoc = static_cast<std::uint32_t>(v);
     if (jsonField(json, "frames", v))
         opt.frames = static_cast<std::uint32_t>(v);
     if (jsonField(json, "vpns_per_process", v))

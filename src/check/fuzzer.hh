@@ -69,6 +69,14 @@ struct FuzzOptions
     std::uint32_t l2Block = 32;
     std::uint32_t pageSize = 4096;
 
+    /**
+     * Reverse-lookup-table geometry for HierarchyKind::VirtualRealRlt
+     * episodes. Deliberately small so directory conflicts (and the
+     * forced back-invalidations they trigger) happen constantly.
+     */
+    std::uint32_t rltEntries = 64;
+    std::uint32_t rltAssoc = 2;
+
     /** Physical frames in the fuzz pool (small => heavy aliasing). */
     std::uint32_t frames = 24;
     /** Virtual pages each process maps onto the pool. */

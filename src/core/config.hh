@@ -7,8 +7,11 @@
 #define VRC_CORE_CONFIG_HH
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 
+#include "base/log.hh"
 #include "cache/protection.hh"
 #include "cache/replacement.hh"
 #include "coherence/protocol.hh"
@@ -31,9 +34,21 @@ struct CacheParams
 /** Which organization a hierarchy implements. */
 enum class HierarchyKind : std::uint8_t
 {
-    VirtualReal,     ///< the paper's V-R design
+    VirtualReal,     ///< the paper's V-R design (r-/v-pointer back-maps)
     RealRealIncl,    ///< R-R baseline, inclusion enforced
-    RealRealNoIncl   ///< R-R baseline, no inclusion (L1 snoops the bus)
+    RealRealNoIncl,  ///< R-R baseline, no inclusion (L1 snoops the bus)
+    VirtualRealRlt   ///< V-R with a reverse-lookup-table directory
+};
+
+/** Number of HierarchyKind values (for exhaustive sweeps/tests). */
+inline constexpr unsigned kHierarchyKindCount = 4;
+
+/** All kinds, in wire/enum order (for sweeps and round-trip tests). */
+inline constexpr HierarchyKind kAllHierarchyKinds[kHierarchyKindCount] = {
+    HierarchyKind::VirtualReal,
+    HierarchyKind::RealRealIncl,
+    HierarchyKind::RealRealNoIncl,
+    HierarchyKind::VirtualRealRlt,
 };
 
 /** Printable kind name. */
@@ -47,8 +62,63 @@ hierarchyKindName(HierarchyKind k)
         return "RR(incl)";
       case HierarchyKind::RealRealNoIncl:
         return "RR(no incl)";
+      case HierarchyKind::VirtualRealRlt:
+        return "VR(rlt)";
     }
-    return "?";
+    panic("hierarchyKindName: unknown HierarchyKind ",
+          static_cast<unsigned>(k));
+}
+
+/** Command-line spelling of a kind (vrc-sim/vrc-fuzz --org values). */
+inline const char *
+hierarchyKindArg(HierarchyKind k)
+{
+    switch (k) {
+      case HierarchyKind::VirtualReal:
+        return "vr";
+      case HierarchyKind::RealRealIncl:
+        return "rr";
+      case HierarchyKind::RealRealNoIncl:
+        return "rr-noincl";
+      case HierarchyKind::VirtualRealRlt:
+        return "vr-rlt";
+    }
+    panic("hierarchyKindArg: unknown HierarchyKind ",
+          static_cast<unsigned>(k));
+}
+
+/** One-line description of a kind (vrc-sim --list-orgs). */
+inline const char *
+hierarchyKindDescription(HierarchyKind k)
+{
+    switch (k) {
+      case HierarchyKind::VirtualReal:
+        return "virtual L1 / real L2, r-/v-pointer synonym back-maps "
+               "(the paper's design)";
+      case HierarchyKind::RealRealIncl:
+        return "real L1 / real L2 with inclusion, TLB before level 1";
+      case HierarchyKind::RealRealNoIncl:
+        return "real L1 / real L2 without inclusion, L1 snoops the bus";
+      case HierarchyKind::VirtualRealRlt:
+        return "virtual L1 / real L2, bounded reverse-lookup-table "
+               "directory with conflict back-invalidation";
+    }
+    panic("hierarchyKindDescription: unknown HierarchyKind ",
+          static_cast<unsigned>(k));
+}
+
+/**
+ * Parse a command-line organization name. Accepts the canonical
+ * hierarchyKindArg() spellings; returns nullopt on anything else.
+ */
+inline std::optional<HierarchyKind>
+hierarchyKindFromArg(std::string_view s)
+{
+    for (HierarchyKind k : kAllHierarchyKinds) {
+        if (s == hierarchyKindArg(k))
+            return k;
+    }
+    return std::nullopt;
 }
 
 /** Parameters of a full per-processor hierarchy. */
@@ -66,6 +136,15 @@ struct HierarchyParams
 
     std::uint32_t tlbEntries = 256;
     std::uint32_t tlbAssoc = 4;
+
+    /**
+     * Reverse-lookup-table geometry (HierarchyKind::VirtualRealRlt
+     * only): total entries and set associativity of the bounded
+     * physical-block -> level-1-child map. A conflict in a full set
+     * forces a back-invalidation of the victim's level-1 copy.
+     */
+    std::uint32_t rltEntries = 512;
+    std::uint32_t rltAssoc = 4;
 
     /** Snooping protocol family at the second level. */
     CoherencePolicy protocol = CoherencePolicy::WriteInvalidate;

@@ -44,7 +44,9 @@ enum class EventKind : std::uint8_t
     L2Evict,           ///< local replacement dropped a level-2 line
     FaultDetected,     ///< array check logic flagged a soft error
     FaultCorrected,    ///< soft error repaired (ECC or refetch recovery)
-    FaultUnrecoverable ///< machine check: dirty data lost to a soft error
+    FaultUnrecoverable,///< machine check: dirty data lost to a soft error
+    RltConflictInvalidation ///< reverse-lookup-table conflict evicted
+                            ///< a level-1 child (bounded directory)
 };
 
 /** Printable event name. */
@@ -92,6 +94,8 @@ eventKindName(EventKind k)
         return "fault-corrected";
       case EventKind::FaultUnrecoverable:
         return "fault-unrecoverable";
+      case EventKind::RltConflictInvalidation:
+        return "rlt-conflict-invalidation";
     }
     return "?";
 }

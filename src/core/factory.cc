@@ -17,6 +17,9 @@ makeHierarchy(HierarchyKind kind, const HierarchyParams &params,
         return std::make_unique<VrHierarchy>(params, spaces, bus, false);
       case HierarchyKind::RealRealNoIncl:
         return std::make_unique<RrNoInclHierarchy>(params, spaces, bus);
+      case HierarchyKind::VirtualRealRlt:
+        return std::make_unique<VrHierarchy>(params, spaces, bus, true,
+                                             SynonymOrg::ReverseLookup);
     }
     return nullptr;
 }

@@ -7,14 +7,11 @@ namespace vrc
 {
 
 RCache::RCache(const CacheParams &params, std::uint32_t l1_block,
-               std::uint32_t l1_size, std::uint32_t page_size,
                std::uint64_t seed, Arena *arena)
     : _tags(CacheGeometry(params.sizeBytes, params.blockBytes,
                           params.assoc),
             params.policy, seed, arena),
-      _l1Block(l1_block), _subCount(params.blockBytes / l1_block),
-      _pageSize(page_size),
-      _vPointerSpan(std::max<std::uint32_t>(1, l1_size / page_size))
+      _l1Block(l1_block), _subCount(params.blockBytes / l1_block)
 {
     panicIfNot(params.blockBytes % l1_block == 0 && _subCount >= 1,
                "level-2 block size must be a multiple of level-1's");

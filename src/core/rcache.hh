@@ -15,8 +15,11 @@
  *   - for split level-1 caches, which of the I/D halves holds the child.
  *
  * As in the V-cache, the simulator additionally keeps the child's full
- * block address next to the architected v-pointer bits; hierarchies
- * verify the architected bits agree with it.
+ * block address next to the architected v-pointer bits. Both are owned
+ * and written by the hierarchy's SynonymDirectory (the pointer
+ * organization verifies the architected bits agree with the full
+ * address; the reverse-lookup-table organization leaves them unused);
+ * this cache only provides the storage.
  */
 
 #ifndef VRC_CORE_RCACHE_HH
@@ -95,11 +98,8 @@ class RCache
     /**
      * @param params     size/block/associativity of this cache
      * @param l1_block   level-1 block size (defines sub-block count)
-     * @param l1_size    level-1 size in bytes (for v-pointer width)
-     * @param page_size  system page size (for v-pointer width)
      */
     RCache(const CacheParams &params, std::uint32_t l1_block,
-           std::uint32_t l1_size, std::uint32_t page_size,
            std::uint64_t seed = 0x2ca1e, Arena *arena = nullptr);
 
     using Store = TagStore<RLineMeta>;
@@ -154,13 +154,6 @@ class RCache
         return _tags.lineAddr(ref) + sub_index * _l1Block;
     }
 
-    /** Architected v-pointer bits for a level-1 (virtual) address. */
-    std::uint32_t
-    vPointerBits(std::uint32_t addr) const
-    {
-        return (addr / _pageSize) & (_vPointerSpan - 1);
-    }
-
     /** Number of sub-blocks per line (B2 / B1). */
     std::uint32_t subCount() const { return _subCount; }
 
@@ -195,8 +188,6 @@ class RCache
     Store _tags;
     std::uint32_t _l1Block;
     std::uint32_t _subCount;
-    std::uint32_t _pageSize;
-    std::uint32_t _vPointerSpan;  ///< V-cache size / page size (>= 1)
 };
 
 } // namespace vrc

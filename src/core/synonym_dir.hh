@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Pluggable synonym/coherence-linkage directories for V-R hierarchies.
+ *
+ * A two-level virtual-real hierarchy must answer one question on every
+ * R-cache hit and every percolating bus request: *which level-1 line
+ * (if any) holds this physical sub-block, and under what level-1
+ * address?* The paper answers it with architected r-pointer/v-pointer
+ * back-maps stored beside the tags (Figure 3); the reverse-lookup-table
+ * strategy (Desai & Deshmukh, arXiv 2108.00444) answers it with a
+ * bounded associative table indexed by physical block address.
+ *
+ * SynonymDirectory abstracts exactly that question so the hierarchy
+ * proper stays organization-agnostic:
+ *
+ *  - lookup(pa)       physical block -> the level-1 child, if linked
+ *  - link(pa, ...)    a level-1 fill/move/retag took ownership of pa
+ *  - unlink(pa)       the level-1 copy is gone (evict, invalidation,
+ *                     remap flush, machine check)
+ *  - forEachLink(fn)  enumerate every link (invariant cross-checks)
+ *
+ * Ownership split: the *presence* bits (inclusion/buffer/vdirty in the
+ * RSubentry) remain owned by the hierarchy in every organization --
+ * they drive the relaxed-inclusion replacement rule and the coherence
+ * shield, and keep probeBlock()/the oracle organization-agnostic. The
+ * directory owns only the child *locator*.
+ *
+ * The directory is page-size-agnostic by construction: link/unlink/
+ * lookup speak block addresses only, so superpage work plugs in
+ * without touching this interface (pointer-bit widths are an
+ * implementation detail of the pointer organization).
+ */
+
+#ifndef VRC_CORE_SYNONYM_DIR_HH
+#define VRC_CORE_SYNONYM_DIR_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "base/addr.hh"
+#include "core/config.hh"
+
+namespace vrc
+{
+
+class VCache;
+class RCache;
+
+/** Which synonym-directory organization a V-R hierarchy uses. */
+enum class SynonymOrg : std::uint8_t
+{
+    Pointer,       ///< the paper's r-pointer/v-pointer back-maps
+    ReverseLookup  ///< bounded reverse-lookup table (RLT)
+};
+
+/** Printable organization name. */
+inline const char *
+synonymOrgName(SynonymOrg org)
+{
+    switch (org) {
+      case SynonymOrg::Pointer:
+        return "pointer";
+      case SynonymOrg::ReverseLookup:
+        return "rlt";
+    }
+    panic("synonymOrgName: unknown SynonymOrg ",
+          static_cast<unsigned>(org));
+}
+
+/** The level-1 child a physical block is linked to. */
+struct SynonymChild
+{
+    std::uint8_t l1Index = 0;          ///< which level-1 cache
+    std::uint32_t childAddrBlock = 0;  ///< level-1 block address
+                                       ///< (virtual in V-R mode)
+};
+
+/**
+ * Abstract synonym directory: the map from physical (level-1-sized)
+ * block addresses to the level-1 line holding them.
+ */
+class SynonymDirectory
+{
+  public:
+    /**
+     * Called by link() when a bounded directory must evict an existing
+     * link to make room: the hierarchy back-invalidates the victim's
+     * level-1 copy (parking dirty data in the write buffer) and calls
+     * unlink() on the victim's address before link() proceeds.
+     */
+    using BackInvalidate =
+        std::function<void(PhysAddr, const SynonymChild &)>;
+
+    virtual ~SynonymDirectory() = default;
+
+    /** The organization this directory implements. */
+    virtual SynonymOrg org() const = 0;
+
+    /** The level-1 child currently linked to @p pa, if any. */
+    virtual std::optional<SynonymChild> lookup(PhysAddr pa) const = 0;
+
+    /**
+     * Record that level-1 cache @p l1_index now holds physical block
+     * @p pa under level-1 block address @p child_block. Updates an
+     * existing link for @p pa in place (synonym retag/move); a bounded
+     * directory may first invoke @p evict_child on a conflict victim.
+     */
+    virtual void link(PhysAddr pa, unsigned l1_index,
+                      std::uint32_t child_block,
+                      const BackInvalidate &evict_child) = 0;
+
+    /** Drop the link for @p pa (the level-1 copy is gone). */
+    virtual void unlink(PhysAddr pa) = 0;
+
+    /** Enumerate every live link (invariant cross-checking). */
+    virtual void forEachLink(
+        const std::function<void(PhysAddr, const SynonymChild &)> &fn)
+        const = 0;
+
+    /**
+     * Architected storage this organization adds beyond the plain
+     * tag/state arrays, in bits (directory-overhead comparisons).
+     */
+    virtual std::uint64_t storageBits() const = 0;
+
+    /** Organization-specific internal invariants (panics on failure). */
+    virtual void checkInvariants() const = 0;
+};
+
+/**
+ * Build the directory for @p org over the given level-1 caches and
+ * R-cache. The arrays/caches must outlive the directory.
+ */
+std::unique_ptr<SynonymDirectory> makeSynonymDirectory(
+    SynonymOrg org, const HierarchyParams &params,
+    std::array<std::unique_ptr<VCache>, 2> &l1, unsigned l1_count,
+    RCache &r);
+
+} // namespace vrc
+
+#endif // VRC_CORE_SYNONYM_DIR_HH

@@ -6,16 +6,12 @@
 namespace vrc
 {
 
-VCache::VCache(const CacheParams &params, std::uint32_t page_size,
-               std::uint32_t l2_size, std::uint64_t seed, Arena *arena)
+VCache::VCache(const CacheParams &params, std::uint64_t seed,
+               Arena *arena)
     : _tags(CacheGeometry(params.sizeBytes, params.blockBytes,
                           params.assoc),
-            params.policy, seed, arena),
-      _pageSize(page_size), _rPointerSpan(l2_size / page_size)
+            params.policy, seed, arena)
 {
-    panicIfNot(isPowerOfTwo(page_size), "page size not a power of two");
-    panicIfNot(l2_size >= page_size,
-               "R-cache smaller than a page makes the r-pointer empty");
     _tags.setProtection(params.protection);
 }
 
@@ -53,7 +49,6 @@ VCache::install(LineRef slot, VirtAddr va, std::uint32_t pa_block,
     l.meta.dirty = dirty;
     l.meta.swappedValid = false;
     l.meta.physBlockAddr = pa_block;
-    l.meta.rPointer = rPointerBits(pa_block);
     return l;
 }
 

@@ -16,8 +16,11 @@
  * physical block address of each line. Hardware does not store those
  * bits -- it relocates the parent by indexing the R-cache with
  * r-pointer + page offset and searching the set -- but the information
- * content is identical, and checkInvariants() in the hierarchy verifies
- * that the architected bits reconstruct the same R-cache set.
+ * content is identical. The r-pointer bits themselves are owned and
+ * written by the hierarchy's SynonymDirectory (the pointer
+ * organization), which also verifies that the architected bits
+ * reconstruct the same R-cache set; this cache only provides the
+ * storage.
  */
 
 #ifndef VRC_CORE_VCACHE_HH
@@ -51,14 +54,12 @@ class VCache
   public:
     /**
      * @param params     size/block/associativity of this cache
-     * @param page_size  system page size (for r-pointer width)
-     * @param l2_size    R-cache size in bytes (for r-pointer width)
      * @param seed       replacement randomness seed
      * @param arena      optional arena the tag arrays are carved from
      */
-    VCache(const CacheParams &params, std::uint32_t page_size,
-           std::uint32_t l2_size, std::uint64_t seed = 0x5ca1e,
-           Arena *arena = nullptr);
+    explicit VCache(const CacheParams &params,
+                    std::uint64_t seed = 0x5ca1e,
+                    Arena *arena = nullptr);
 
     using Store = TagStore<VLineMeta>;
     using Line = Store::Line;
@@ -75,9 +76,11 @@ class VCache
     LineRef victimFor(VirtAddr va);
 
     /**
-     * Install a block for @p va into @p slot.
+     * Install a block for @p va into @p slot. The architected
+     * r-pointer bits are not written here: the hierarchy's synonym
+     * directory links parent and child right after every install.
      *
-     * @param pa_block block-aligned physical address (sets the r-pointer)
+     * @param pa_block block-aligned physical address
      * @param dirty    initial dirty state
      */
     Line install(LineRef slot, VirtAddr va, std::uint32_t pa_block,
@@ -127,13 +130,6 @@ class VCache
      */
     LineRef faultTarget(std::uint64_t h) const;
 
-    /** Architected r-pointer bits for a physical block address. */
-    std::uint32_t
-    rPointerBits(std::uint32_t pa) const
-    {
-        return (pa / _pageSize) & (_rPointerSpan - 1);
-    }
-
     const CacheGeometry &geometry() const { return _tags.geometry(); }
     Store &tags() { return _tags; }
     const Store &tags() const { return _tags; }
@@ -159,8 +155,6 @@ class VCache
 
   private:
     Store _tags;
-    std::uint32_t _pageSize;
-    std::uint32_t _rPointerSpan;  ///< R-cache size / page size
     bool _translationFree = true;
 };
 

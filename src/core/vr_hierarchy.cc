@@ -14,11 +14,9 @@ namespace vrc
 
 VrHierarchy::VrHierarchy(const HierarchyParams &params,
                          AddressSpaceManager &spaces, SharedBus &bus,
-                         bool l1_virtual)
+                         bool l1_virtual, SynonymOrg synonym_org)
     : _params(params), _spaces(spaces), _bus(bus), _l1Virtual(l1_virtual),
-      _r(params.l2, params.l1.blockBytes,
-         params.splitL1 ? params.l1.sizeBytes / 2 : params.l1.sizeBytes,
-         params.pageSize, 0x2ca1e, &_arena),
+      _r(params.l2, params.l1.blockBytes, 0x2ca1e, &_arena),
       _wb(params.writeBufferDepth, params.writeBufferDrainLatency),
       _tlb(params.tlbEntries, params.tlbAssoc)
 {
@@ -27,17 +25,15 @@ VrHierarchy::VrHierarchy(const HierarchyParams &params,
         panicIfNot(l1.sizeBytes >= 2 * l1.blockBytes,
                    "split level-1 cache too small");
         l1.sizeBytes /= 2;  // equal I and D halves, as in the paper
-        _l1[0] = std::make_unique<VCache>(l1, params.pageSize,
-                                          params.l2.sizeBytes, 0xdada,
-                                          &_arena);
-        _l1[1] = std::make_unique<VCache>(l1, params.pageSize,
-                                          params.l2.sizeBytes, 0x1f1f,
-                                          &_arena);
+        _l1[0] = std::make_unique<VCache>(l1, 0xdada, &_arena);
+        _l1[1] = std::make_unique<VCache>(l1, 0x1f1f, &_arena);
     } else {
-        _l1[0] = std::make_unique<VCache>(l1, params.pageSize,
-                                          params.l2.sizeBytes, 0xdada,
-                                          &_arena);
+        _l1[0] = std::make_unique<VCache>(l1, 0xdada, &_arena);
     }
+    _dir = makeSynonymDirectory(synonym_org, params, _l1, l1Count(), _r);
+    _backInvalidate = [this](PhysAddr pa, const SynonymChild &child) {
+        backInvalidateChild(pa, child);
+    };
     // Virtual level-1 tags translate behind the cache (no per-access
     // translation cost); physical tags (R-R mode) pay the slowdown.
     for (auto &vc : _l1) {
@@ -78,6 +74,10 @@ VrHierarchy::VrHierarchy(const HierarchyParams &params,
     _c.bufferInvalidations = &sg.handle("buffer_invalidations");
     _c.l1Updates = &sg.handle("l1_updates");
     _c.tlbShootdowns = &sg.handle("tlb_shootdowns");
+    if (synonym_org == SynonymOrg::ReverseLookup) {
+        _c.rltConflictInvalidations =
+            &sg.handle("rlt_conflict_invalidations");
+    }
 
     // The R-cache directory covers everything this hierarchy can snoop
     // on (inclusion holds for both V-R and R-R modes), so the bus may
@@ -120,6 +120,7 @@ VrHierarchy::evictVVictim(VCache &vc, LineRef slot)
     panicIfNot(s.inclusion, "V-cache victim's inclusion bit not set");
 
     s.inclusion = false;
+    _dir->unlink(pa);
     if (victim.meta.dirty) {
         // Park the block in the write buffer; the buffer bit marks the
         // data as still owned by the level-1 complex.
@@ -139,6 +140,37 @@ VrHierarchy::evictVVictim(VCache &vc, LineRef slot)
         s.vdirty = false;
     }
     vc.invalidate(slot);
+}
+
+std::pair<VCache *, LineRef>
+VrHierarchy::directoryChild(PhysAddr pa) const
+{
+    auto child = _dir->lookup(pa);
+    panicIfNot(child.has_value(), "dangling inclusion pointer");
+    VCache *vc = _l1[child->l1Index].get();
+    auto ref = vc->findOccupied(child->childAddrBlock);
+    panicIfNot(ref.has_value(), "dangling inclusion pointer");
+    return {vc, *ref};
+}
+
+void
+VrHierarchy::backInvalidateChild(PhysAddr pa, const SynonymChild &child)
+{
+    // A bounded directory ran out of room for a new link: the victim
+    // link's level-1 copy must leave the level-1 complex so the
+    // directory stays authoritative. Dirty data parks in the write
+    // buffer exactly like a replacement eviction (the buffer bit keeps
+    // the parent alive until the drain); evictVVictim ends by
+    // unlinking the victim from the directory, freeing its slot.
+    VCache &oc = *_l1[child.l1Index];
+    auto ref = oc.findOccupied(child.childAddrBlock);
+    panicIfNot(ref.has_value(),
+               "directory conflict victim has no level-1 line");
+    evictVVictim(oc, *ref);
+    (*_c.rltConflictInvalidations)++;
+    (*_c.l1CoherenceMsgs)++;
+    emitEvent(EventKind::RltConflictInvalidation, _refIndex,
+              child.childAddrBlock, pa.value());
 }
 
 AccessOutcome
@@ -252,11 +284,13 @@ VrHierarchy::handleRHit(RefType type, VirtAddr l1_key, unsigned ci,
     if (s.inclusion) {
         // Synonym: the block lives in a level-1 cache under another
         // virtual address (or under the same address, swapped out).
-        VCache &oc = *_l1[s.l1Index];
-        auto child = oc.findOccupied(s.childAddrBlock);
+        auto link = _dir->lookup(pa);
+        panicIfNot(link.has_value(), "dangling inclusion pointer");
+        VCache &oc = *_l1[link->l1Index];
+        auto child = oc.findOccupied(link->childAddrBlock);
         panicIfNot(child.has_value(), "dangling inclusion pointer");
-        bool same_place = (s.l1Index == ci) &&
-            (oc.setIndex(VirtAddr(s.childAddrBlock)) ==
+        bool same_place = (link->l1Index == ci) &&
+            (oc.setIndex(VirtAddr(link->childAddrBlock)) ==
              vc.setIndex(l1_key));
         if (same_place) {
             // sameset: re-tag in place, no data movement.
@@ -274,9 +308,9 @@ VrHierarchy::handleRHit(RefType type, VirtAddr l1_key, unsigned ci,
             emitEvent(EventKind::SynonymMove, _refIndex,
                       l1_key.value(), pa.value());
         }
-        s.l1Index = static_cast<std::uint8_t>(ci);
-        s.vPointer = _r.vPointerBits(va_block);
-        s.childAddrBlock = va_block;
+        // Retarget the existing link in place (same physical block, so
+        // a bounded directory can never take a conflict here).
+        _dir->link(pa, ci, va_block, _backInvalidate);
         (*_c.synonymHits)++;
         outcome = AccessOutcome::SynonymHit;
     } else if (s.buffer) {
@@ -288,9 +322,7 @@ VrHierarchy::handleRHit(RefType type, VirtAddr l1_key, unsigned ci,
         s.buffer = false;
         vc.install(slot, l1_key, pa.value(), true);
         s.inclusion = true;
-        s.l1Index = static_cast<std::uint8_t>(ci);
-        s.vPointer = _r.vPointerBits(va_block);
-        s.childAddrBlock = va_block;
+        _dir->link(pa, ci, va_block, _backInvalidate);
         panicIfNot(s.vdirty, "buffered block lost its vdirty bit");
         (*_c.writebackCancels)++;
         emitEvent(EventKind::WritebackCancel, _refIndex,
@@ -302,9 +334,7 @@ VrHierarchy::handleRHit(RefType type, VirtAddr l1_key, unsigned ci,
         // Plain second-level hit: data supply to the V-cache.
         vc.install(slot, l1_key, pa.value(), false);
         s.inclusion = !mutationFlags().dropInclusionUpdate;
-        s.l1Index = static_cast<std::uint8_t>(ci);
-        s.vPointer = _r.vPointerBits(va_block);
-        s.childAddrBlock = va_block;
+        _dir->link(pa, ci, va_block, _backInvalidate);
         s.vdirty = false;
         (*_c.l2Hits)++;
         emitEvent(EventKind::L2Hit, _refIndex, l1_key.value(),
@@ -378,9 +408,7 @@ VrHierarchy::handleRMiss(RefType type, VirtAddr l1_key, unsigned ci,
 
     vc.install(slot, l1_key, pa.value(), dirty);
     s.inclusion = true;
-    s.l1Index = static_cast<std::uint8_t>(ci);
-    s.vPointer = _r.vPointerBits(va_block);
-    s.childAddrBlock = va_block;
+    _dir->link(pa, ci, va_block, _backInvalidate);
     s.vdirty = dirty;
     rline.meta.rdirty = false;
     emitEvent(EventKind::Miss, _refIndex, l1_key.value(), pa.value());
@@ -406,17 +434,21 @@ VrHierarchy::evictRLine(LineRef rslot, bool forced)
         }
         if (s.inclusion) {
             // Relaxed replacement fallback: kill the level-1 child.
-            VCache &oc = *_l1[s.l1Index];
-            auto child = oc.findOccupied(s.childAddrBlock);
+            PhysAddr sub_pa(sub_addr);
+            auto link = _dir->lookup(sub_pa);
+            panicIfNot(link.has_value(), "dangling inclusion pointer");
+            VCache &oc = *_l1[link->l1Index];
+            auto child = oc.findOccupied(link->childAddrBlock);
             panicIfNot(child.has_value(), "dangling inclusion pointer");
             if (oc.line(*child).meta.dirty)
                 dirty_data = true;
             oc.invalidate(*child);
             s.inclusion = false;
+            _dir->unlink(sub_pa);
             (*_c.inclusionInvalidations)++;
             (*_c.l1CoherenceMsgs)++;
             emitEvent(EventKind::InclusionInvalidation, _refIndex,
-                      s.childAddrBlock, sub_addr);
+                      link->childAddrBlock, sub_addr);
             panicIfNot(forced,
                        "children evicted on a non-forced replacement");
         }
@@ -586,6 +618,7 @@ VrHierarchy::machineCheckV(unsigned ci, LineRef ref)
     RSubentry &s = _r.sub(*rref, pa);
     s.inclusion = false;
     s.vdirty = false;
+    _dir->unlink(pa);
     vc.tags().noteUncorrectable();
     vc.invalidate(ref);
     softCounter("machine_checks")++;
@@ -612,11 +645,10 @@ VrHierarchy::machineCheckR(LineRef rref)
             s.buffer = false;
         }
         if (s.inclusion) {
-            VCache &oc = *_l1[s.l1Index];
-            auto child = oc.findOccupied(s.childAddrBlock);
-            panicIfNot(child.has_value(), "dangling inclusion pointer");
-            oc.invalidate(*child);
+            auto [oc, child] = directoryChild(PhysAddr(sub_addr));
+            oc->invalidate(child);
             s.inclusion = false;
+            _dir->unlink(PhysAddr(sub_addr));
         }
         s.vdirty = false;
     }
@@ -668,17 +700,15 @@ VrHierarchy::snoopReadMiss(LineRef rref)
         std::uint32_t sub_addr = line_addr + i * _params.l1.blockBytes;
         if (s.inclusion && s.vdirty) {
             // flush(v-pointer): the V-cache supplies, stays valid clean.
-            VCache &oc = *_l1[s.l1Index];
-            auto child = oc.findOccupied(s.childAddrBlock);
-            panicIfNot(child.has_value(), "dangling inclusion pointer");
-            oc.line(*child).meta.dirty = false;
+            auto [oc, child] = directoryChild(PhysAddr(sub_addr));
+            oc->line(child).meta.dirty = false;
             s.vdirty = false;
             res.suppliedData = true;
             (*_c.l1CoherenceMsgs)++;
             (*_c.l1Flushes)++;
             (*_c.memoryWrites)++;
             emitEvent(EventKind::L1Flush, _refIndex,
-                      s.childAddrBlock, sub_addr);
+                      oc->lineVAddr(child), sub_addr);
         } else if (s.buffer && s.vdirty) {
             // flush(buffer): the write buffer supplies; entry retires.
             auto e = _wb.remove(sub_addr);
@@ -711,15 +741,15 @@ VrHierarchy::snoopInvalidate(LineRef rref)
         RSubentry &s = rline.meta.subs[i];
         std::uint32_t sub_addr = line_addr + i * _params.l1.blockBytes;
         if (s.inclusion) {
-            VCache &oc = *_l1[s.l1Index];
-            auto child = oc.findOccupied(s.childAddrBlock);
-            panicIfNot(child.has_value(), "dangling inclusion pointer");
-            oc.invalidate(*child);
+            auto [oc, child] = directoryChild(PhysAddr(sub_addr));
+            std::uint32_t child_block = oc->lineVAddr(child);
+            oc->invalidate(child);
             s.inclusion = false;
+            _dir->unlink(PhysAddr(sub_addr));
             (*_c.l1CoherenceMsgs)++;
             (*_c.l1Invalidations)++;
             emitEvent(EventKind::L1Invalidation, _refIndex,
-                      s.childAddrBlock, sub_addr);
+                      child_block, sub_addr);
         }
         if (s.buffer) {
             // invalidation(buffer): the parked write-back is obsolete.
@@ -752,15 +782,14 @@ VrHierarchy::snoopUpdate(LineRef rref)
     for (std::uint32_t i = 0; i < _r.subCount(); ++i) {
         RSubentry &s = rline.meta.subs[i];
         if (s.inclusion) {
-            VCache &oc = *_l1[s.l1Index];
-            auto child = oc.findOccupied(s.childAddrBlock);
-            panicIfNot(child.has_value(), "dangling inclusion pointer");
-            oc.line(*child).meta.dirty = false;
+            auto [oc, child] =
+                directoryChild(PhysAddr(_r.subBlockAddr(rref, i)));
+            oc->line(child).meta.dirty = false;
             s.vdirty = false;
             (*_c.l1CoherenceMsgs)++;
             (*_c.l1Updates)++;
             emitEvent(EventKind::L1Update, _refIndex,
-                      s.childAddrBlock, _r.lineAddr(rref));
+                      oc->lineVAddr(child), _r.lineAddr(rref));
         }
         // A buffered (dirty) copy implies we held the block Private, in
         // which case no foreign writer can exist: nothing to do here.
@@ -876,7 +905,9 @@ VrHierarchy::forEachCachedLine(
 void
 VrHierarchy::checkInvariants() const
 {
-    // Level-1 -> level-2 direction.
+    // Level-1 -> level-2 direction: every valid V line has a parent
+    // whose inclusion bit is set and a directory link naming exactly
+    // this line, whatever the directory organization.
     for (unsigned ci = 0; ci < l1Count(); ++ci) {
         const VCache &vc = *_l1[ci];
         vc.tags().forEachLine([&](LineRef ref, const VCache::Line &l) {
@@ -888,21 +919,15 @@ VrHierarchy::checkInvariants() const
                        "inclusion violated: V block with no parent");
             const RSubentry &s = _r.sub(*rref, pa);
             panicIfNot(s.inclusion, "parent inclusion bit clear");
-            panicIfNot(s.l1Index == ci, "parent points at the wrong L1");
-            panicIfNot(s.childAddrBlock == vc.lineVAddr(ref),
-                       "parent v-pointer names the wrong child");
+            auto link = _dir->lookup(pa);
+            panicIfNot(link.has_value(),
+                       "V block with no directory link");
+            panicIfNot(link->l1Index == ci,
+                       "directory points at the wrong L1");
+            panicIfNot(link->childAddrBlock == vc.lineVAddr(ref),
+                       "directory names the wrong child");
             panicIfNot(s.vdirty == l.meta.dirty,
                        "vdirty bit out of sync with the child");
-            // The architected r-pointer must reconstruct the R-cache
-            // set (the paper's claim that log2(C2/page) bits suffice).
-            panicIfNot(l.meta.rPointer == vc.rPointerBits(pa.value()),
-                       "stale r-pointer bits");
-            std::uint32_t rebuilt =
-                l.meta.rPointer * _params.pageSize +
-                pa.value() % _params.pageSize;
-            panicIfNot(_r.geometry().setIndex(rebuilt) ==
-                           _r.geometry().setIndex(pa.value()),
-                       "r-pointer + page offset misses the R-cache set");
             if (l.meta.dirty) {
                 panicIfNot(_r.line(*rref).meta.state ==
                                CoherenceState::Private,
@@ -923,16 +948,16 @@ VrHierarchy::checkInvariants() const
                 panicIfNot(!(s.inclusion && s.buffer),
                            "block both in V-cache and write buffer");
                 if (s.inclusion) {
-                    const VCache &oc = *_l1[s.l1Index];
-                    auto child = oc.findOccupied(s.childAddrBlock);
+                    auto link = _dir->lookup(PhysAddr(sub_addr));
+                    panicIfNot(link.has_value(),
+                               "inclusion bit with no directory link");
+                    const VCache &oc = *_l1[link->l1Index];
+                    auto child = oc.findOccupied(link->childAddrBlock);
                     panicIfNot(child.has_value(),
                                "inclusion bit with no child");
                     panicIfNot(oc.line(*child).meta.physBlockAddr ==
                                    sub_addr,
                                "child links to a different block");
-                    panicIfNot(s.vPointer ==
-                                   _r.vPointerBits(s.childAddrBlock),
-                               "stale v-pointer bits");
                 }
                 if (s.buffer) {
                     panicIfNot(_wb.contains(sub_addr),
@@ -942,6 +967,27 @@ VrHierarchy::checkInvariants() const
                 }
             }
         });
+
+    // Directory -> hierarchy direction: every live link points at a
+    // present parent subentry with its inclusion bit set and at an
+    // occupied level-1 line holding that block (a bounded directory
+    // must never retain links for departed children).
+    _dir->forEachLink([&](PhysAddr pa, const SynonymChild &child) {
+        auto rref = _r.probe(pa);
+        panicIfNot(rref.has_value(), "directory link with no parent");
+        panicIfNot(_r.sub(*rref, pa).inclusion,
+                   "directory link without an inclusion bit");
+        const VCache &oc = *_l1[child.l1Index];
+        auto ref = oc.findOccupied(child.childAddrBlock);
+        panicIfNot(ref.has_value(), "directory link with no child");
+        panicIfNot(oc.line(*ref).meta.physBlockAddr == pa.value(),
+                   "directory link to a child of a different block");
+    });
+
+    // Organization-specific invariants (architected pointer-bit
+    // reconstruction for the paper's scheme; set-uniqueness for the
+    // reverse-lookup table).
+    _dir->checkInvariants();
 }
 
 } // namespace vrc

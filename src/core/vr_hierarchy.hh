@@ -28,6 +28,13 @@
  *    dirty swapped blocks are written back lazily on replacement.
  *  - Bus-induced requests are filtered by the R-cache and percolate to
  *    level 1 only when the inclusion/buffer/vdirty bits require it.
+ *
+ * The *locator* half of that machinery -- which level-1 line holds a
+ * given physical block -- lives behind the pluggable SynonymDirectory
+ * (core/synonym_dir.hh): the paper's r-pointer/v-pointer back-maps are
+ * its pointer organization, and the bounded reverse-lookup table
+ * (HierarchyKind::VirtualRealRlt) is a peer organization that may
+ * force conflict back-invalidations of level-1 children.
  */
 
 #ifndef VRC_CORE_VR_HIERARCHY_HH
@@ -36,6 +43,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <utility>
 
 #include "base/arena.hh"
 #include "cache/write_buffer.hh"
@@ -43,6 +51,7 @@
 #include "core/config.hh"
 #include "core/hierarchy.hh"
 #include "core/rcache.hh"
+#include "core/synonym_dir.hh"
 #include "core/vcache.hh"
 #include "vm/tlb.hh"
 
@@ -74,9 +83,12 @@ class VrHierarchy final : public CacheHierarchy
      * @param l1_virtual level-1 indexed/tagged by virtual addresses
      *                   (true: the paper's V-R design; false: the R-R
      *                   inclusion baseline)
+     * @param synonym_org which synonym-directory organization links
+     *                   level-1 children to their R-cache parents
      */
     VrHierarchy(const HierarchyParams &params, AddressSpaceManager &spaces,
-                SharedBus &bus, bool l1_virtual = true);
+                SharedBus &bus, bool l1_virtual = true,
+                SynonymOrg synonym_org = SynonymOrg::Pointer);
 
     AccessOutcome access(const MemAccess &acc) override;
     void contextSwitch(ProcessId new_pid) override;
@@ -138,6 +150,10 @@ class VrHierarchy final : public CacheHierarchy
     /** True when level 1 is virtually addressed (the V-R design). */
     bool l1Virtual() const { return _l1Virtual; }
 
+    /** The synonym directory linking level-1 children to parents. */
+    SynonymDirectory &synonymDirectory() { return *_dir; }
+    const SynonymDirectory &synonymDirectory() const { return *_dir; }
+
   private:
     /** Which L1 serves a reference type (0 = data/unified, 1 = instr). */
     unsigned
@@ -162,6 +178,15 @@ class VrHierarchy final : public CacheHierarchy
 
     /** Evict the chosen V-cache victim, notifying the R-cache. */
     void evictVVictim(VCache &vc, LineRef slot);
+
+    /**
+     * Back-invalidate a level-1 child whose directory link is being
+     * evicted on an RLT conflict (SynonymDirectory::BackInvalidate).
+     */
+    void backInvalidateChild(PhysAddr pa, const SynonymChild &child);
+
+    /** Find the level-1 line the directory links @p pa to. */
+    std::pair<VCache *, LineRef> directoryChild(PhysAddr pa) const;
 
     /** Translate via the TLB (demand-allocating on first touch). */
     PhysAddr translate(const MemAccess &acc);
@@ -253,6 +278,15 @@ class VrHierarchy final : public CacheHierarchy
     RCache _r;
     WriteBuffer _wb;
     Tlb _tlb;
+
+    /**
+     * The pluggable child locator (constructed after the caches it
+     * indexes). Pre-bound conflict callback so the hot link sites
+     * never allocate a std::function.
+     */
+    std::unique_ptr<SynonymDirectory> _dir;
+    SynonymDirectory::BackInvalidate _backInvalidate;
+
     std::uint64_t _refIndex = 0;
 
     /**
@@ -291,6 +325,13 @@ class VrHierarchy final : public CacheHierarchy
         Counter *bufferInvalidations;
         Counter *l1Updates;
         Counter *tlbShootdowns;
+
+        /**
+         * Registered only for the reverse-lookup-table organization so
+         * pointer-organization stat dumps stay byte-identical to the
+         * pre-directory code.
+         */
+        Counter *rltConflictInvalidations = nullptr;
     };
     Counters _c;
 };

@@ -264,8 +264,11 @@ struct ServeServer::Impl
     }
 
     /**
-     * Poison a session: best-effort error frame, cut the socket,
-     * count the offense toward its client's quarantine budget.
+     * Poison a session: count the offense toward its client's
+     * quarantine budget, then best-effort error frame and cut the
+     * socket. The strike must land before the shutdown: a client that
+     * observes EOF and reconnects immediately has to see its updated
+     * count at the next HELLO.
      */
     void
     poison(Session &s, const Error &err)
@@ -273,6 +276,15 @@ struct ServeServer::Impl
         warn("serve: poisoning session ", s.id,
              s.client.empty() ? "" : (" (" + s.client + ")"), ": ",
              err.describe());
+        {
+            std::lock_guard<std::mutex> g(statsMu);
+            ++st.sessionsPoisoned;
+            if (!s.client.empty()) {
+                unsigned n = ++poisonCounts[s.client];
+                if (n == opt.quarantineThreshold)
+                    st.quarantinedClients.push_back(s.client);
+            }
+        }
         {
             std::lock_guard<std::mutex> g(s.writeMu);
             if (!s.writeShut && s.alive()) {
@@ -285,13 +297,6 @@ struct ServeServer::Impl
         }
         s.state.store(SessionState::Poisoned,
                       std::memory_order_release);
-        std::lock_guard<std::mutex> g(statsMu);
-        ++st.sessionsPoisoned;
-        if (!s.client.empty()) {
-            unsigned n = ++poisonCounts[s.client];
-            if (n == opt.quarantineThreshold)
-                st.quarantinedClients.push_back(s.client);
-        }
     }
 
     /** Close a session cleanly (BYE handled, EOF, drain teardown). */

@@ -138,7 +138,7 @@ Status
 decodeJobFields(std::uint8_t org, std::uint8_t split, std::uint8_t timing,
                 SimJob &job)
 {
-    if (org > 2)
+    if (org >= kHierarchyKindCount)
         return makeError(ErrorKind::Bounds,
                          "bad organization code ", unsigned(org));
     if (split > 1)

@@ -171,7 +171,8 @@ decodeSummaryLine(const std::string &line)
     std::uint64_t idx, kind, l1, l2, split;
     if (!parseU64(tok[1], idx) || !parseU64(tok[2], kind) ||
         !parseU64(tok[3], l1) || !parseU64(tok[4], l2) ||
-        !parseU64(tok[5], split) || kind > 2 || split > 1)
+        !parseU64(tok[5], split) || kind >= kHierarchyKindCount ||
+        split > 1)
         return makeError(ErrorKind::Parse,
                          "malformed checkpoint cell geometry");
 

@@ -126,7 +126,8 @@ MpSimulator::runBatch(const TraceRecord *records, std::size_t n)
     switch (_config.kind) {
       case HierarchyKind::VirtualReal:
       case HierarchyKind::RealRealIncl:
-        // Both kinds are VrHierarchy instances (factory.cc).
+      case HierarchyKind::VirtualRealRlt:
+        // All three kinds are VrHierarchy instances (factory.cc).
         replayTyped<VrHierarchy>(records, n);
         return;
       case HierarchyKind::RealRealNoIncl:

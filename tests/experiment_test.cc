@@ -49,9 +49,7 @@ TEST(ExperimentTest, SummaryFieldsPopulated)
 TEST(ExperimentTest, InvariantsHoldUnderAllOrganizations)
 {
     const auto &b = bundleFor("abaqus", 0.02);
-    for (auto kind :
-         {HierarchyKind::VirtualReal, HierarchyKind::RealRealIncl,
-          HierarchyKind::RealRealNoIncl}) {
+    for (auto kind : kAllHierarchyKinds) {
         SCOPED_TRACE(hierarchyKindName(kind));
         SimSummary s = runSimulation(b, kind, 4 * 1024, 64 * 1024,
                                      false, 2'000);

@@ -70,10 +70,16 @@ INSTANTIATE_TEST_SUITE_P(
         OrgProtocol{HierarchyKind::RealRealNoIncl,
                     CoherencePolicy::WriteInvalidate, false},
         OrgProtocol{HierarchyKind::RealRealNoIncl,
+                    CoherencePolicy::WriteUpdate, true},
+        OrgProtocol{HierarchyKind::VirtualRealRlt,
+                    CoherencePolicy::WriteInvalidate, false},
+        OrgProtocol{HierarchyKind::VirtualRealRlt,
                     CoherencePolicy::WriteUpdate, true}),
     [](const ::testing::TestParamInfo<OrgProtocol> &info) {
         std::string name =
             std::get<0>(info.param) == HierarchyKind::VirtualReal ? "Vr"
+            : std::get<0>(info.param) == HierarchyKind::VirtualRealRlt
+                ? "VrRlt"
             : std::get<0>(info.param) == HierarchyKind::RealRealIncl
                 ? "RrIncl"
                 : "RrNoIncl";

@@ -358,6 +358,30 @@ TEST(GoldenStats, Figure6Abaqus)
 }
 
 /**
+ * Synonym-directory drift net: the paper's pointer organization, the
+ * bounded reverse-lookup table and the R-R baseline on the same trace
+ * grid. A separate golden file so regenerating it never perturbs the
+ * pre-existing corpus.
+ */
+TEST(GoldenStats, SynonymOrgs)
+{
+    std::vector<std::string> lines;
+    for (const char *name : {"thor", "pops", "abaqus"}) {
+        const TraceBundle &bundle = goldenTrace(name);
+        std::vector<SimJob> jobs;
+        for (auto [l1, l2] : paperSizePairs()) {
+            jobs.push_back({HierarchyKind::VirtualReal, l1, l2});
+            jobs.push_back({HierarchyKind::VirtualRealRlt, l1, l2});
+            jobs.push_back({HierarchyKind::RealRealIncl, l1, l2});
+        }
+        lines.push_back(std::string("trace ") + name);
+        for (const std::string &l : summaryLines(bundle, jobs))
+            lines.push_back(l);
+    }
+    compareGolden("synonym_orgs", lines);
+}
+
+/**
  * Cycle-engine drift net: the three organizations at the paper's
  * middle size pair under the cycle-approximate timing engine, so bus
  * queueing / utilization / per-reference latency are pinned in

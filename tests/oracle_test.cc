@@ -88,12 +88,15 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(
         ::testing::Values(HierarchyKind::VirtualReal,
                           HierarchyKind::RealRealIncl,
-                          HierarchyKind::RealRealNoIncl),
+                          HierarchyKind::RealRealNoIncl,
+                          HierarchyKind::VirtualRealRlt),
         ::testing::Values(CoherencePolicy::WriteInvalidate,
                           CoherencePolicy::WriteUpdate)),
     [](const ::testing::TestParamInfo<OrgProtocol> &info) {
         std::string name =
             std::get<0>(info.param) == HierarchyKind::VirtualReal ? "Vr"
+            : std::get<0>(info.param) == HierarchyKind::VirtualRealRlt
+                ? "VrRlt"
             : std::get<0>(info.param) == HierarchyKind::RealRealIncl
                 ? "RrIncl"
                 : "RrNoIncl";

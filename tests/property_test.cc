@@ -247,8 +247,50 @@ INSTANTIATE_TEST_SUITE_P(
         PropertyCase{HierarchyKind::RealRealNoIncl, 8192, 131072, 2, 2,
                      2, false, "abaqus"},
         PropertyCase{HierarchyKind::RealRealNoIncl, 8192, 65536, 1, 1,
-                     1, true, "thor"}),
+                     1, true, "thor"},
+        // Reverse-lookup-table synonym directory.
+        PropertyCase{HierarchyKind::VirtualRealRlt, 4096, 65536, 1, 1,
+                     1, false, "pops"},
+        PropertyCase{HierarchyKind::VirtualRealRlt, 4096, 131072, 2, 4,
+                     4, false, "thor"},
+        PropertyCase{HierarchyKind::VirtualRealRlt, 8192, 65536, 1, 1,
+                     1, true, "abaqus"}),
     caseName);
+
+/**
+ * A deliberately tiny reverse-lookup table must evict links on set
+ * conflicts, and every conflict must back-invalidate the level-1 child
+ * (dirty data parked in the write buffer) without ever breaking the
+ * hierarchy invariants or reference conservation.
+ */
+TEST(RltConflictTest, ConflictEvictionBackInvalidatesChildren)
+{
+    const TraceBundle &bundle = cachedBundle("pops");
+    MachineConfig mc =
+        makeMachineConfig(HierarchyKind::VirtualRealRlt, 4096, 65536,
+                          bundle.profile.pageSize, false);
+    // 8 sets x 2 ways over a 256-line level 1: constant conflicts.
+    mc.hierarchy.rltEntries = 16;
+    mc.hierarchy.rltAssoc = 2;
+    mc.invariantPeriod = 500;
+
+    MpSimulator sim(mc, bundle.profile);
+    sim.run(bundle.records);
+    sim.checkInvariants();
+
+    EXPECT_GT(sim.totalCounter("rlt_conflict_invalidations"), 0u);
+
+    std::uint64_t refs = sim.totalCounter("refs");
+    EXPECT_EQ(refs, sim.totalCounter("l1_hits") +
+                        sim.totalCounter("l2_hits") +
+                        sim.totalCounter("synonym_hits") +
+                        sim.totalCounter("misses"));
+
+    // The bounded directory never outgrows its architected capacity,
+    // and a conflict-riddled run still satisfies the linkage walk.
+    MpSimulator fresh(mc, bundle.profile);
+    fresh.checkInvariants();
+}
 
 } // namespace
 } // namespace vrc

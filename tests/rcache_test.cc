@@ -1,7 +1,8 @@
 /**
  * @file
- * Unit tests for the R-cache: subentries, v-pointer bits and the relaxed
- * inclusion replacement rule.
+ * Unit tests for the R-cache: subentries and the relaxed inclusion
+ * replacement rule. The architected v-pointer bits are owned by the
+ * hierarchy's synonym directory (tests/synonym_dir_test.cc).
  */
 
 #include <gtest/gtest.h>
@@ -13,19 +14,17 @@ namespace vrc
 namespace
 {
 
-constexpr std::uint32_t kPage = 4096;
-constexpr std::uint32_t kL1Size = 16 * 1024;
 constexpr std::uint32_t kL1Block = 16;
 
 TEST(RCacheTest, LookupMissOnEmpty)
 {
-    RCache rc({64 * 1024, 16, 1}, kL1Block, kL1Size, kPage);
+    RCache rc({64 * 1024, 16, 1}, kL1Block);
     EXPECT_FALSE(rc.lookup(PhysAddr(0x100)).has_value());
 }
 
 TEST(RCacheTest, InstallCreatesSubentries)
 {
-    RCache rc({64 * 1024, 64, 1}, kL1Block, kL1Size, kPage);
+    RCache rc({64 * 1024, 64, 1}, kL1Block);
     EXPECT_EQ(rc.subCount(), 4u);
     auto [slot, forced] = rc.victimFor(PhysAddr(0x1000));
     EXPECT_FALSE(forced);
@@ -38,7 +37,7 @@ TEST(RCacheTest, InstallCreatesSubentries)
 
 TEST(RCacheTest, SubIndexSelectsSubBlock)
 {
-    RCache rc({64 * 1024, 64, 1}, kL1Block, kL1Size, kPage);
+    RCache rc({64 * 1024, 64, 1}, kL1Block);
     EXPECT_EQ(rc.subIndex(PhysAddr(0x1000)), 0u);
     EXPECT_EQ(rc.subIndex(PhysAddr(0x1010)), 1u);
     EXPECT_EQ(rc.subIndex(PhysAddr(0x1030)), 3u);
@@ -47,23 +46,15 @@ TEST(RCacheTest, SubIndexSelectsSubBlock)
 
 TEST(RCacheTest, SubBlockAddr)
 {
-    RCache rc({64 * 1024, 64, 1}, kL1Block, kL1Size, kPage);
+    RCache rc({64 * 1024, 64, 1}, kL1Block);
     auto [slot, forced] = rc.victimFor(PhysAddr(0x1000));
     rc.install(slot, PhysAddr(0x1000), CoherenceState::Shared);
     EXPECT_EQ(rc.subBlockAddr(slot, 2), 0x1020u);
 }
 
-TEST(RCacheTest, VPointerBits)
-{
-    RCache rc({256 * 1024, 16, 1}, kL1Block, kL1Size, kPage);
-    // v-pointer = low log2(16K/4K) = 2 bits of the VPN.
-    EXPECT_EQ(rc.vPointerBits(0x7000), (0x7000u / kPage) & 3u);
-    EXPECT_EQ(rc.vPointerBits(0x13000), (0x13000u / kPage) & 3u);
-}
-
 TEST(RCacheTest, RelaxedVictimPrefersChildlessLine)
 {
-    RCache rc({512, 16, 2}, kL1Block, kL1Size, kPage); // 16 sets x 2
+    RCache rc({512, 16, 2}, kL1Block); // 16 sets x 2
     PhysAddr a(0x0), b(0x200); // same set, different tags
     auto [sa, fa] = rc.victimFor(a);
     rc.install(sa, a, CoherenceState::Private);
@@ -80,7 +71,7 @@ TEST(RCacheTest, RelaxedVictimPrefersChildlessLine)
 
 TEST(RCacheTest, RelaxedVictimForcedWhenAllHaveChildren)
 {
-    RCache rc({512, 16, 2}, kL1Block, kL1Size, kPage);
+    RCache rc({512, 16, 2}, kL1Block);
     PhysAddr a(0x0), b(0x200);
     auto [sa, fa] = rc.victimFor(a);
     rc.install(sa, a, CoherenceState::Private);
@@ -105,7 +96,7 @@ TEST(RCacheTest, BufferBitCountsAsChild)
 
 TEST(RCacheTest, ProbeDoesNotTouchRecency)
 {
-    RCache rc({512, 16, 2}, kL1Block, kL1Size, kPage);
+    RCache rc({512, 16, 2}, kL1Block);
     PhysAddr a(0x0), b(0x200);
     auto [sa, fa] = rc.victimFor(a);
     rc.install(sa, a, CoherenceState::Private);
@@ -123,7 +114,7 @@ TEST(RCacheTest, ProbeDoesNotTouchRecency)
 
 TEST(RCacheDeathTest, BlockSizeMismatchRejected)
 {
-    EXPECT_DEATH(RCache({64 * 1024, 16, 1}, 64, kL1Size, kPage),
+    EXPECT_DEATH(RCache({64 * 1024, 16, 1}, 64),
                  "multiple");
 }
 

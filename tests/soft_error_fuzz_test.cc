@@ -28,7 +28,7 @@ class SoftErrorFuzz : public ::testing::Test
 TEST_F(SoftErrorFuzz, RecoveryStatesPassTheOracle)
 {
     // Rates high enough that nearly every seed takes strikes, across
-    // all three organizations and both protocols (the "mix" mapping).
+    // all four organizations and both protocols (the "mix" mapping).
     ASSERT_TRUE(
         configureSoftErrors("seed=29,tag=1e-4,state=2e-5,ptr=2e-5"));
 
@@ -38,9 +38,7 @@ TEST_F(SoftErrorFuzz, RecoveryStatesPassTheOracle)
         FuzzOptions opt;
         opt.seed = seed;
         opt.ops = 3000;
-        opt.kind = seed % 3 == 0 ? HierarchyKind::VirtualReal
-            : seed % 3 == 1 ? HierarchyKind::RealRealIncl
-                            : HierarchyKind::RealRealNoIncl;
+        opt.kind = kAllHierarchyKinds[seed % kHierarchyKindCount];
         opt.protocol = (seed / 3) % 2 == 0
             ? CoherencePolicy::WriteInvalidate
             : CoherencePolicy::WriteUpdate;

@@ -1,7 +1,8 @@
 /**
  * @file
  * Unit tests for the V-cache tag store behaviour (swapped-valid bit,
- * r-pointer maintenance, retag).
+ * retag, victim choice). The architected r-pointer bits are owned by
+ * the hierarchy's synonym directory (tests/synonym_dir_test.cc).
  */
 
 #include <gtest/gtest.h>
@@ -13,9 +14,6 @@ namespace vrc
 namespace
 {
 
-constexpr std::uint32_t kPage = 4096;
-constexpr std::uint32_t kL2Size = 256 * 1024;
-
 CacheParams
 smallParams()
 {
@@ -24,13 +22,13 @@ smallParams()
 
 TEST(VCacheTest, MissOnEmpty)
 {
-    VCache vc(smallParams(), kPage, kL2Size);
+    VCache vc(smallParams());
     EXPECT_FALSE(vc.lookup(VirtAddr(0x1000)).has_value());
 }
 
 TEST(VCacheTest, InstallThenHit)
 {
-    VCache vc(smallParams(), kPage, kL2Size);
+    VCache vc(smallParams());
     VirtAddr va(0x1230);
     LineRef slot = vc.victimFor(va);
     vc.install(slot, va, 0x55550, false);
@@ -40,21 +38,9 @@ TEST(VCacheTest, InstallThenHit)
     EXPECT_EQ(vc.line(*hit).meta.physBlockAddr, 0x55550u);
 }
 
-TEST(VCacheTest, RPointerBitsComputed)
-{
-    VCache vc(smallParams(), kPage, kL2Size);
-    // r-pointer = low log2(256K/4K) = 6 bits of the PPN.
-    std::uint32_t pa = 0x7b000; // ppn 0x7b
-    EXPECT_EQ(vc.rPointerBits(pa), 0x7bu & 63u);
-    VirtAddr va(0x2000);
-    LineRef slot = vc.victimFor(va);
-    auto line = vc.install(slot, va, pa, false);
-    EXPECT_EQ(line.meta.rPointer, vc.rPointerBits(pa));
-}
-
 TEST(VCacheTest, SwappedBlockDoesNotHit)
 {
-    VCache vc(smallParams(), kPage, kL2Size);
+    VCache vc(smallParams());
     VirtAddr va(0x1000);
     vc.install(vc.victimFor(va), va, 0x9990, true);
     vc.markAllSwapped();
@@ -69,14 +55,14 @@ TEST(VCacheTest, SwappedBlockDoesNotHit)
 
 TEST(VCacheTest, MarkAllSwappedSkipsEmptyLines)
 {
-    VCache vc(smallParams(), kPage, kL2Size);
+    VCache vc(smallParams());
     vc.markAllSwapped();
     EXPECT_EQ(vc.tags().validCount(), 0u);
 }
 
 TEST(VCacheTest, RetagClearsSwappedAndPreservesState)
 {
-    VCache vc(smallParams(), kPage, kL2Size);
+    VCache vc(smallParams());
     VirtAddr old_va(0x1000);
     vc.install(vc.victimFor(old_va), old_va, 0x9990, true);
     vc.markAllSwapped();
@@ -95,7 +81,7 @@ TEST(VCacheTest, RetagClearsSwappedAndPreservesState)
 
 TEST(VCacheTest, InstallClearsSwapped)
 {
-    VCache vc(smallParams(), kPage, kL2Size);
+    VCache vc(smallParams());
     VirtAddr va(0x1000);
     vc.install(vc.victimFor(va), va, 0x9990, false);
     vc.markAllSwapped();
@@ -106,7 +92,7 @@ TEST(VCacheTest, InstallClearsSwapped)
 
 TEST(VCacheTest, ConflictingBlocksShareSetDirectMapped)
 {
-    VCache vc(smallParams(), kPage, kL2Size);
+    VCache vc(smallParams());
     VirtAddr a(0x1000), b(0x1000 + 4 * 1024);
     EXPECT_EQ(vc.setIndex(a), vc.setIndex(b));
     vc.install(vc.victimFor(a), a, 0x100, false);
@@ -116,7 +102,7 @@ TEST(VCacheTest, ConflictingBlocksShareSetDirectMapped)
 
 TEST(VCacheTest, LineVAddrRoundTrip)
 {
-    VCache vc(smallParams(), kPage, kL2Size);
+    VCache vc(smallParams());
     VirtAddr va(0xabc0);
     LineRef slot = vc.victimFor(va);
     vc.install(slot, va, 0x100, false);
@@ -125,7 +111,7 @@ TEST(VCacheTest, LineVAddrRoundTrip)
 
 TEST(VCacheDeathTest, RetagAcrossSetsRejected)
 {
-    VCache vc(smallParams(), kPage, kL2Size);
+    VCache vc(smallParams());
     VirtAddr va(0x1000);
     LineRef slot = vc.victimFor(va);
     vc.install(slot, va, 0x100, false);

@@ -10,7 +10,7 @@
  *
  * Usage:
  *   vrc-fuzz [--seed=N | --seeds=A..B] [--ops=N] [--transactions=N]
- *            [--cpus=N] [--org=vr|rr|rr-noincl|mix]
+ *            [--cpus=N] [--org=vr|rr|rr-noincl|vr-rlt|mix]
  *            [--protocol=wi|wu|mix] [--split] [--sweep=N] [--mask=M]
  *            [--minimize] [--artifacts=DIR] [--json]
  *   vrc-fuzz --replay=FILE [--artifacts=DIR]
@@ -47,8 +47,11 @@ usage()
         "  --transactions=N  keep fuzzing each seed until the bus saw\n"
         "                    at least N transactions\n"
         "  --cpus=N          processors (default 4)\n"
-        "  --org=<vr|rr|rr-noincl|mix>   hierarchy kind (mix: derive\n"
-        "                    org/protocol/split from the seed)\n"
+        "  --org=<vr|rr|rr-noincl|vr-rlt|mix>  hierarchy kind (mix:\n"
+        "                    derive org/protocol/split from the seed)\n"
+        "  --rlt-entries=N / --rlt-assoc=N  reverse-lookup-table\n"
+        "                    geometry for vr-rlt episodes (default 64/2;\n"
+        "                    small on purpose to force conflicts)\n"
         "  --protocol=<wi|wu|mix>        coherence protocol\n"
         "  --split           split level-1 I/D caches\n"
         "  --sweep=N         oracle sweep period in ops (default 256)\n"
@@ -209,6 +212,10 @@ main(int argc, char **argv)
             base.cpus = std::strtoul(value.c_str(), nullptr, 0);
         } else if (argValue(argv[i], "--org", value)) {
             org = value;
+        } else if (argValue(argv[i], "--rlt-entries", value)) {
+            base.rltEntries = std::strtoul(value.c_str(), nullptr, 0);
+        } else if (argValue(argv[i], "--rlt-assoc", value)) {
+            base.rltAssoc = std::strtoul(value.c_str(), nullptr, 0);
         } else if (argValue(argv[i], "--protocol", value)) {
             protocol = value;
         } else if (argValue(argv[i], "--sweep", value)) {
@@ -256,30 +263,17 @@ main(int argc, char **argv)
         opt.splitL1 = split;
 
         if (org == "mix") {
-            switch (seed % 3) {
-              case 0:
-                opt.kind = HierarchyKind::VirtualReal;
-                break;
-              case 1:
-                opt.kind = HierarchyKind::RealRealIncl;
-                break;
-              default:
-                opt.kind = HierarchyKind::RealRealNoIncl;
-                break;
-            }
-            opt.splitL1 = split || (seed / 6) % 2 == 1;
-        } else if (org == "vr") {
-            opt.kind = HierarchyKind::VirtualReal;
-        } else if (org == "rr") {
-            opt.kind = HierarchyKind::RealRealIncl;
-        } else if (org == "rr-noincl") {
-            opt.kind = HierarchyKind::RealRealNoIncl;
+            opt.kind = kAllHierarchyKinds[seed % kHierarchyKindCount];
+            opt.splitL1 =
+                split || (seed / (2 * kHierarchyKindCount)) % 2 == 1;
+        } else if (auto kind = hierarchyKindFromArg(org)) {
+            opt.kind = *kind;
         } else {
             usage();
         }
 
         if (protocol == "mix") {
-            opt.protocol = (seed / 3) % 2 == 0
+            opt.protocol = (seed / kHierarchyKindCount) % 2 == 0
                 ? CoherencePolicy::WriteInvalidate
                 : CoherencePolicy::WriteUpdate;
         } else if (protocol == "wi") {

@@ -13,7 +13,7 @@
  *           [--block1=16] [--block2=16] [--split] [--scale=1.0]
  *           [--timing=analytic|cycle] [--check] [--per-cpu]
  *
- * Campaign mode (`--sweep`) runs the paper's 3-organization x 3-size
+ * Campaign mode (`--sweep`) runs the 4-organization x 3-size
  * grid as a fault-tolerant campaign: checkpointed to a journal,
  * resumable after a kill, watchdogged, with failing cells retried and
  * then quarantined instead of aborting the sweep.
@@ -57,7 +57,8 @@ usage()
         "  --profile-file=<path>  load a custom profile file instead\n"
         "  --trace=<path>   replay a saved binary trace (the profile is\n"
         "                   still required for the address-space layout)\n"
-        "  --org=<vr|rr|rr-noincl>  organization (default vr)\n"
+        "  --org=<vr|rr|rr-noincl|vr-rlt>  organization (default vr)\n"
+        "  --list-orgs      print the known organizations and exit\n"
         "  --l1=<bytes> --l2=<bytes> cache sizes (default 16K/256K)\n"
         "  --assoc1/--assoc2, --block1/--block2   geometry\n"
         "  --split          split level 1 into I and D halves\n"
@@ -78,7 +79,7 @@ usage()
         "  --warmup=<f>     reset statistics after fraction f of the\n"
         "                   trace (steady-state measurement)\n"
         "campaign mode:\n"
-        "  --sweep          run the 3-org x 3-size grid as a campaign\n"
+        "  --sweep          run the 4-org x 3-size grid as a campaign\n"
         "  --checkpoint=<path>  journal completed cells; with --resume,\n"
         "                   a killed sweep restarts where it stopped\n"
         "  --resume         load the checkpoint journal before running\n"
@@ -162,13 +163,21 @@ argValue(const char *arg, const char *name, std::string &out)
 HierarchyKind
 parseOrg(const std::string &s)
 {
-    if (s == "vr")
-        return HierarchyKind::VirtualReal;
-    if (s == "rr")
-        return HierarchyKind::RealRealIncl;
-    if (s == "rr-noincl")
-        return HierarchyKind::RealRealNoIncl;
-    fatal("unknown organization: ", s);
+    if (auto kind = hierarchyKindFromArg(s))
+        return *kind;
+    fatal("unknown organization: ", s, " (try --list-orgs)");
+}
+
+/** --list-orgs: one line per organization, argument first. */
+[[noreturn]] void
+listOrgs()
+{
+    for (HierarchyKind kind : kAllHierarchyKinds) {
+        std::cout << hierarchyKindArg(kind) << "  "
+                  << hierarchyKindName(kind) << ": "
+                  << hierarchyKindDescription(kind) << "\n";
+    }
+    std::exit(0);
 }
 
 /** The paper's grid: every organization at every large size pair. */
@@ -176,9 +185,7 @@ std::vector<SimJob>
 sweepJobs(TimingMode timing_mode)
 {
     std::vector<SimJob> jobs;
-    for (HierarchyKind kind :
-         {HierarchyKind::VirtualReal, HierarchyKind::RealRealIncl,
-          HierarchyKind::RealRealNoIncl}) {
+    for (HierarchyKind kind : kAllHierarchyKinds) {
         for (auto [l1, l2] : paperSizePairs())
             jobs.push_back({kind, l1, l2, false, 0, timing_mode});
     }
@@ -373,6 +380,8 @@ main(int argc, char **argv)
             trace_path = value;
         else if (argValue(argv[i], "--org", value))
             kind = parseOrg(value);
+        else if (std::strcmp(argv[i], "--list-orgs") == 0)
+            listOrgs();
         else if (argValue(argv[i], "--l1", value))
             l1 = std::strtoul(value.c_str(), nullptr, 0);
         else if (argValue(argv[i], "--l2", value))
